@@ -1,0 +1,2 @@
+"""Benchmark harness: per-figure regeneration benches plus kernel
+microbenchmarks. Run with ``pytest benchmarks/ --benchmark-only``."""

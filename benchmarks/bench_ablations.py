@@ -1,0 +1,59 @@
+"""Bench: the ablation sweeps (design choices + future-work demos)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_abl_stages(benchmark, ctx, lab):
+    res = run_once(benchmark, ablations.run_stages, ctx, lab)
+    h = res.headline
+    # Each stage must pay for itself on the suite mix.
+    assert h["gm_delta_snappy_huffman"] < h["gm_delta_snappy"]
+    assert h["gm_delta_snappy"] < h["gm_snappy"]
+    assert h["gm_delta_snappy_huffman"] < 12.0
+
+
+def test_abl_blocksize(benchmark, ctx, lab):
+    res = run_once(benchmark, ablations.run_blocksize, ctx, lab)
+    h = res.headline
+    # Bigger blocks never compress worse (monotone trend, small tolerance).
+    assert h["gm_bpnnz_32768"] <= h["gm_bpnnz_2048"] * 1.02
+
+
+def test_abl_stride(benchmark, ctx, lab):
+    res = run_once(benchmark, ablations.run_stride, ctx, lab)
+    h = res.headline
+    # Cycles fall with stride; program size explodes at stride 8.
+    assert h["cycles_stride1"] > h["cycles_stride4"] > 0
+    assert h["blocks_stride8"] > 10 * h["blocks_stride4"]
+
+
+def test_abl_rle(benchmark, ctx, lab):
+    res = run_once(benchmark, ablations.run_rle, ctx, lab)
+    assert res.headline["single_stride_rle_wins"] == 1.0
+
+
+def test_abl_reorder(benchmark, ctx, lab):
+    res = run_once(benchmark, ablations.run_reorder, ctx, lab)
+    # RCM must recover hidden structure into real compression gains.
+    assert res.headline["gm_bpnnz_gain"] > 1.2
+
+
+def test_abl_spmm(benchmark, ctx, lab):
+    res = run_once(benchmark, ablations.run_spmm, ctx, lab)
+    h = res.headline
+    assert h["speedup_k1"] > h["speedup_k64"] >= 1.0
+
+
+def test_abl_des(benchmark, ctx, lab):
+    res = run_once(benchmark, ablations.run_des, ctx, lab)
+    # Convergence toward the analytic model as matrices grow.
+    values = [
+        v
+        for _, v in sorted(
+            res.headline.items(), key=lambda kv: int(kv[0].split("nnz")[1])
+        )
+    ]
+    assert values[-1] > values[0]
+    assert values[-1] > 0.5
+    assert all(v <= 1.05 for v in values)

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 3 (CPU-only SpMV roofline, DDR4 100 GB/s)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig03_cpu_spmv
+
+
+def test_fig03_regenerate(benchmark, ctx, lab):
+    res = run_once(benchmark, fig03_cpu_spmv.run, ctx, lab)
+    # Paper: flat line at ~16.7 GFLOP/s regardless of matrix.
+    assert res.headline["flat_gflops_ddr4"] == pytest.approx(16.67, rel=0.01)

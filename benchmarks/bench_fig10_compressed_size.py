@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 10 (compressed bytes/nnz, three schemes).
+
+Paper geomeans: CPU Snappy 5.20, UDP Delta-Snappy 5.92, UDP DSH 5.00.
+Shape assertions: everything well under the 12 B baseline; Huffman improves
+on Delta-Snappy; DSH competitive with (here: better than) CPU Snappy.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_compressed_size
+
+
+def test_fig10_regenerate(benchmark, ctx, lab):
+    res = run_once(benchmark, fig10_compressed_size.run, ctx, lab)
+    h = res.headline
+    assert 3.0 < h["gm_udp_dsh_bpnnz"] < 8.0  # paper: 5.00
+    assert 3.0 < h["gm_cpu_snappy_bpnnz"] < 8.0  # paper: 5.20
+    assert h["gm_udp_dsh_bpnnz"] < h["gm_udp_delta_snappy_bpnnz"]  # 5.00 < 5.92
+    assert h["gm_udp_dsh_bpnnz"] < h["gm_cpu_snappy_bpnnz"]  # 5.00 < 5.20

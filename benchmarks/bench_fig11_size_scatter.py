@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 11 (bytes/nnz vs nnz scatter).
+
+Paper: "no clear correlation of matrix compression ratio and size".
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_size_scatter
+
+
+def test_fig11_regenerate(benchmark, ctx, lab):
+    res = run_once(benchmark, fig11_size_scatter.run, ctx, lab)
+    assert abs(res.headline["corr_lognnz_vs_bpnnz"]) < 0.6
+    assert 2.0 < res.headline["median_bpnnz"] < 10.0

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 12 (32-thread CPU vs 64-lane UDP decompression).
+
+Paper: UDP wins 2-5x on the representatives, reaching >20 GB/s.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12_decomp_throughput
+
+
+def test_fig12_regenerate(benchmark, ctx, lab):
+    res = run_once(benchmark, fig12_decomp_throughput.run, ctx, lab)
+    h = res.headline
+    assert h["gm_udp_over_cpu"] > 1.3  # paper band: 2-5x, gm 7x on suite
+    assert h["gm_udp_gbps"] > 20.0  # paper: "to over 20GB/s"
+    # Every representative row must show the UDP ahead.
+    for row in res.table.rows:
+        speedup = float(row[-1].rstrip("x"))
+        assert speedup > 1.0, row

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 13 (UDP throughput scatter + block latency).
+
+Paper: geometric mean 21.7 us to decompress one 8 KB block on one lane.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_udp_scatter
+
+
+def test_fig13_regenerate(benchmark, ctx, lab):
+    res = run_once(benchmark, fig13_udp_scatter.run, ctx, lab)
+    # Same decade as the paper's 21.7 us.
+    assert 2.0 < res.headline["gm_block_latency_us"] < 220.0
+    assert res.headline["gm_udp_gbps"] > 10.0

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 14 (SpMV on DDR4: the 2.4x headline).
+
+Paper: geomean 2.4x speedup for Decomp(UDP+CPU) over Max Uncompressed;
+Decomp(CPU)+SpMV >30x slower than uncompressed.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig14_spmv_ddr4
+
+
+def test_fig14_regenerate(benchmark, ctx, lab):
+    res = run_once(benchmark, fig14_spmv_ddr4.run, ctx, lab)
+    h = res.headline
+    assert h["gm_suite_speedup"] == pytest.approx(2.4, rel=0.35)  # paper: 2.4
+    assert h["min_cpu_slowdown"] > 10.0  # paper: >30x
+    # Column shape: UDP bar above uncompressed, CPU-decomp far below, on
+    # every representative.
+    for row in res.table.rows:
+        uncompressed, cpu, udp = float(row[2]), float(row[3]), float(row[4])
+        assert udp > uncompressed > cpu

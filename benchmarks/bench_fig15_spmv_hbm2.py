@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 15 (SpMV on HBM2, 1 TB/s).
+
+Same shape as Fig. 14 at 10x bandwidth; the uncompressed roofline moves to
+~167 GFLOP/s and CPU-side decompression falls further behind.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig15_spmv_hbm2
+
+
+def test_fig15_regenerate(benchmark, ctx, lab):
+    res = run_once(benchmark, fig15_spmv_hbm2.run, ctx, lab)
+    assert res.headline["gm_suite_speedup"] == pytest.approx(2.4, rel=0.35)
+    assert res.headline["min_cpu_slowdown"] > 50.0  # worse than DDR4's gap
+    for row in res.table.rows:
+        uncompressed = float(row[2])
+        assert uncompressed == pytest.approx(166.7, rel=0.01)

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 16 (iso-performance power savings, DDR4).
+
+Paper: the UDP saves an average 51 W of the 80 W DDR4 memory power (63%)
+across the 7 representative matrices, net of UDP power.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig16_power_ddr4
+
+
+def test_fig16_regenerate(benchmark, ctx, lab):
+    res = run_once(benchmark, fig16_power_ddr4.run, ctx, lab)
+    h = res.headline
+    assert h["baseline_power_w"] == pytest.approx(80.0)
+    assert 30.0 < h["avg_net_saving_w"] < 75.0  # paper: 51 W
+    assert 0.4 < h["avg_net_saving_frac"] < 0.9  # paper: 63%
+    # UDP power must be a tiny fraction of the saving on every row.
+    for row in res.table.rows:
+        raw, udp_w = float(row[2]), float(row[4])
+        assert udp_w < 0.1 * max(raw, 1.0)

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 17 (iso-performance power savings, HBM2).
+
+Paper: average 33 W saved of 64 W (51%); a lower *fraction* than DDR4
+because HBM2's pJ/bit is cheaper while the 1 TB/s rate demands ~10x the
+UDP instances.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig16_power_ddr4, fig17_power_hbm2
+
+
+def test_fig17_regenerate(benchmark, ctx, lab):
+    res = run_once(benchmark, fig17_power_hbm2.run, ctx, lab)
+    h = res.headline
+    assert h["baseline_power_w"] == pytest.approx(64.0)
+    assert 20.0 < h["avg_net_saving_w"] < 60.0  # paper: 33 W
+    # Cross-figure shape: HBM2 net fraction below DDR4's.
+    ddr = fig16_power_ddr4.run(None, lab)
+    assert h["avg_net_saving_frac"] < ddr.headline["avg_net_saving_frac"]

@@ -1,0 +1,16 @@
+"""Bench: regenerate the abstract-level headline table (all claims)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import headline
+
+
+def test_headline_regenerate(benchmark, ctx, lab):
+    res = run_once(benchmark, headline.run, ctx, lab)
+    h = res.headline
+    # The paper's abstract, as shape checks:
+    assert 1.5 < h["gm_spmv_speedup"] < 4.0  # 2.4x
+    assert 3.0 < h["gm_dsh_bytes_per_nnz"] < 8.0  # ~5 B/nnz
+    assert h["gm_udp_over_cpu_decomp"] > 1.3  # 7x (suite), 2-5x (reps)
+    assert 2.0 < h["gm_block_decode_us"] < 220.0  # 21.7 us
+    assert h["cpu_flush_waste_frac"] > 0.4  # "80% cycle waste"
+    assert h["net_power_saving_ddr4"] > h["net_power_saving_hbm2"]  # 63% > 51%

@@ -1,0 +1,37 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+One :class:`MatrixLab` is shared across the whole benchmark session so
+compression plans and simulator reports are built once; each ``bench_figNN``
+then times the figure's row regeneration and asserts the paper's *shape*
+(who wins, by roughly what factor).
+
+Profile: smaller than ``ExperimentContext.quick()`` so the whole harness
+runs in a few minutes; pass ``--full`` semantics by running the runner
+module directly instead (see README).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, MatrixLab
+
+collect_ignore_glob: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(
+        suite_count=24, suite_scale=0.003, rep_nnz=20_000, sample_blocks=2
+    )
+
+
+@pytest.fixture(scope="session")
+def lab(ctx) -> MatrixLab:
+    return MatrixLab(ctx)
+
+
+def run_once(benchmark, fn, *args):
+    """Time a single regeneration (results are deterministic; repeated
+    rounds would only time the lab cache)."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1, warmup_rounds=0)

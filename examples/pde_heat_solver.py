@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""PDE workload: solve a 2-D Poisson problem by conjugate gradients where
+every SpMV streams the matrix through the recoding pipeline.
+
+This is the paper's opening motivation — "partial differential equation
+solvers ... are often data movement limited". A CG solve performs one SpMV
+per iteration, so the matrix's DRAM footprint is paid hundreds of times;
+compressing it with DSH cuts exactly that traffic.
+
+Run:  python examples/pde_heat_solver.py
+"""
+
+import numpy as np
+
+from repro.codecs.stats import dsh_plan
+from repro.collection import generators
+from repro.core import HeterogeneousSystem, recoded_spmv
+from repro.cpu import CPURecoder
+from repro.memsys import DDR4_100GBS
+from repro.sparse import spmv
+from repro.udp.runtime import simulate_plan
+from repro.util import fmt_bytes
+
+
+def cg_solve(apply_a, b, tol=1e-8, max_iter=500):
+    """Textbook conjugate gradients with a matrix-free operator."""
+    x = np.zeros_like(b)
+    r = b - apply_a(x)
+    p = r.copy()
+    rs = float(r @ r)
+    for iteration in range(1, max_iter + 1):
+        ap = apply_a(p)
+        alpha = rs / float(p @ ap)
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        if np.sqrt(rs_new) < tol:
+            return x, iteration
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return x, max_iter
+
+
+def main() -> None:
+    # 5-point Laplacian on a 48x48 interior grid: SPD, CG-friendly. The
+    # "exact" stencil also shows DSH at its best (constant coefficients).
+    nx = 48
+    a = generators.mesh2d(nx, value_style="exact")
+    n = a.nrows
+    rng = np.random.default_rng(7)
+    b = rng.normal(size=n)
+    print(f"Poisson system: {n} unknowns, nnz={a.nnz}")
+
+    plan = dsh_plan(a)
+    print(f"matrix compressed to {plan.bytes_per_nnz:.2f} bytes/nnz "
+          f"({fmt_bytes(plan.compressed_bytes)} vs "
+          f"{fmt_bytes(plan.uncompressed_bytes)} CSR)")
+
+    # CG where A is applied through the recoded pipeline every iteration.
+    traffic = {"compressed": 0, "baseline": 0}
+
+    def apply_a(v):
+        y, stats = recoded_spmv(plan, v)
+        traffic["compressed"] += stats.dram_bytes
+        traffic["baseline"] += stats.baseline_dram_bytes
+        return y
+
+    x, iters = cg_solve(apply_a, b)
+    residual = np.linalg.norm(b - spmv(a, x))
+    print(f"CG converged in {iters} iterations, |r| = {residual:.2e}")
+    print(f"A-traffic over the whole solve: "
+          f"{fmt_bytes(traffic['compressed'])} compressed vs "
+          f"{fmt_bytes(traffic['baseline'])} uncompressed "
+          f"({traffic['baseline'] / traffic['compressed']:.2f}x less data moved)")
+
+    # What that means on a real memory system.
+    udp = simulate_plan(plan, sample=4)
+    cpu = CPURecoder().simulate_plan(plan, sample=4)
+    cmp_ = HeterogeneousSystem(DDR4_100GBS).compare("poisson", plan, udp, cpu)
+    print(f"modeled solver speedup on 100 GB/s DDR4 (memory-bound): "
+          f"{cmp_.udp_speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

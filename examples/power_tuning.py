@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Design-space sweep: encoding scheme x memory system x operating point.
+
+For a system architect deciding whether to spend the recoding win on
+*performance* (Fig. 14/15 mode) or on *memory power* (Fig. 16/17 mode),
+this sweeps both across encodings and memory systems for one matrix, and
+also shows the UDP-count/power trade as the delivered bandwidth scales.
+
+Run:  python examples/power_tuning.py
+"""
+
+from repro.codecs.pipeline import compress_matrix
+from repro.collection import generators
+from repro.core import HeterogeneousSystem, iso_performance_power
+from repro.cpu import CPURecoder
+from repro.memsys import DDR4_100GBS, HBM2_1TBS
+from repro.sparse.blocked import CPU_BLOCK_BYTES, UDP_BLOCK_BYTES
+from repro.udp.runtime import simulate_plan
+from repro.util import Table
+
+SCHEMES = [
+    ("delta-snappy-huffman", dict(use_delta=True, use_huffman=True, block_bytes=UDP_BLOCK_BYTES)),
+    ("delta-snappy", dict(use_delta=True, use_huffman=False, block_bytes=UDP_BLOCK_BYTES)),
+    ("snappy-only", dict(use_delta=False, use_huffman=False, block_bytes=UDP_BLOCK_BYTES)),
+    ("snappy-32KB", dict(use_delta=False, use_huffman=False, block_bytes=CPU_BLOCK_BYTES)),
+]
+
+
+def main() -> None:
+    matrix = generators.fem_stencil(3000, row_degree=20, jitter=60, seed=3)
+    print(f"FEM-like matrix: nnz={matrix.nnz}\n")
+
+    # --- encoding sweep ------------------------------------------------------
+    table = Table(
+        ["scheme", "B/nnz", "DDR4 speedup", "DDR4 net save (W)", "HBM2 net save (W)"],
+        formats=["{}", "{:.2f}", "{:.2f}x", "{:.1f}", "{:.1f}"],
+    )
+    for name, kwargs in SCHEMES:
+        plan = compress_matrix(matrix, **kwargs)
+        udp = simulate_plan(plan, sample=3)
+        tput = udp.throughput_bytes_per_s
+        speedup = 12.0 / plan.bytes_per_nnz
+        ddr = iso_performance_power(name, plan, DDR4_100GBS, tput)
+        hbm = iso_performance_power(name, plan, HBM2_1TBS, tput)
+        table.add_row(name, plan.bytes_per_nnz, speedup, ddr.net_saving_w, hbm.net_saving_w)
+    print(table.render())
+
+    # --- operating-point sweep: how many UDPs as bandwidth scales -------------
+    plan = compress_matrix(matrix, use_delta=True, use_huffman=True)
+    udp = simulate_plan(plan, sample=3)
+    print("\nUDP provisioning vs delivered bandwidth (DSH encoding):")
+    sweep = Table(
+        ["delivered rate", "#UDP", "UDP power", "net DDR4 saving (W)"],
+        formats=["{}", "{}", "{:.2f} W", "{:.1f}"],
+    )
+    for gbps in (25, 50, 100):
+        scen = iso_performance_power(
+            "sweep", plan, DDR4_100GBS, udp.throughput_bytes_per_s,
+            delivered_rate=gbps * 1e9,
+        )
+        sweep.add_row(f"{gbps} GB/s", scen.n_udp, scen.udp_power_w, scen.net_saving_w)
+    print(sweep.render())
+
+    # --- perf mode on both memory systems -------------------------------------
+    cpu = CPURecoder().simulate_plan(plan, sample=3)
+    print("\nperformance mode (same plan):")
+    for mem in (DDR4_100GBS, HBM2_1TBS):
+        cmp_ = HeterogeneousSystem(mem).compare("fem", plan, udp, cpu)
+        print(f"  {mem.name}: {cmp_.uncompressed.gflops:.1f} GF -> "
+              f"{cmp_.udp_cpu.gflops:.1f} GF ({cmp_.udp_speedup:.2f}x), "
+              f"CPU-decomp {cmp_.cpu_slowdown:.0f}x slower, "
+              f"{cmp_.udp_cpu.n_udp} UDP(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; this shim lets ``pip install -e . --no-build-isolation`` (or
+``python setup.py develop``) fall back to the legacy egg-link path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — reproduction of *Programmable Acceleration for Sparse Matrices in
+a Data-movement Limited World* (Rawal, Fang & Chien, IPDPS workshops 2019).
+
+The library models a heterogeneous CPU + UDP (Unstructured Data Processor)
+architecture in which sparse matrices live in DRAM as Delta-Snappy-Huffman
+compressed block-CSR and are decompressed on the fly by a programmable
+recoding accelerator, turning bytes-per-nonzero savings directly into SpMV
+speedup or memory-power savings.
+
+Subpackages
+-----------
+- ``repro.sparse``     — CSR/COO formats, SpMV kernels, block partitioner
+- ``repro.codecs``     — Delta, Snappy, Huffman codecs and the DSH pipeline
+- ``repro.udp``        — cycle-level UDP accelerator simulator + programs
+- ``repro.cpu``        — CPU pipeline cost model for recoding
+- ``repro.memsys``     — DDR4 / HBM2 bandwidth & energy models
+- ``repro.core``       — the heterogeneous system model (performance/power)
+- ``repro.collection`` — synthetic TAMU-like matrix suite
+- ``repro.experiments``— per-figure reproduction harness
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sparse",
+    "codecs",
+    "udp",
+    "cpu",
+    "memsys",
+    "core",
+    "collection",
+    "experiments",
+    "util",
+]

@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro info   MATRIX
+    python -m repro compress MATRIX [--scheme dsh|delta-snappy|snappy|auto]
+                                     [--block-bytes N] [--verify] [--simulate]
+    python -m repro spmv   MATRIX [--memory ddr4|hbm2]
+    python -m repro suite  [--count N] [--scale F]
+
+``MATRIX`` is either a MatrixMarket path (``*.mtx``) or a synthetic spec
+``synth:<kind>[:key=value,...]`` with kinds from
+:mod:`repro.collection.generators`, e.g. ``synth:banded:n=4000,bandwidth=6``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.codecs.autotune import autotune
+from repro.codecs.pipeline import compress_matrix
+from repro.collection import generators
+from repro.collection.suite import SuiteConfig, build_suite
+from repro.core.hetero import HeterogeneousSystem
+from repro.cpu.recoder import CPURecoder
+from repro.memsys.dram import DDR4_100GBS, HBM2_1TBS
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.mmio import read_matrix_market
+from repro.udp.runtime import simulate_plan
+from repro.util.geomean import geomean
+from repro.util.tables import Table
+from repro.util.units import fmt_bytes, fmt_rate
+
+_MEMORIES = {"ddr4": DDR4_100GBS, "hbm2": HBM2_1TBS}
+
+_SYNTH_KINDS = {
+    "banded": generators.banded,
+    "diagonals": generators.diagonals,
+    "mesh2d": generators.mesh2d,
+    "mesh3d": generators.mesh3d,
+    "unstructured": generators.unstructured,
+    "graph": generators.powerlaw_graph,
+    "fem": generators.fem_stencil,
+    "symblocks": generators.symmetric_blocks,
+}
+
+
+def load_matrix(spec: str) -> CSRMatrix:
+    """Load a matrix from an .mtx path or a ``synth:`` spec.
+
+    Raises:
+        ValueError: on unknown synthetic kinds or malformed parameters.
+    """
+    if not spec.startswith("synth:"):
+        return read_matrix_market(spec)
+    parts = spec.split(":", 2)
+    kind = parts[1]
+    if kind not in _SYNTH_KINDS:
+        raise ValueError(f"unknown synthetic kind {kind!r}; know {sorted(_SYNTH_KINDS)}")
+    kwargs: dict[str, object] = {}
+    if len(parts) == 3 and parts[2]:
+        for pair in parts[2].split(","):
+            if "=" not in pair:
+                raise ValueError(f"bad parameter {pair!r} (expected key=value)")
+            key, value = pair.split("=", 1)
+            try:
+                kwargs[key] = int(value)
+            except ValueError:
+                try:
+                    kwargs[key] = float(value)
+                except ValueError:
+                    kwargs[key] = value
+    # Positional size arguments differ per generator; pass everything by
+    # keyword and let the generator validate.
+    return _SYNTH_KINDS[kind](**kwargs)  # type: ignore[arg-type]
+
+
+def cmd_info(args) -> int:
+    m = load_matrix(args.matrix)
+    print(f"shape:    {m.nrows} x {m.ncols}")
+    print(f"nnz:      {m.nnz}")
+    print(f"density:  {m.density:.3e}")
+    nnz_per_row = m.row_nnz()
+    if m.nrows:
+        print(f"row nnz:  min={int(nnz_per_row.min())} "
+              f"median={int(sorted(nnz_per_row)[len(nnz_per_row)//2])} "
+              f"max={int(nnz_per_row.max())}")
+    print(f"CSR size: {fmt_bytes(m.storage_bytes())} (12 B/nnz baseline)")
+    return 0
+
+
+def cmd_compress(args) -> int:
+    m = load_matrix(args.matrix)
+    if args.scheme == "auto":
+        result = autotune(m)
+        plan = result.best_plan
+        print(f"autotune winner: {result.best_name}")
+        for name, size in sorted(result.bytes_per_nnz.items(), key=lambda kv: kv[1]):
+            print(f"  {name:<22s} {size:6.2f} B/nnz")
+    else:
+        flags = {
+            "dsh": dict(use_delta=True, use_huffman=True),
+            "delta-snappy": dict(use_delta=True, use_huffman=False),
+            "snappy": dict(use_delta=False, use_huffman=False),
+        }
+        if args.scheme not in flags:
+            raise ValueError(f"unknown scheme {args.scheme!r}")
+        plan = compress_matrix(m, block_bytes=args.block_bytes, **flags[args.scheme])
+    idx = sum(r.stored_bytes for r in plan.index_records)
+    val = sum(r.stored_bytes for r in plan.value_records)
+    print(f"blocks:      {plan.nblocks} x {plan.block_bytes} B budget")
+    print(f"compressed:  {fmt_bytes(plan.compressed_bytes)} "
+          f"({plan.bytes_per_nnz:.2f} B/nnz, {plan.compression_ratio:.2f}x)")
+    if plan.nnz:
+        print(f"  index stream: {idx / plan.nnz:.2f} B/nnz")
+        print(f"  value stream: {val / plan.nnz:.2f} B/nnz")
+    if args.verify:
+        ok = plan.verify()
+        print(f"verify:      {'OK — bit-exact round trip' if ok else 'FAILED'}")
+        if not ok:
+            return 1
+    if args.simulate:
+        report = simulate_plan(plan, sample=args.sample_blocks)
+        status = "verified" if report.all_verified else "FAILED"
+        print(f"UDP (64-lane @1.6GHz): {fmt_rate(report.throughput_bytes_per_s)} "
+              f"decompression, {status}")
+    return 0
+
+
+def cmd_spmv(args) -> int:
+    m = load_matrix(args.matrix)
+    memory = _MEMORIES[args.memory]
+    plan = compress_matrix(m)
+    udp = simulate_plan(plan, sample=args.sample_blocks)
+    cpu = CPURecoder().simulate_plan(plan, sample=args.sample_blocks)
+    cmp_ = HeterogeneousSystem(memory).compare("cli", plan, udp, cpu)
+    table = Table(["scenario", "GFLOP/s"], formats=["{}", "{:.2f}"])
+    table.add_row(cmp_.uncompressed.name, cmp_.uncompressed.gflops)
+    table.add_row(cmp_.cpu_decomp.name, cmp_.cpu_decomp.gflops)
+    table.add_row(cmp_.udp_cpu.name, cmp_.udp_cpu.gflops)
+    print(f"memory system: {memory.name} ({fmt_rate(memory.peak_bw)})")
+    print(table.render())
+    print(f"speedup {cmp_.udp_speedup:.2f}x at {plan.bytes_per_nnz:.2f} B/nnz "
+          f"with {cmp_.udp_cpu.n_udp} UDP(s)")
+    return 0
+
+
+def cmd_pack(args) -> int:
+    from repro.codecs.container import save_plan
+
+    m = load_matrix(args.matrix)
+    plan = compress_matrix(m) if args.scheme == "dsh" else autotune(m).best_plan
+    if not plan.verify():
+        print("error: plan failed verification", file=sys.stderr)
+        return 1
+    save_plan(plan, args.output)
+    import os
+
+    print(f"packed {m.nnz} nnz -> {args.output} "
+          f"({fmt_bytes(os.path.getsize(args.output))}, "
+          f"{plan.bytes_per_nnz:.2f} B/nnz)")
+    return 0
+
+
+def cmd_unpack(args) -> int:
+    from repro.codecs.container import load_csr
+    from repro.sparse.mmio import write_matrix_market
+
+    m = load_csr(args.container)
+    write_matrix_market(m, args.output, comment=f"unpacked from {args.container}")
+    print(f"unpacked {m.nrows}x{m.ncols}, nnz={m.nnz} -> {args.output}")
+    return 0
+
+
+def cmd_suite(args) -> int:
+    entries = build_suite(SuiteConfig(count=args.count, scale=args.scale))
+    sizes = []
+    table = Table(["name", "kind", "target nnz"], formats=["{}", "{}", "{}"])
+    for entry in entries[: args.show]:
+        table.add_row(entry.name, entry.kind, entry.target_nnz)
+    print(table.render())
+    if args.compress:
+        for entry in entries[: args.compress]:
+            plan = compress_matrix(entry.build())
+            if plan.nnz:
+                sizes.append(plan.bytes_per_nnz)
+        print(f"\nDSH geomean over first {len(sizes)}: {geomean(sizes):.2f} B/nnz")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="matrix statistics")
+    p.add_argument("matrix")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("compress", help="compress and report bytes/nnz")
+    p.add_argument("matrix")
+    p.add_argument("--scheme", default="dsh", choices=["dsh", "delta-snappy", "snappy", "auto"])
+    p.add_argument("--block-bytes", type=int, default=8192)
+    p.add_argument("--verify", action="store_true")
+    p.add_argument("--simulate", action="store_true")
+    p.add_argument("--sample-blocks", type=int, default=2)
+    p.set_defaults(fn=cmd_compress)
+
+    p = sub.add_parser("spmv", help="model the three SpMV scenarios")
+    p.add_argument("matrix")
+    p.add_argument("--memory", default="ddr4", choices=sorted(_MEMORIES))
+    p.add_argument("--sample-blocks", type=int, default=2)
+    p.set_defaults(fn=cmd_spmv)
+
+    p = sub.add_parser("pack", help="compress a matrix into a .dsh container")
+    p.add_argument("matrix")
+    p.add_argument("output")
+    p.add_argument("--scheme", default="dsh", choices=["dsh", "auto"])
+    p.set_defaults(fn=cmd_pack)
+
+    p = sub.add_parser("unpack", help="expand a .dsh container to MatrixMarket")
+    p.add_argument("container")
+    p.add_argument("output")
+    p.set_defaults(fn=cmd_unpack)
+
+    p = sub.add_parser("suite", help="inspect the synthetic suite")
+    p.add_argument("--count", type=int, default=369)
+    p.add_argument("--scale", type=float, default=0.004)
+    p.add_argument("--show", type=int, default=10)
+    p.add_argument("--compress", type=int, default=0, metavar="N",
+                   help="also DSH-compress the first N entries")
+    p.set_defaults(fn=cmd_suite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Codec protocol shared by every stage of the recoding stack."""
+
+from __future__ import annotations
+
+import abc
+
+
+class Codec(abc.ABC):
+    """A reversible byte-stream transform.
+
+    Codecs are *stateless* between calls; any per-matrix state (e.g. the
+    Huffman table) is carried by the codec instance, mirroring how the UDP
+    is programmed once per matrix and then streams blocks through.
+    """
+
+    #: Short name used in reports ("delta", "snappy", "huffman").
+    name: str = "codec"
+
+    @abc.abstractmethod
+    def encode(self, data: bytes) -> bytes:
+        """Transform ``data``; must be inverted exactly by :meth:`decode`."""
+
+    @abc.abstractmethod
+    def decode(self, data: bytes) -> bytes:
+        """Invert :meth:`encode`."""
+
+
+class IdentityCodec(Codec):
+    """No-op stage (used where the paper's pipeline skips a transform,
+    e.g. no delta on the value stream)."""
+
+    name = "identity"
+
+    def encode(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decode(self, data: bytes) -> bytes:
+        return bytes(data)

@@ -1,0 +1,207 @@
+"""On-disk container for compressed matrix plans (``.dsh`` files).
+
+The architecture's whole premise is that matrices *live* in their
+compressed form; this container makes that durable. Layout (little-endian):
+
+.. code-block:: text
+
+    magic   8s   b"RPRODSH1"
+    flags   u8   bit0 = delta, bit1 = huffman
+    u32     block_bytes
+    u32     nrows, u32 ncols, u32 nblocks
+    u64     nnz
+    [tables]  if huffman: 256 B index lengths, 256 B value lengths
+    per block:
+      u32 row_start, u32 row_end, u8 leading_partial, u64 nnz_start
+      u32 x (row_end - row_start + 1)   local row_ptr
+      2 records (index, value):
+        u32 orig_len, u32 snappy_len, u32 bit_len, u32 payload_len,
+        u32 crc32(payload), payload bytes
+
+Every payload carries a CRC so corruption is detected at load time, before
+a bad stream ever reaches a decoder.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from os import PathLike
+
+import numpy as np
+
+from repro.codecs.huffman import HuffmanTable
+from repro.codecs.pipeline import BlockRecord, MatrixCompression
+from repro.sparse.blocked import BlockedCSR, CSRBlock
+from repro.sparse.csr import CSRMatrix
+
+MAGIC = b"RPRODSH1"
+
+_FLAG_DELTA = 1
+_FLAG_HUFFMAN = 2
+
+
+def _write_record(out: io.BufferedIOBase, record: BlockRecord) -> None:
+    out.write(
+        struct.pack(
+            "<IIIII",
+            record.orig_len,
+            record.snappy_len,
+            record.bit_len,
+            len(record.payload),
+            zlib.crc32(record.payload),
+        )
+    )
+    out.write(record.payload)
+
+
+def _read_record(data: memoryview, pos: int) -> tuple[BlockRecord, int]:
+    orig_len, snappy_len, bit_len, payload_len, crc = struct.unpack_from("<IIIII", data, pos)
+    pos += 20
+    payload = bytes(data[pos : pos + payload_len])
+    if len(payload) != payload_len:
+        raise ValueError("truncated container: record payload")
+    if zlib.crc32(payload) != crc:
+        raise ValueError("container corruption: record CRC mismatch")
+    pos += payload_len
+    return BlockRecord(orig_len, snappy_len, bit_len, payload), pos
+
+
+def save_plan(plan: MatrixCompression, dest: str | PathLike | io.BufferedIOBase) -> None:
+    """Serialize a plan to a ``.dsh`` container."""
+    if isinstance(dest, (str, PathLike)):
+        with open(dest, "wb") as fh:
+            save_plan(plan, fh)
+            return
+    dest.write(MAGIC)
+    flags = (_FLAG_DELTA if plan.use_delta else 0) | (
+        _FLAG_HUFFMAN if plan.use_huffman else 0
+    )
+    m, n = plan.blocked.shape
+    dest.write(struct.pack("<BIIIIQ", flags, plan.block_bytes, m, n, plan.nblocks, plan.nnz))
+    if plan.use_huffman:
+        assert plan.index_table is not None and plan.value_table is not None
+        dest.write(plan.index_table.serialize())
+        dest.write(plan.value_table.serialize())
+    for block, irec, vrec in zip(
+        plan.blocked.blocks, plan.index_records, plan.value_records
+    ):
+        dest.write(
+            struct.pack(
+                "<IIBQ", block.row_start, block.row_end, int(block.leading_partial),
+                block.nnz_start,
+            )
+        )
+        dest.write(block.row_ptr.astype("<u4").tobytes())
+        _write_record(dest, irec)
+        _write_record(dest, vrec)
+
+
+def load_plan(source: str | PathLike | io.BufferedIOBase | bytes) -> MatrixCompression:
+    """Load a container and reconstruct a fully-functional plan.
+
+    Blocks are decompressed once at load to rebuild the in-memory
+    :class:`~repro.sparse.blocked.BlockedCSR` (so SpMV and re-verification
+    work immediately); the records themselves are kept verbatim.
+
+    Raises:
+        ValueError: bad magic, truncation, CRC mismatch, or inconsistent
+            structure.
+    """
+    if isinstance(source, (str, PathLike)):
+        with open(source, "rb") as fh:
+            return load_plan(fh.read())
+    if not isinstance(source, bytes):
+        source = source.read()
+    data = memoryview(source)
+    if bytes(data[:8]) != MAGIC:
+        raise ValueError("not a repro DSH container (bad magic)")
+    pos = 8
+    flags, block_bytes, m, n, nblocks, nnz = struct.unpack_from("<BIIIIQ", data, pos)
+    pos += struct.calcsize("<BIIIIQ")
+    use_delta = bool(flags & _FLAG_DELTA)
+    use_huffman = bool(flags & _FLAG_HUFFMAN)
+    index_table = value_table = None
+    if use_huffman:
+        index_table = HuffmanTable.deserialize(bytes(data[pos : pos + 256]))
+        pos += 256
+        value_table = HuffmanTable.deserialize(bytes(data[pos : pos + 256]))
+        pos += 256
+
+    index_records: list[BlockRecord] = []
+    value_records: list[BlockRecord] = []
+    block_meta: list[tuple[int, int, bool, int, np.ndarray]] = []
+    for _ in range(nblocks):
+        row_start, row_end, leading, nnz_start = struct.unpack_from("<IIBQ", data, pos)
+        pos += struct.calcsize("<IIBQ")
+        nrows_local = row_end - row_start
+        if nrows_local < 1:
+            raise ValueError("container corruption: empty block row range")
+        ptr_bytes = 4 * (nrows_local + 1)
+        row_ptr = np.frombuffer(data[pos : pos + ptr_bytes], dtype="<u4").astype(np.int64)
+        if len(row_ptr) != nrows_local + 1:
+            raise ValueError("truncated container: row_ptr")
+        pos += ptr_bytes
+        irec, pos = _read_record(data, pos)
+        vrec, pos = _read_record(data, pos)
+        index_records.append(irec)
+        value_records.append(vrec)
+        block_meta.append((row_start, row_end, bool(leading), nnz_start, row_ptr))
+
+    # Rebuild the blocked structure by decoding each block once.
+    shell_blocks = [
+        CSRBlock(
+            row_start=rs,
+            row_end=re_,
+            row_ptr=ptr,
+            col_idx=np.zeros(int(ptr[-1]), dtype=np.int32),
+            val=np.zeros(int(ptr[-1]), dtype=np.float64),
+            nnz_start=ns,
+            leading_partial=lead,
+        )
+        for rs, re_, lead, ns, ptr in block_meta
+    ]
+    shell = MatrixCompression(
+        blocked=BlockedCSR((m, n), tuple(shell_blocks), block_bytes),
+        index_records=tuple(index_records),
+        value_records=tuple(value_records),
+        index_table=index_table,
+        value_table=value_table,
+        use_delta=use_delta,
+        use_huffman=use_huffman,
+        block_bytes=block_bytes,
+    )
+    real_blocks = tuple(shell.decompress_block(i) for i in range(nblocks))
+    plan = MatrixCompression(
+        blocked=BlockedCSR((m, n), real_blocks, block_bytes),
+        index_records=tuple(index_records),
+        value_records=tuple(value_records),
+        index_table=index_table,
+        value_table=value_table,
+        use_delta=use_delta,
+        use_huffman=use_huffman,
+        block_bytes=block_bytes,
+    )
+    if plan.nnz != nnz:
+        raise ValueError(f"container corruption: nnz {plan.nnz} != header {nnz}")
+    return plan
+
+
+def load_csr(source: str | PathLike | io.BufferedIOBase | bytes) -> CSRMatrix:
+    """Load a container straight into an uncompressed :class:`CSRMatrix`."""
+    plan = load_plan(source)
+    m, n = plan.blocked.shape
+    col_idx = np.concatenate(
+        [b.col_idx for b in plan.blocked.blocks]
+    ) if plan.nblocks else np.zeros(0, dtype=np.int32)
+    val = np.concatenate(
+        [b.val for b in plan.blocked.blocks]
+    ) if plan.nblocks else np.zeros(0, dtype=np.float64)
+    # Global row_ptr from per-block local pointers (split rows merge).
+    row_ptr = np.zeros(m + 1, dtype=np.int64)
+    for block in plan.blocked.blocks:
+        counts = np.diff(block.row_ptr)
+        row_ptr[block.row_start + 1 : block.row_end + 1] += counts
+    row_ptr = np.cumsum(row_ptr)
+    return CSRMatrix((m, n), row_ptr, col_idx, val)

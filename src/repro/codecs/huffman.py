@@ -1,0 +1,323 @@
+"""Canonical Huffman codec with sampled per-matrix tables.
+
+Paper Section IV-B: "We generate a Huffman tree for each sparse matrix by
+sampling a subset of the 8KB blocks. The number of blocks sampled was varied
+(up to 40% of the total number of blocks) to get good coverage."
+
+Because the table is built from a *sample*, symbols outside the sample must
+still be encodable: frequencies are add-one smoothed over the full 256-byte
+alphabet, so every byte always has a code.
+
+Besides plain encode/decode, :meth:`HuffmanTable.decode_automaton` exports
+the code tree as a stride-bit DFA — the exact artifact the UDP toolchain
+compiles into multi-way-dispatch blocks (see
+:mod:`repro.udp.programs.huffman_prog`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs.base import Codec
+
+ALPHABET = 256
+
+
+def _code_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Huffman code lengths for strictly positive frequencies (package
+    merge is unnecessary: depths here stay well under 64)."""
+    heap: list[tuple[int, int, tuple]] = []
+    for sym in range(ALPHABET):
+        # (freq, tiebreak, leaf-set) — the tiebreak keeps heap ordering total.
+        heap.append((int(freqs[sym]), sym, (sym,)))
+    heapq.heapify(heap)
+    lengths = np.zeros(ALPHABET, dtype=np.uint8)
+    counter = ALPHABET
+    while len(heap) > 1:
+        f1, _, s1 = heapq.heappop(heap)
+        f2, _, s2 = heapq.heappop(heap)
+        merged = s1 + s2
+        for sym in merged:
+            lengths[sym] += 1
+        heapq.heappush(heap, (f1 + f2, counter, merged))
+        counter += 1
+    return lengths
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codes: symbols sorted by (length, value), codes
+    increase sequentially, left-shifted at each length boundary."""
+    order = sorted(range(ALPHABET), key=lambda s: (int(lengths[s]), s))
+    codes = np.zeros(ALPHABET, dtype=np.uint64)
+    code = 0
+    prev_len = 0
+    for sym in order:
+        length = int(lengths[sym])
+        if length == 0:
+            continue
+        code <<= length - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+@dataclass(frozen=True)
+class HuffmanTable:
+    """A canonical Huffman code over the byte alphabet.
+
+    Attributes:
+        lengths: per-symbol code length in bits (uint8[256]).
+        codes: per-symbol canonical code value (uint64[256]).
+    """
+
+    lengths: np.ndarray
+    codes: np.ndarray
+
+    @classmethod
+    def from_frequencies(cls, freqs: Iterable[int]) -> "HuffmanTable":
+        """Build from raw byte counts; add-one smoothing guarantees every
+        symbol is encodable."""
+        f = np.asarray(list(freqs), dtype=np.int64)
+        if f.shape != (ALPHABET,):
+            raise ValueError(f"need {ALPHABET} frequencies, got {f.shape}")
+        if np.any(f < 0):
+            raise ValueError("negative frequency")
+        f = f + 1  # smoothing
+        lengths = _code_lengths(f)
+        return cls(lengths=lengths, codes=_canonical_codes(lengths))
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[bytes]) -> "HuffmanTable":
+        """Build from sampled blobs (the paper's sampled 8 KB blocks)."""
+        counts = np.zeros(ALPHABET, dtype=np.int64)
+        for blob in samples:
+            if blob:
+                counts += np.bincount(
+                    np.frombuffer(blob, dtype=np.uint8), minlength=ALPHABET
+                )
+        return cls.from_frequencies(counts)
+
+    @classmethod
+    def from_lengths(cls, lengths: Iterable[int]) -> "HuffmanTable":
+        """Rebuild from serialized code lengths (canonical codes are implied)."""
+        arr = np.asarray(list(lengths), dtype=np.uint8)
+        if arr.shape != (ALPHABET,):
+            raise ValueError(f"need {ALPHABET} lengths, got {arr.shape}")
+        return cls(lengths=arr, codes=_canonical_codes(arr))
+
+    def serialize(self) -> bytes:
+        """Wire form: one length byte per symbol (256 bytes)."""
+        return self.lengths.astype(np.uint8).tobytes()
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "HuffmanTable":
+        if len(blob) != ALPHABET:
+            raise ValueError(f"table blob must be {ALPHABET} bytes")
+        return cls.from_lengths(np.frombuffer(blob, dtype=np.uint8))
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max())
+
+    def expected_bits_per_byte(self, freqs: np.ndarray) -> float:
+        """Average code length under a byte distribution (for stats)."""
+        f = np.asarray(freqs, dtype=np.float64)
+        total = f.sum()
+        if total == 0:
+            return 0.0
+        return float((f * self.lengths).sum() / total)
+
+    # -- streaming ----------------------------------------------------------
+
+    def encode_bits(self, data: bytes) -> tuple[bytes, int]:
+        """Encode to a MSB-first bitstream.
+
+        Returns:
+            ``(payload, bit_length)`` — payload is zero-padded to a byte.
+        """
+        # Plain-int lookup tables: numpy scalars would infect bitbuf with
+        # fixed-width (wrapping) arithmetic.
+        codes = self.codes.tolist()
+        lengths = self.lengths.tolist()
+        out = bytearray()
+        bitbuf = 0
+        nbits = 0
+        total_bits = 0
+        for b in data:
+            length = lengths[b]
+            bitbuf = (bitbuf << length) | codes[b]
+            nbits += length
+            total_bits += length
+            while nbits >= 8:
+                nbits -= 8
+                out.append((bitbuf >> nbits) & 0xFF)
+            bitbuf &= (1 << nbits) - 1
+        if nbits:
+            out.append((bitbuf << (8 - nbits)) & 0xFF)
+        return bytes(out), total_bits
+
+    def decode_bits(self, payload: bytes, out_len: int) -> bytes:
+        """Decode ``out_len`` symbols from a MSB-first bitstream.
+
+        Uses the canonical first-code/first-index tables (the per-length
+        interval test), i.e. the standard canonical decoder.
+
+        Raises:
+            ValueError: if the stream ends before ``out_len`` symbols.
+        """
+        max_len = self.max_length
+        # Canonical per-length tables.
+        first_code = np.zeros(max_len + 2, dtype=np.int64)
+        count = np.zeros(max_len + 2, dtype=np.int64)
+        for length in range(1, max_len + 1):
+            count[length] = int(np.sum(self.lengths == length))
+        code = 0
+        sym_index = np.zeros(max_len + 2, dtype=np.int64)
+        order = sorted(
+            (s for s in range(ALPHABET) if self.lengths[s] > 0),
+            key=lambda s: (int(self.lengths[s]), s),
+        )
+        symbols = np.array(order, dtype=np.int64)
+        idx = 0
+        for length in range(1, max_len + 1):
+            first_code[length] = code
+            sym_index[length] = idx
+            code = (code + count[length]) << 1
+            idx += count[length]
+
+        out = bytearray()
+        acc = 0
+        acc_len = 0
+        bit_pos = 0
+        nbits_total = len(payload) * 8
+        while len(out) < out_len:
+            if bit_pos >= nbits_total:
+                raise ValueError("bitstream exhausted before out_len symbols")
+            byte = payload[bit_pos >> 3]
+            bit = (byte >> (7 - (bit_pos & 7))) & 1
+            bit_pos += 1
+            acc = (acc << 1) | bit
+            acc_len += 1
+            if acc_len > max_len:
+                raise ValueError("invalid code in bitstream")
+            offset = acc - first_code[acc_len]
+            if 0 <= offset < count[acc_len]:
+                out.append(int(symbols[sym_index[acc_len] + offset]))
+                acc = 0
+                acc_len = 0
+        return bytes(out)
+
+    # -- DFA export (consumed by the UDP program generator) ------------------
+
+    def decode_automaton(self, stride: int = 4) -> "HuffmanDFA":
+        """Compile the code tree into a DFA consuming ``stride`` bits per
+        step. States are trie nodes; each transition emits 0+ symbols."""
+        if not 1 <= stride <= 8:
+            raise ValueError("stride must be in 1..8")
+        # Build the binary trie: node -> (child0, child1) or leaf symbol.
+        children: list[list[int]] = [[-1, -1]]  # node 0 = root
+        leaf_symbol: dict[int, int] = {}
+        for sym in range(ALPHABET):
+            length = int(self.lengths[sym])
+            if length == 0:
+                continue
+            code = int(self.codes[sym])
+            node = 0
+            for i in range(length - 1, -1, -1):
+                bit = (code >> i) & 1
+                if children[node][bit] == -1:
+                    children.append([-1, -1])
+                    children[node][bit] = len(children) - 1
+                node = children[node][bit]
+            leaf_symbol[node] = sym
+        # Walk every (state, chunk) pair.
+        nstates = len(children)
+        table: list[list[tuple[int, tuple[int, ...]]]] = []
+        for state in range(nstates):
+            if state in leaf_symbol:
+                table.append([])  # leaves are never resting states
+                continue
+            row: list[tuple[int, tuple[int, ...]]] = []
+            for chunk in range(1 << stride):
+                node = state
+                emitted: list[int] = []
+                for i in range(stride - 1, -1, -1):
+                    bit = (chunk >> i) & 1
+                    node = children[node][bit]
+                    if node == -1:
+                        # Dead path (padding bits); stay dead.
+                        node = 0
+                        emitted = emitted  # unchanged; treated as no-emit
+                        break
+                    if node in leaf_symbol:
+                        emitted.append(leaf_symbol[node])
+                        node = 0
+                row.append((node, tuple(emitted)))
+            table.append(row)
+        return HuffmanDFA(stride=stride, transitions=table, root=0)
+
+
+@dataclass(frozen=True)
+class HuffmanDFA:
+    """Stride-bit decode DFA.
+
+    ``transitions[state][chunk] = (next_state, emitted_symbols)``; leaf trie
+    nodes have empty rows (decoding always rests on internal nodes).
+    """
+
+    stride: int
+    transitions: list[list[tuple[int, tuple[int, ...]]]]
+    root: int
+
+    @property
+    def nstates(self) -> int:
+        return len(self.transitions)
+
+    def decode(self, payload: bytes, out_len: int) -> bytes:
+        """Reference DFA decode (must agree with
+        :meth:`HuffmanTable.decode_bits`); used to validate the UDP program."""
+        out = bytearray()
+        state = self.root
+        for byte in payload:
+            for shift in range(8 - self.stride, -1, -self.stride):
+                chunk = (byte >> shift) & ((1 << self.stride) - 1)
+                state, emitted = self.transitions[state][chunk]
+                for sym in emitted:
+                    if len(out) < out_len:
+                        out.append(sym)
+                if len(out) >= out_len:
+                    return bytes(out)
+        if len(out) < out_len:
+            raise ValueError("bitstream exhausted before out_len symbols")
+        return bytes(out)
+
+
+class HuffmanCodec(Codec):
+    """Codec wrapper: frames the bitstream as ``uvarint(out_len) ||
+    uvarint(bit_len) || payload`` so it composes in a byte pipeline."""
+
+    name = "huffman"
+
+    def __init__(self, table: HuffmanTable):
+        self.table = table
+
+    def encode(self, data: bytes) -> bytes:
+        from repro.codecs.varint import write_varint
+
+        payload, bit_len = self.table.encode_bits(data)
+        return write_varint(len(data)) + write_varint(bit_len) + payload
+
+    def decode(self, data: bytes) -> bytes:
+        from repro.codecs.varint import read_varint
+
+        out_len, pos = read_varint(data, 0)
+        bit_len, pos = read_varint(data, pos)
+        payload = data[pos:]
+        if len(payload) * 8 < bit_len:
+            raise ValueError("truncated huffman payload")
+        return self.table.decode_bits(payload, out_len)

@@ -1,0 +1,275 @@
+"""Block-oriented Delta → Snappy → Huffman (DSH) compression plans.
+
+This is the representation the heterogeneous system stores in DRAM: for
+every 8 KB CSR block, the column-index stream and the value stream are
+compressed independently (paper Fig. 7 issues separate ``recode`` calls for
+``ccol_idx`` and ``cvalues``). Delta applies to the index stream only
+(Section IV-B delta-encodes "the matrix indices"); Huffman tables are built
+per matrix, per stream, from a deterministic sample of up to 40% of blocks.
+
+The CPU baseline of Fig. 10 — plain Snappy on 32 KB blocks — is the same
+machinery with ``use_delta=False, use_huffman=False, block_bytes=32768``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs.base import Codec
+from repro.codecs.delta import DeltaCodec, delta_decode
+from repro.codecs.huffman import HuffmanCodec, HuffmanTable
+from repro.codecs.snappy import snappy_compress, snappy_decompress
+from repro.sparse.blocked import BlockedCSR, CSRBlock, UDP_BLOCK_BYTES, partition_csr
+from repro.sparse.csr import CSRMatrix
+from repro.util.rng import derive_seed, seeded_rng
+
+#: Per-record wire header: u32 orig_len, u32 snappy_len, u32 bit_len.
+RECORD_HEADER_BYTES = 12
+#: Serialized Huffman table: one length byte per symbol.
+TABLE_BYTES = 256
+
+
+@dataclass(frozen=True)
+class RecodePipeline:
+    """An ordered chain of codecs applied left-to-right on encode."""
+
+    stages: tuple[Codec, ...]
+    name: str
+
+    def encode(self, data: bytes) -> bytes:
+        for stage in self.stages:
+            data = stage.encode(data)
+        return data
+
+    def decode(self, data: bytes) -> bytes:
+        for stage in reversed(self.stages):
+            data = stage.decode(data)
+        return data
+
+
+def make_dsh_pipeline(table: HuffmanTable, use_delta: bool = True) -> RecodePipeline:
+    """Construct a Delta→Snappy→Huffman pipeline with a concrete table."""
+    from repro.codecs.snappy import SnappyCodec
+
+    stages: list[Codec] = []
+    if use_delta:
+        stages.append(DeltaCodec())
+    stages.append(SnappyCodec())
+    stages.append(HuffmanCodec(table))
+    return RecodePipeline(tuple(stages), "delta-snappy-huffman" if use_delta else "snappy-huffman")
+
+
+#: Sentinel names usable in reports.
+DSH_PIPELINE = "delta-snappy-huffman"
+SNAPPY_ONLY = "snappy"
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """One compressed stream of one block.
+
+    ``payload`` is the final stage's bytes. ``snappy_len`` is the length of
+    the intermediate Snappy stream (what Huffman decoding must reproduce);
+    with ``use_huffman=False`` the payload *is* the Snappy stream and
+    ``bit_len`` is 0.
+    """
+
+    orig_len: int
+    snappy_len: int
+    bit_len: int
+    payload: bytes
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes this record occupies in DRAM, header included."""
+        return RECORD_HEADER_BYTES + len(self.payload)
+
+
+@dataclass(frozen=True)
+class MatrixCompression:
+    """A whole-matrix compression plan: per-block records + shared tables."""
+
+    blocked: BlockedCSR
+    index_records: tuple[BlockRecord, ...]
+    value_records: tuple[BlockRecord, ...]
+    index_table: HuffmanTable | None
+    value_table: HuffmanTable | None
+    use_delta: bool
+    use_huffman: bool
+    block_bytes: int
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return self.blocked.nnz
+
+    @property
+    def nblocks(self) -> int:
+        return self.blocked.nblocks
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Total DRAM bytes of the compressed matrix (records + tables)."""
+        total = sum(r.stored_bytes for r in self.index_records)
+        total += sum(r.stored_bytes for r in self.value_records)
+        if self.index_table is not None:
+            total += TABLE_BYTES
+        if self.value_table is not None:
+            total += TABLE_BYTES
+        return total
+
+    @property
+    def uncompressed_bytes(self) -> int:
+        """Baseline CSR payload: 12 bytes per nnz."""
+        return 12 * self.nnz
+
+    @property
+    def bytes_per_nnz(self) -> float:
+        """The paper's headline compression metric."""
+        if self.nnz == 0:
+            return 0.0
+        return self.compressed_bytes / self.nnz
+
+    @property
+    def compression_ratio(self) -> float:
+        """uncompressed / compressed (>1 means the recoding won)."""
+        if self.compressed_bytes == 0:
+            return 1.0
+        return self.uncompressed_bytes / self.compressed_bytes
+
+    # -- decompression --------------------------------------------------------
+
+    def _decode_record(
+        self, record: BlockRecord, table: HuffmanTable | None, is_index: bool
+    ) -> bytes:
+        data = record.payload
+        if self.use_huffman:
+            if table is None:
+                raise ValueError("huffman record without table")
+            data = table.decode_bits(data, record.snappy_len)
+        data = snappy_decompress(data)
+        if len(data) != record.orig_len:
+            raise ValueError(
+                f"decompressed {len(data)} bytes, expected {record.orig_len}"
+            )
+        if is_index and self.use_delta:
+            arr = delta_decode(np.frombuffer(data, dtype="<i4"))
+            data = arr.astype("<i4").tobytes()
+        return data
+
+    def decompress_block(self, i: int) -> CSRBlock:
+        """Reconstruct block *i* (the functional model of the UDP's
+        ``recode(DSH_unpack, ...)`` calls)."""
+        ref = self.blocked.blocks[i]
+        idx_bytes = self._decode_record(self.index_records[i], self.index_table, True)
+        val_bytes = self._decode_record(self.value_records[i], self.value_table, False)
+        col_idx = np.frombuffer(idx_bytes, dtype="<i4")
+        val = np.frombuffer(val_bytes, dtype="<f8")
+        return CSRBlock(
+            row_start=ref.row_start,
+            row_end=ref.row_end,
+            row_ptr=ref.row_ptr,
+            col_idx=col_idx,
+            val=val,
+            nnz_start=ref.nnz_start,
+            leading_partial=ref.leading_partial,
+        )
+
+    def verify(self) -> bool:
+        """Round-trip every block against the stored originals."""
+        for i, ref in enumerate(self.blocked.blocks):
+            got = self.decompress_block(i)
+            if not np.array_equal(got.col_idx, ref.col_idx):
+                return False
+            if not np.array_equal(got.val, ref.val):
+                return False
+        return True
+
+
+def _finish_record(
+    raw_len: int, snapped: bytes, table: HuffmanTable | None, use_huffman: bool
+) -> BlockRecord:
+    if use_huffman:
+        assert table is not None
+        payload, bit_len = table.encode_bits(snapped)
+        return BlockRecord(
+            orig_len=raw_len,
+            snappy_len=len(snapped),
+            bit_len=bit_len,
+            payload=payload,
+        )
+    return BlockRecord(
+        orig_len=raw_len, snappy_len=len(snapped), bit_len=0, payload=snapped
+    )
+
+
+def compress_matrix(
+    matrix: CSRMatrix,
+    block_bytes: int = UDP_BLOCK_BYTES,
+    use_delta: bool = True,
+    use_huffman: bool = True,
+    sample_frac: float = 0.4,
+    seed: int = 0,
+) -> MatrixCompression:
+    """Compress a CSR matrix into a DSH (or Snappy-only) block plan.
+
+    Args:
+        matrix: the input matrix.
+        block_bytes: payload budget per block (8 KB for the UDP, 32 KB for
+            the CPU Snappy baseline).
+        use_delta: delta-transform the index stream before Snappy.
+        use_huffman: add the Huffman stage, with per-stream sampled tables.
+        sample_frac: fraction of blocks sampled to build Huffman tables
+            (paper: "up to 40%").
+        seed: RNG seed for the block sample.
+
+    Returns:
+        A :class:`MatrixCompression` plan.
+    """
+    if not 0.0 < sample_frac <= 1.0:
+        raise ValueError(f"sample_frac must be in (0, 1], got {sample_frac}")
+    blocked = partition_csr(matrix, block_bytes=block_bytes)
+    delta_codec = DeltaCodec()
+
+    idx_streams: list[bytes] = []
+    val_streams: list[bytes] = []
+    for block in blocked.blocks:
+        raw_idx = block.index_bytes()
+        if use_delta:
+            raw_idx = delta_codec.encode(raw_idx)
+        idx_streams.append(raw_idx)
+        val_streams.append(block.value_bytes())
+
+    idx_snapped = [snappy_compress(s) for s in idx_streams]
+    val_snapped = [snappy_compress(s) for s in val_streams]
+
+    index_table = value_table = None
+    if use_huffman and blocked.nblocks:
+        nsample = max(1, int(round(sample_frac * blocked.nblocks)))
+        rng = seeded_rng(derive_seed(seed, "huffman-sample"))
+        picks = rng.choice(blocked.nblocks, size=min(nsample, blocked.nblocks), replace=False)
+        # Tables are built over what Huffman actually sees: Snappy output.
+        index_table = HuffmanTable.from_samples(idx_snapped[i] for i in picks)
+        value_table = HuffmanTable.from_samples(val_snapped[i] for i in picks)
+
+    index_records = tuple(
+        _finish_record(len(raw), snapped, index_table, use_huffman)
+        for raw, snapped in zip(idx_streams, idx_snapped)
+    )
+    value_records = tuple(
+        _finish_record(len(raw), snapped, value_table, use_huffman)
+        for raw, snapped in zip(val_streams, val_snapped)
+    )
+    return MatrixCompression(
+        blocked=blocked,
+        index_records=index_records,
+        value_records=value_records,
+        index_table=index_table,
+        value_table=value_table,
+        use_delta=use_delta,
+        use_huffman=use_huffman,
+        block_bytes=block_bytes,
+    )

@@ -1,0 +1,212 @@
+"""Snappy block-format codec, implemented from scratch.
+
+Binary compatible with the published Snappy format description
+(https://github.com/google/snappy/blob/master/format_description.txt):
+
+* stream preamble: uvarint uncompressed length;
+* elements: a tag byte whose low 2 bits select
+  ``00`` literal, ``01`` copy with 1-byte offset (len 4-11, offset < 2048),
+  ``10`` copy with 2-byte offset (len 1-64), ``11`` copy with 4-byte offset.
+
+The compressor is a greedy hash-chained LZ77 matcher operating on 64 KiB
+input fragments (like the reference implementation), with the reference's
+"skip" heuristic so incompressible data costs little time. Exact emitted
+bytes may differ from C++ Snappy (any spec-conformant element stream is
+valid); the decompressor accepts all conformant streams.
+"""
+
+from __future__ import annotations
+
+from repro.codecs.base import Codec
+from repro.codecs.varint import read_varint, write_varint
+
+#: Reference implementation works in 64 KiB input fragments; back-references
+#: never cross a fragment boundary, so 2-byte offsets always suffice.
+FRAGMENT_SIZE = 65536
+
+_MIN_MATCH = 4
+_MAX_COPY_LEN = 64
+
+
+def _emit_literal(out: bytearray, data: bytes, start: int, end: int) -> None:
+    """Append a literal element for data[start:end]."""
+    length = end - start
+    if length <= 0:
+        return
+    n = length - 1
+    if n < 60:
+        out.append(n << 2)
+    elif n < (1 << 8):
+        out.append(60 << 2)
+        out.append(n)
+    elif n < (1 << 16):
+        out.append(61 << 2)
+        out += n.to_bytes(2, "little")
+    elif n < (1 << 24):
+        out.append(62 << 2)
+        out += n.to_bytes(3, "little")
+    else:
+        out.append(63 << 2)
+        out += n.to_bytes(4, "little")
+    out += data[start:end]
+
+
+def _emit_copy(out: bytearray, offset: int, length: int) -> None:
+    """Append copy elements covering ``length`` bytes at ``offset`` back."""
+    # Long matches are split into <=64-byte copies.
+    while length >= _MAX_COPY_LEN + _MIN_MATCH:
+        _emit_one_copy(out, offset, _MAX_COPY_LEN)
+        length -= _MAX_COPY_LEN
+    if length > _MAX_COPY_LEN:
+        # Leave a >=MIN_MATCH tail so the final copy is well-formed.
+        half = length - _MIN_MATCH
+        _emit_one_copy(out, offset, half)
+        length -= half
+    _emit_one_copy(out, offset, length)
+
+
+def _emit_one_copy(out: bytearray, offset: int, length: int) -> None:
+    if 4 <= length <= 11 and offset < 2048:
+        out.append(1 | ((length - 4) << 2) | ((offset >> 8) << 5))
+        out.append(offset & 0xFF)
+    elif offset < (1 << 16):
+        out.append(2 | ((length - 1) << 2))
+        out += offset.to_bytes(2, "little")
+    else:
+        out.append(3 | ((length - 1) << 2))
+        out += offset.to_bytes(4, "little")
+
+
+def _match_length(data: bytes, a: int, b: int, end: int) -> int:
+    """Length of the common prefix of data[a:] and data[b:], capped at end-b."""
+    n = 0
+    limit = end - b
+    # Chunked comparison: big strides first, then bytes.
+    while n + 32 <= limit and data[a + n : a + n + 32] == data[b + n : b + n + 32]:
+        n += 32
+    while n < limit and data[a + n] == data[b + n]:
+        n += 1
+    return n
+
+
+def _compress_fragment(data: bytes, start: int, end: int, out: bytearray) -> None:
+    """Greedy LZ77 over one fragment; back-references stay inside it."""
+    table: dict[bytes, int] = {}
+    ip = start
+    literal_start = start
+    skip_fails = 0
+    # Last position where a 4-byte key can start.
+    last = end - _MIN_MATCH
+    while ip <= last:
+        key = data[ip : ip + _MIN_MATCH]
+        candidate = table.get(key)
+        table[key] = ip
+        if candidate is not None and data[candidate : candidate + _MIN_MATCH] == key:
+            # Found a match: flush pending literal, then extend.
+            _emit_literal(out, data, literal_start, ip)
+            length = _MIN_MATCH + _match_length(
+                data, candidate + _MIN_MATCH, ip + _MIN_MATCH, end
+            )
+            _emit_copy(out, ip - candidate, length)
+            # Seed the table inside the match so nearby repeats are found.
+            match_end = ip + length
+            seed = ip + 1
+            seed_stop = min(match_end, last + 1)
+            while seed < seed_stop:
+                table[data[seed : seed + _MIN_MATCH]] = seed
+                seed += 7
+            ip = match_end
+            literal_start = ip
+            skip_fails = 0
+        else:
+            # Reference "skip" heuristic: accelerate through incompressible
+            # regions by stepping further after repeated misses.
+            skip_fails += 1
+            ip += 1 + (skip_fails >> 5)
+    _emit_literal(out, data, literal_start, end)
+
+
+def snappy_compress(data: bytes) -> bytes:
+    """Compress ``data`` into a Snappy block-format stream."""
+    data = bytes(data)
+    out = bytearray(write_varint(len(data)))
+    for frag_start in range(0, len(data), FRAGMENT_SIZE):
+        frag_end = min(frag_start + FRAGMENT_SIZE, len(data))
+        _compress_fragment(data, frag_start, frag_end, out)
+    return bytes(out)
+
+
+def snappy_decompress(data: bytes) -> bytes:
+    """Decompress a Snappy block-format stream.
+
+    Raises:
+        ValueError: on malformed streams (truncation, bad offsets, length
+            mismatch against the preamble).
+    """
+    expected, pos = read_varint(data, 0)
+    out = bytearray()
+    n = len(data)
+    while pos < n:
+        tag = data[pos]
+        pos += 1
+        kind = tag & 3
+        if kind == 0:  # literal
+            code = tag >> 2
+            if code < 60:
+                length = code + 1
+            else:
+                extra = code - 59
+                if pos + extra > n:
+                    raise ValueError("truncated literal length")
+                length = int.from_bytes(data[pos : pos + extra], "little") + 1
+                pos += extra
+            if pos + length > n:
+                raise ValueError("truncated literal body")
+            out += data[pos : pos + length]
+            pos += length
+            continue
+        if kind == 1:
+            if pos >= n:
+                raise ValueError("truncated copy-1")
+            length = 4 + ((tag >> 2) & 0x7)
+            offset = ((tag >> 5) << 8) | data[pos]
+            pos += 1
+        elif kind == 2:
+            if pos + 2 > n:
+                raise ValueError("truncated copy-2")
+            length = (tag >> 2) + 1
+            offset = int.from_bytes(data[pos : pos + 2], "little")
+            pos += 2
+        else:
+            if pos + 4 > n:
+                raise ValueError("truncated copy-4")
+            length = (tag >> 2) + 1
+            offset = int.from_bytes(data[pos : pos + 4], "little")
+            pos += 4
+        if offset == 0 or offset > len(out):
+            raise ValueError(f"copy offset {offset} out of range at output {len(out)}")
+        if offset >= length:
+            src = len(out) - offset
+            out += out[src : src + length]
+        else:
+            # Overlapping copy: the run repeats with period `offset`.
+            pattern = out[len(out) - offset :]
+            reps = -(-length // offset)  # ceil
+            out += (pattern * reps)[:length]
+        if len(out) > expected:
+            raise ValueError("output exceeds preamble length")
+    if len(out) != expected:
+        raise ValueError(f"expected {expected} bytes, produced {len(out)}")
+    return bytes(out)
+
+
+class SnappyCodec(Codec):
+    """Codec wrapper around :func:`snappy_compress` / :func:`snappy_decompress`."""
+
+    name = "snappy"
+
+    def encode(self, data: bytes) -> bytes:
+        return snappy_compress(data)
+
+    def decode(self, data: bytes) -> bytes:
+        return snappy_decompress(data)

@@ -1,0 +1,99 @@
+"""Compression-effectiveness statistics (paper Figs. 10 & 11).
+
+The paper's metric is **bytes per non-zero element**, "so the original
+storage format does not matter". Helpers here compute per-matrix stats for
+the three schemes compared in Fig. 10:
+
+* CPU baseline — Snappy on 32 KB blocks (gm 5.20 B/nnz in the paper);
+* UDP Delta-Snappy — 8 KB blocks (gm 5.92 B/nnz);
+* UDP Delta-Snappy-Huffman — 8 KB blocks (gm 5.00 B/nnz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.pipeline import MatrixCompression, compress_matrix
+from repro.sparse.blocked import CPU_BLOCK_BYTES, UDP_BLOCK_BYTES
+from repro.sparse.csr import BYTES_PER_NNZ_CSR, CSRMatrix
+from repro.util.geomean import geomean
+
+
+@dataclass(frozen=True)
+class CompressionComparison:
+    """Per-matrix bytes/nnz under the three Fig. 10 schemes."""
+
+    name: str
+    nnz: int
+    cpu_snappy: float
+    udp_delta_snappy: float
+    udp_dsh: float
+
+    @property
+    def baseline(self) -> float:
+        return float(BYTES_PER_NNZ_CSR)
+
+
+def compare_schemes(matrix: CSRMatrix, name: str = "", seed: int = 0) -> CompressionComparison:
+    """Compress ``matrix`` under all three Fig. 10 schemes."""
+    cpu = compress_matrix(
+        matrix,
+        block_bytes=CPU_BLOCK_BYTES,
+        use_delta=False,
+        use_huffman=False,
+        seed=seed,
+    )
+    ds = compress_matrix(
+        matrix,
+        block_bytes=UDP_BLOCK_BYTES,
+        use_delta=True,
+        use_huffman=False,
+        seed=seed,
+    )
+    dsh = compress_matrix(
+        matrix,
+        block_bytes=UDP_BLOCK_BYTES,
+        use_delta=True,
+        use_huffman=True,
+        seed=seed,
+    )
+    return CompressionComparison(
+        name=name,
+        nnz=matrix.nnz,
+        cpu_snappy=cpu.bytes_per_nnz,
+        udp_delta_snappy=ds.bytes_per_nnz,
+        udp_dsh=dsh.bytes_per_nnz,
+    )
+
+
+@dataclass(frozen=True)
+class SuiteCompressionSummary:
+    """Geometric means over a suite (the Fig. 10 bars)."""
+
+    count: int
+    gm_cpu_snappy: float
+    gm_udp_delta_snappy: float
+    gm_udp_dsh: float
+
+
+def summarize(comparisons: list[CompressionComparison]) -> SuiteCompressionSummary:
+    """Aggregate per-matrix comparisons the way the paper reports Fig. 10."""
+    if not comparisons:
+        raise ValueError("no comparisons to summarize")
+    return SuiteCompressionSummary(
+        count=len(comparisons),
+        gm_cpu_snappy=geomean([c.cpu_snappy for c in comparisons]),
+        gm_udp_delta_snappy=geomean([c.udp_delta_snappy for c in comparisons]),
+        gm_udp_dsh=geomean([c.udp_dsh for c in comparisons]),
+    )
+
+
+def dsh_plan(matrix: CSRMatrix, seed: int = 0) -> MatrixCompression:
+    """Convenience: the paper's production encoding (DSH, 8 KB blocks)."""
+    return compress_matrix(
+        matrix,
+        block_bytes=UDP_BLOCK_BYTES,
+        use_delta=True,
+        use_huffman=True,
+        seed=seed,
+    )

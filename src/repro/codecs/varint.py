@@ -1,0 +1,49 @@
+"""Little-endian base-128 varints (LEB128), as used by the Snappy preamble."""
+
+from __future__ import annotations
+
+MAX_UVARINT32 = (1 << 32) - 1
+
+
+def write_varint(value: int) -> bytes:
+    """Encode a non-negative integer < 2**32 as a Snappy-style uvarint."""
+    if value < 0:
+        raise ValueError(f"varint must be non-negative, got {value}")
+    if value > MAX_UVARINT32:
+        raise ValueError(f"varint out of 32-bit range: {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a uvarint starting at ``offset``.
+
+    Returns:
+        ``(value, next_offset)``.
+
+    Raises:
+        ValueError: on truncated input or a varint exceeding 32 bits.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if result > MAX_UVARINT32:
+                raise ValueError("varint exceeds 32 bits")
+            return result, pos
+        shift += 7
+        if shift > 35:
+            raise ValueError("varint too long")

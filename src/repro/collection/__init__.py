@@ -1,0 +1,35 @@
+"""Synthetic stand-in for the TAMU (SuiteSparse) matrix collection.
+
+The paper evaluates on 369 matrices — the largest 20% of the collection,
+nnz 1.0e6-8.0e8 (median 4.9e6), sparsity 9.4e-7%-19% (median 0.019%),
+mixing "banded, diagonal, and symmetric structure, as well as unstructured
+matrices" (Section IV-B). The collection itself cannot be downloaded in
+this offline environment, so this package generates a suite with the same
+*structural class mix* and the same *distribution shape*, scaled down
+~100x by default (compression in bytes/nnz is scale-free; see DESIGN.md).
+
+Real SuiteSparse ``.mtx`` downloads can be loaded instead via
+:func:`repro.sparse.read_matrix_market`.
+
+* :mod:`~repro.collection.generators` — structural-class generators.
+* :mod:`~repro.collection.suite` — the 369-entry synthetic suite.
+* :mod:`~repro.collection.representative` — the paper's 7 named matrices
+  (copter2, g7jac160, gas_sensor, m3dc1_a30, matrix-new_3, shipsec1,
+  xenon1) as structure-matched synthetic stand-ins with their published
+  metadata.
+"""
+
+from repro.collection import generators
+from repro.collection.metadata import MatrixMeta
+from repro.collection.representative import REPRESENTATIVE_NAMES, representative_suite
+from repro.collection.suite import SuiteConfig, SuiteEntry, build_suite
+
+__all__ = [
+    "generators",
+    "MatrixMeta",
+    "SuiteConfig",
+    "SuiteEntry",
+    "build_suite",
+    "REPRESENTATIVE_NAMES",
+    "representative_suite",
+]

@@ -1,0 +1,261 @@
+"""Structural-class matrix generators.
+
+Each generator produces a :class:`~repro.sparse.csr.CSRMatrix` with the
+index structure of one family found in the TAMU collection. Compressibility
+under Delta-Snappy-Huffman is driven by this structure — banded/diagonal
+matrices delta to near-constant index streams, meshes to short repeating
+motifs, graphs to high-entropy streams — so matching the class mix matches
+the compression distribution.
+
+All generators are deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.util.rng import seeded_rng
+
+
+def _values(rng: np.random.Generator, n: int, style: str) -> np.ndarray:
+    """Draw non-zero values.
+
+    ``stencil``: a handful of exact coefficients (constant-coefficient
+    discretizations) — the value stream all but disappears under Snappy.
+    ``smooth``: a 256-entry palette of doubles (FEM assembly from repeated
+    element shapes / quantized material constants) — partially
+    compressible, the common case in the TAMU collection.
+    ``random``: full-entropy normals — the value stream stays ~8 B.
+    """
+    if style == "stencil":
+        palette = np.array([-4.0, 1.0, 1.0, 1.0, 1.0, -1.0, 2.0, 0.5])
+        return palette[rng.integers(0, len(palette), size=n)]
+    if style == "smooth":
+        palette = rng.normal(size=256)
+        return palette[rng.integers(0, 256, size=n)]
+    if style == "palette32":
+        # FEM assembly from a few element shapes / material constants:
+        # strongly repeated doubles, the paper's best-compressing class.
+        palette = rng.normal(size=32)
+        return palette[rng.integers(0, 32, size=n)]
+    if style == "random":
+        return rng.normal(size=n)
+    raise ValueError(f"unknown value style {style!r}")
+
+
+def banded(
+    n: int,
+    bandwidth: int = 5,
+    fill: float = 1.0,
+    seed: int = 0,
+    value_style: str = "smooth",
+) -> CSRMatrix:
+    """Banded matrix: all entries within ``bandwidth`` of the diagonal,
+    each present with probability ``fill`` (structural engineering /
+    1-D discretizations)."""
+    if n < 1 or bandwidth < 0:
+        raise ValueError("invalid banded parameters")
+    if not 0 < fill <= 1.0:
+        raise ValueError("fill must be in (0, 1]")
+    rng = seeded_rng(seed)
+    rows_list = []
+    cols_list = []
+    for k in range(-bandwidth, bandwidth + 1):
+        length = n - abs(k)
+        if length <= 0:
+            continue
+        keep = rng.random(length) < fill if fill < 1.0 else np.ones(length, bool)
+        r = np.arange(length)[keep] + max(0, -k)
+        rows_list.append(r)
+        cols_list.append(r + k)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    vals = _values(rng, len(rows), value_style)
+    return COOMatrix((n, n), rows, cols, vals).to_csr()
+
+
+def diagonals(
+    n: int,
+    offsets: list[int] | None = None,
+    seed: int = 0,
+    value_style: str = "stencil",
+) -> CSRMatrix:
+    """A few scattered full diagonals (circuit / finite-difference
+    operators with long-range coupling)."""
+    if offsets is None:
+        offsets = [0, 1, -1, 64, -64]
+    rng = seeded_rng(seed)
+    rows_list, cols_list = [], []
+    for k in offsets:
+        length = n - abs(k)
+        if length <= 0:
+            continue
+        r = np.arange(length) + max(0, -k)
+        rows_list.append(r)
+        cols_list.append(r + k)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    vals = _values(rng, len(rows), value_style)
+    return COOMatrix((n, n), rows, cols, vals).to_csr()
+
+
+def mesh2d(
+    nx: int, ny: int | None = None, seed: int = 0, value_style: str = "smooth"
+) -> CSRMatrix:
+    """5-point stencil on an nx x ny grid (2-D PDE discretization).
+
+    ``value_style="exact"`` gives the constant-coefficient Laplacian
+    (diagonal 4, neighbors -1); the default draws variable coefficients,
+    matching typical TAMU entries.
+    """
+    ny = ny if ny is not None else nx
+    if nx < 1 or ny < 1:
+        raise ValueError("grid dims must be positive")
+    rng = seeded_rng(seed)
+    n = nx * ny
+    idx = np.arange(n)
+    ix = idx % nx
+    iy = idx // nx
+    rows = [idx]
+    cols = [idx]
+    vals = [np.full(n, 4.0) if value_style == "exact" else 4.0 + _values(rng, n, value_style)]
+    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        jx, jy = ix + dx, iy + dy
+        ok = (0 <= jx) & (jx < nx) & (0 <= jy) & (jy < ny)
+        k = int(ok.sum())
+        rows.append(idx[ok])
+        cols.append((jy * nx + jx)[ok])
+        vals.append(np.full(k, -1.0) if value_style == "exact" else -1.0 + 0.1 * _values(rng, k, value_style))
+    return COOMatrix(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    ).to_csr()
+
+
+def mesh3d(
+    nx: int,
+    ny: int | None = None,
+    nz: int | None = None,
+    seed: int = 0,
+    value_style: str = "smooth",
+) -> CSRMatrix:
+    """7-point stencil on an nx x ny x nz grid (3-D PDE / FEM class).
+
+    ``value_style="exact"`` gives the constant-coefficient Laplacian.
+    """
+    ny = ny if ny is not None else nx
+    nz = nz if nz is not None else nx
+    if min(nx, ny, nz) < 1:
+        raise ValueError("grid dims must be positive")
+    rng = seeded_rng(seed)
+    n = nx * ny * nz
+    idx = np.arange(n)
+    ix = idx % nx
+    iy = (idx // nx) % ny
+    iz = idx // (nx * ny)
+    rows = [idx]
+    cols = [idx]
+    vals = [np.full(n, 6.0) if value_style == "exact" else 6.0 + _values(rng, n, value_style)]
+    for dx, dy, dz in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)):
+        jx, jy, jz = ix + dx, iy + dy, iz + dz
+        ok = (
+            (0 <= jx) & (jx < nx) & (0 <= jy) & (jy < ny) & (0 <= jz) & (jz < nz)
+        )
+        k = int(ok.sum())
+        rows.append(idx[ok])
+        cols.append((jz * nx * ny + jy * nx + jx)[ok])
+        vals.append(np.full(k, -1.0) if value_style == "exact" else -1.0 + 0.1 * _values(rng, k, value_style))
+    return COOMatrix(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    ).to_csr()
+
+
+def unstructured(n: int, density: float, seed: int = 0, value_style: str = "random") -> CSRMatrix:
+    """Uniformly random pattern (worst case for delta; optimization /
+    statistics class)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    rng = seeded_rng(seed)
+    nnz = max(1, int(round(density * n * n)))
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, n, size=nnz)
+    vals = _values(rng, nnz, value_style)
+    return COOMatrix((n, n), rows, cols, vals).to_csr()
+
+
+def powerlaw_graph(n: int, attach: int = 4, seed: int = 0) -> CSRMatrix:
+    """Scale-free graph adjacency (web/social-network class), preferential
+    attachment. Values are 1.0 (unweighted edges), highly compressible in
+    the value stream but irregular in the index stream."""
+    if n < 2 or attach < 1:
+        raise ValueError("need n >= 2, attach >= 1")
+    rng = seeded_rng(seed)
+    # Barabasi-Albert with the repeated-nodes trick: O(edges).
+    targets = list(range(min(attach, n)))
+    repeated: list[int] = list(targets)
+    edges: list[tuple[int, int]] = []
+    for v in range(len(targets), n):
+        picks = rng.choice(len(repeated), size=min(attach, len(repeated)), replace=False)
+        chosen = {repeated[p] for p in picks}
+        for u in chosen:
+            edges.append((v, u))
+            repeated.append(u)
+            repeated.append(v)
+    if not edges:
+        edges = [(1, 0)]
+    arr = np.array(edges, dtype=np.int64)
+    rows = np.concatenate([arr[:, 0], arr[:, 1]])
+    cols = np.concatenate([arr[:, 1], arr[:, 0]])
+    vals = np.ones(len(rows))
+    return COOMatrix((n, n), rows, cols, vals).to_csr()
+
+
+def symmetric_blocks(
+    nblocks: int, block_size: int, density: float = 0.5, seed: int = 0
+) -> CSRMatrix:
+    """Block-diagonal with dense-ish symmetric blocks (chemistry / model
+    reduction class). Index streams repeat block-locally."""
+    if nblocks < 1 or block_size < 1:
+        raise ValueError("invalid block parameters")
+    if not 0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    rng = seeded_rng(seed)
+    n = nblocks * block_size
+    rows_list, cols_list, vals_list = [], [], []
+    for b in range(nblocks):
+        base = b * block_size
+        mask = rng.random((block_size, block_size)) < density
+        mask = np.triu(mask)
+        r, c = np.nonzero(mask | mask.T)
+        v = _values(rng, len(r), "smooth")
+        rows_list.append(r + base)
+        cols_list.append(c + base)
+        vals_list.append(v)
+    return COOMatrix(
+        (n, n),
+        np.concatenate(rows_list),
+        np.concatenate(cols_list),
+        np.concatenate(vals_list),
+    ).to_csr()
+
+
+def fem_stencil(
+    n: int,
+    row_degree: int = 27,
+    jitter: int = 40,
+    seed: int = 0,
+    value_style: str = "smooth",
+) -> CSRMatrix:
+    """FEM-like rows: each row couples to ~row_degree neighbors clustered
+    around the diagonal with bounded jitter (shipsec1/copter2 class)."""
+    if n < 1 or row_degree < 1 or jitter < 0:
+        raise ValueError("invalid fem parameters")
+    rng = seeded_rng(seed)
+    rows = np.repeat(np.arange(n), row_degree)
+    offs = rng.integers(-jitter, jitter + 1, size=n * row_degree)
+    cols = np.clip(rows + offs, 0, n - 1)
+    vals = _values(rng, len(rows), value_style)
+    return COOMatrix((n, n), rows, cols, vals).to_csr()

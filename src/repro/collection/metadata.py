@@ -1,0 +1,28 @@
+"""Matrix metadata records (mirroring SuiteSparse's descriptive fields)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MatrixMeta:
+    """Descriptive metadata for a collection entry.
+
+    For the 7 representative matrices, ``true_rows``/``true_nnz`` record the
+    published SuiteSparse statistics; the synthetic stand-in is scaled down
+    but structure-matched (see :mod:`repro.collection.representative`).
+    """
+
+    name: str
+    kind: str
+    domain: str
+    true_rows: int
+    true_cols: int
+    true_nnz: int
+    symmetric: bool = False
+
+    @property
+    def true_density(self) -> float:
+        total = self.true_rows * self.true_cols
+        return self.true_nnz / total if total else 0.0

@@ -1,0 +1,108 @@
+"""Accelerator attachment-point model: on-die UDP vs PCIe-attached devices.
+
+Paper Section III-C: the UDP's DMA engine "acts as a traditional L2 agent
+... This is very different from the memory integration in GPUs and
+PCIe-attached FPGA accelerators, which maintains separate address space and
+suffers from expensive off-chip data copy across address space." Section
+VI-D cites Microsoft Xpress FPGA and Intel QuickAssist at "2-5 GB/s
+compression throughput per device".
+
+This module prices a decompression round-trip through each attachment
+point, so the argument becomes a number:
+
+* **on-die** — compressed blocks stream DRAM -> UDP over the on-die fabric
+  (already inside the memory traffic we account), decompressed output goes
+  straight to the CPU's cache hierarchy.
+* **PCIe** — compressed data crosses the PCIe link to the device, the
+  device decodes at its fixed rate, and the (larger!) decompressed output
+  crosses back, all of it also touching DRAM on each side of the copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.pipeline import MatrixCompression
+from repro.memsys.dram import MemorySystem
+
+#: PCIe Gen3 x8 effective payload bandwidth (typical for the cited devices).
+PCIE_GEN3_X8_BW = 7.0e9
+#: Device-side decompression rate band from the paper's §VI-D (2-5 GB/s).
+XPRESS_LIKE_DEVICE_RATE = 4.0e9
+#: Per-transfer descriptor/doorbell latency for a PCIe DMA.
+PCIE_TRANSFER_LATENCY_S = 5e-6
+#: Blocks are batched into large DMA transfers (drivers do); batch size.
+PCIE_BATCH_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class AttachReport:
+    """Decompression round-trip under one attachment point."""
+
+    name: str
+    seconds: float
+    effective_output_rate: float
+    dram_bytes: int
+
+    def speedup_over(self, other: "AttachReport") -> float:
+        if self.seconds == 0:
+            return float("inf")
+        return other.seconds / self.seconds
+
+
+def on_die_udp(
+    plan: MatrixCompression,
+    memory: MemorySystem,
+    udp_output_throughput: float,
+) -> AttachReport:
+    """On-die UDP: stream compressed from DRAM, decode at the UDP rate,
+    hand decompressed blocks to the CPU on-die (no DRAM round trip)."""
+    if udp_output_throughput <= 0:
+        raise ValueError("udp_output_throughput must be positive")
+    comp = plan.compressed_bytes
+    out = plan.uncompressed_bytes
+    stream_s = memory.transfer_seconds(comp)
+    decode_s = out / udp_output_throughput
+    # Streaming pipelines with decode; the slower stage dominates.
+    seconds = max(stream_s, decode_s)
+    return AttachReport(
+        name="on-die UDP",
+        seconds=seconds,
+        effective_output_rate=out / seconds if seconds else 0.0,
+        dram_bytes=comp,
+    )
+
+
+def pcie_attached(
+    plan: MatrixCompression,
+    memory: MemorySystem,
+    device_rate: float = XPRESS_LIKE_DEVICE_RATE,
+    link_bw: float = PCIE_GEN3_X8_BW,
+    transfer_latency_s: float = PCIE_TRANSFER_LATENCY_S,
+) -> AttachReport:
+    """PCIe-attached compression device (Xpress/QuickAssist class).
+
+    Separate address space: compressed input is read from DRAM and pushed
+    over the link; decompressed output comes back over the link and is
+    written to DRAM, then read again by the CPU for the actual compute.
+    """
+    if device_rate <= 0 or link_bw <= 0:
+        raise ValueError("rates must be positive")
+    comp = plan.compressed_bytes
+    out = plan.uncompressed_bytes
+    # Link: compressed out, decompressed back — the return leg dominates.
+    link_s = comp / link_bw + out / link_bw
+    decode_s = out / device_rate
+    # DRAM: read compressed, write decompressed, read it again for compute.
+    dram_bytes = comp + 2 * out
+    dram_s = memory.transfer_seconds(dram_bytes)
+    # Descriptor latency per batched DMA transfer, each direction.
+    nbatches = max(1, -(-comp // PCIE_BATCH_BYTES)) + max(1, -(-out // PCIE_BATCH_BYTES))
+    latency_s = transfer_latency_s * nbatches
+    seconds = max(link_s, decode_s, dram_s) + latency_s
+    return AttachReport(
+        name="PCIe device",
+        seconds=seconds,
+        effective_output_rate=out / seconds if seconds else 0.0,
+        dram_bytes=dram_bytes,
+    )

@@ -1,0 +1,160 @@
+"""The heterogeneous CPU-UDP system: the three Fig. 14/15 scenarios.
+
+Per matrix, on a given memory system (DDR4 100 GB/s or HBM2 1 TB/s):
+
+* **Max Uncompressed** — CPU-only SpMV on 12 B/nnz CSR at peak bandwidth.
+* **Decomp(UDP+CPU)** — the matrix streams compressed; UDP accelerators
+  decompress at line rate (the architecture instantiates as many 64-lane
+  UDPs as the stream requires — each is ~0.13% of a modern chip), and the
+  CPU multiplies uncompressed blocks. Delivered uncompressed-equivalent
+  bandwidth is peak_bw x (12 / bytes_per_nnz), so speedup over the baseline
+  is exactly the compression ratio — the paper's geometric-mean 2.4x.
+* **Decomp(CPU)+SpMV** — the CPU itself must undo the encoding before
+  multiplying. Decompression throughput comes from the branch-predictor
+  pipeline model; decompression and the (memory-bound) multiply pipeline
+  serially, so the rates combine harmonically. This is the ">30x slower"
+  bar that makes CPU-side recoding infeasible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.codecs.pipeline import MatrixCompression
+from repro.core.roofline import max_uncompressed_gflops
+from repro.cpu.recoder import CPURecodeReport
+from repro.memsys.dram import MemorySystem
+from repro.sparse.csr import BYTES_PER_NNZ_CSR
+from repro.sparse.spmv import FLOPS_PER_NNZ
+from repro.udp.machine import UDP_POWER_W
+from repro.udp.runtime import UDPDecodeReport
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """SpMV performance under one scenario.
+
+    Attributes:
+        name: scenario label (matches the paper's legend).
+        gflops: achieved SpMV rate.
+        delivered_uncompressed_rate: uncompressed-equivalent bytes/s of A
+            reaching the multiplier.
+        n_udp: number of 64-lane UDP accelerators instantiated (0 if none).
+        udp_power_w: total UDP power (W).
+    """
+
+    name: str
+    gflops: float
+    delivered_uncompressed_rate: float
+    n_udp: int = 0
+    udp_power_w: float = 0.0
+
+
+@dataclass(frozen=True)
+class SpMVComparison:
+    """All three scenarios for one matrix on one memory system."""
+
+    matrix_name: str
+    memory: MemorySystem
+    bytes_per_nnz: float
+    uncompressed: ScenarioResult
+    udp_cpu: ScenarioResult
+    cpu_decomp: ScenarioResult
+
+    @property
+    def udp_speedup(self) -> float:
+        """Decomp(UDP+CPU) over Max Uncompressed — the headline 2.4x."""
+        return self.udp_cpu.gflops / self.uncompressed.gflops
+
+    @property
+    def cpu_slowdown(self) -> float:
+        """Max Uncompressed over Decomp(CPU) — the >30x infeasibility gap."""
+        if self.cpu_decomp.gflops == 0:
+            return math.inf
+        return self.uncompressed.gflops / self.cpu_decomp.gflops
+
+
+class HeterogeneousSystem:
+    """A memory system + CPU + (as many as needed) UDP accelerators."""
+
+    def __init__(self, memory: MemorySystem, utilization: float = 1.0):
+        if not 0 < utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        self.memory = memory
+        self.utilization = utilization
+
+    # -- scenarios ------------------------------------------------------------
+
+    def spmv_uncompressed(self, nnz: int) -> ScenarioResult:
+        """Max Uncompressed: the Fig. 3 flat line."""
+        rate = self.memory.peak_bw * self.utilization
+        return ScenarioResult(
+            name="Max Uncompressed",
+            gflops=max_uncompressed_gflops(self.memory, self.utilization),
+            delivered_uncompressed_rate=rate,
+        )
+
+    def spmv_udp(self, plan: MatrixCompression, udp_report: UDPDecodeReport) -> ScenarioResult:
+        """Decomp(UDP+CPU): compressed stream at line rate, UDPs sized to
+        keep up with the decompressed output rate."""
+        ratio = self._expansion_ratio(plan)
+        compressed_rate = self.memory.peak_bw * self.utilization
+        delivered = compressed_rate * ratio
+        per_udp = udp_report.throughput_bytes_per_s
+        if per_udp <= 0:
+            raise ValueError("UDP report shows zero throughput")
+        n_udp = max(1, math.ceil(delivered / per_udp))
+        gflops = (
+            FLOPS_PER_NNZ * delivered / BYTES_PER_NNZ_CSR / 1e9
+        )
+        return ScenarioResult(
+            name="Decomp(UDP+CPU)",
+            gflops=gflops,
+            delivered_uncompressed_rate=delivered,
+            n_udp=n_udp,
+            udp_power_w=n_udp * UDP_POWER_W,
+        )
+
+    def spmv_cpu_decomp(
+        self, plan: MatrixCompression, cpu_report: CPURecodeReport
+    ) -> ScenarioResult:
+        """Decomp(CPU)+SpMV: the CPU's decompression rate pipelines
+        serially with the memory-bound multiply (harmonic combination)."""
+        ratio = self._expansion_ratio(plan)
+        mem_limited = self.memory.peak_bw * self.utilization * ratio
+        cpu_rate = cpu_report.throughput_bytes_per_s
+        if cpu_rate <= 0:
+            delivered = 0.0
+        else:
+            delivered = 1.0 / (1.0 / cpu_rate + 1.0 / mem_limited)
+        gflops = FLOPS_PER_NNZ * delivered / BYTES_PER_NNZ_CSR / 1e9
+        return ScenarioResult(
+            name="Decomp(CPU)+SpMV",
+            gflops=gflops,
+            delivered_uncompressed_rate=delivered,
+        )
+
+    def compare(
+        self,
+        matrix_name: str,
+        plan: MatrixCompression,
+        udp_report: UDPDecodeReport,
+        cpu_report: CPURecodeReport,
+    ) -> SpMVComparison:
+        """All three Fig. 14/15 bars for one matrix."""
+        return SpMVComparison(
+            matrix_name=matrix_name,
+            memory=self.memory,
+            bytes_per_nnz=plan.bytes_per_nnz,
+            uncompressed=self.spmv_uncompressed(plan.nnz),
+            udp_cpu=self.spmv_udp(plan, udp_report),
+            cpu_decomp=self.spmv_cpu_decomp(plan, cpu_report),
+        )
+
+    @staticmethod
+    def _expansion_ratio(plan: MatrixCompression) -> float:
+        """Uncompressed bytes per compressed byte (= 12 / bytes_per_nnz)."""
+        if plan.compressed_bytes <= 0:
+            raise ValueError("plan has no compressed payload")
+        return plan.uncompressed_bytes / plan.compressed_bytes

@@ -1,0 +1,102 @@
+"""Iso-performance memory power savings (paper Figs. 16-17).
+
+"Another way to exploit the new capabilities of the heterogeneous
+architecture is to maintain performance, but reduce the memory system
+power." Holding the delivered (uncompressed-equivalent) bandwidth fixed at
+B, the DRAM only needs to stream ``B x bytes_per_nnz / 12``; the raw power
+saving is the difference, and the net saving subtracts the power of the
+UDPs required to decode at rate B ("sufficient number of UDP's to meet the
+desired memory rate").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.codecs.pipeline import MatrixCompression
+from repro.memsys.dram import MemorySystem
+from repro.udp.machine import UDP_POWER_W
+
+
+@dataclass(frozen=True)
+class PowerScenario:
+    """Fig. 16/17 row for one matrix on one memory system.
+
+    Attributes:
+        matrix_name: label.
+        memory: the memory system.
+        bytes_per_nnz: compressed size metric.
+        baseline_power_w: memory power at full uncompressed rate (80 W DDR4,
+            64 W HBM2).
+        compressed_power_w: memory power streaming the compressed form.
+        raw_saving_w: baseline - compressed.
+        n_udp: UDP accelerators needed to decode at the delivered rate.
+        udp_power_w: their total power.
+    """
+
+    matrix_name: str
+    memory: MemorySystem
+    bytes_per_nnz: float
+    baseline_power_w: float
+    compressed_power_w: float
+    raw_saving_w: float
+    n_udp: int
+    udp_power_w: float
+
+    @property
+    def net_saving_w(self) -> float:
+        """Raw memory saving minus UDP power — the paper's "net power
+        benefit" bars."""
+        return self.raw_saving_w - self.udp_power_w
+
+    @property
+    def saving_fraction(self) -> float:
+        """Net saving over baseline (paper headline: 63% DDR4, 51% HBM2)."""
+        if self.baseline_power_w == 0:
+            return 0.0
+        return self.net_saving_w / self.baseline_power_w
+
+
+def iso_performance_power(
+    matrix_name: str,
+    plan: MatrixCompression,
+    memory: MemorySystem,
+    udp_output_throughput: float,
+    delivered_rate: float | None = None,
+) -> PowerScenario:
+    """Compute the iso-performance power scenario for one matrix.
+
+    Args:
+        matrix_name: label for the report row.
+        plan: the compressed matrix (supplies bytes/nnz).
+        memory: DDR4 or HBM2 model.
+        udp_output_throughput: decompressed-output rate of one 64-lane UDP
+            (from :func:`repro.udp.runtime.simulate_plan`), bytes/s.
+        delivered_rate: the uncompressed-equivalent bandwidth to hold
+            constant; defaults to the memory system's peak (same SpMV
+            performance as the uncompressed baseline).
+
+    Raises:
+        ValueError: on non-positive throughput or an empty plan.
+    """
+    if udp_output_throughput <= 0:
+        raise ValueError("udp_output_throughput must be positive")
+    if plan.nnz == 0:
+        raise ValueError("plan has no payload")
+    base_rate = delivered_rate if delivered_rate is not None else memory.peak_bw
+    ratio = plan.bytes_per_nnz / 12.0
+    compressed_rate = base_rate * ratio
+    baseline_power = memory.power_at_rate(base_rate)
+    compressed_power = memory.power_at_rate(compressed_rate)
+    n_udp = max(1, math.ceil(base_rate / udp_output_throughput))
+    return PowerScenario(
+        matrix_name=matrix_name,
+        memory=memory,
+        bytes_per_nnz=plan.bytes_per_nnz,
+        baseline_power_w=baseline_power,
+        compressed_power_w=compressed_power,
+        raw_saving_w=baseline_power - compressed_power,
+        n_udp=n_udp,
+        udp_power_w=n_udp * UDP_POWER_W,
+    )

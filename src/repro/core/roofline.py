@@ -1,0 +1,49 @@
+"""Memory-bound SpMV roofline (paper Fig. 3).
+
+"The state-of-art SpMV algorithms and libraries for a many-core
+architecture can easily saturate all the DDR4 channels on a single die.
+Thus, CPU SpMV performance is bounded by maximum memory bandwidth."
+
+With 2 flops and ``bytes_per_nnz`` bytes of A-traffic per stored non-zero
+(x and y reuse is absorbed into utilization), performance is simply
+``2 x delivered_bandwidth / bytes_per_nnz``.
+"""
+
+from __future__ import annotations
+
+from repro.memsys.dram import MemorySystem
+from repro.sparse.csr import BYTES_PER_NNZ_CSR
+from repro.sparse.spmv import FLOPS_PER_NNZ
+
+
+def spmv_time_seconds(
+    traffic_bytes: float, memory: MemorySystem, utilization: float = 1.0
+) -> float:
+    """Time to stream the matrix payload once."""
+    return memory.transfer_seconds(traffic_bytes, utilization=utilization)
+
+
+def spmv_gflops(
+    nnz: int, traffic_bytes: float, memory: MemorySystem, utilization: float = 1.0
+) -> float:
+    """Achieved GFLOP/s for one SpMV whose A-traffic is ``traffic_bytes``."""
+    if nnz < 0 or traffic_bytes < 0:
+        raise ValueError("nnz and traffic must be non-negative")
+    if traffic_bytes == 0:
+        return 0.0
+    t = spmv_time_seconds(traffic_bytes, memory, utilization)
+    return FLOPS_PER_NNZ * nnz / t / 1e9
+
+
+def max_uncompressed_gflops(memory: MemorySystem, utilization: float = 1.0) -> float:
+    """The flat Fig. 3 line: peak SpMV on uncompressed 12 B/nnz CSR.
+
+    100 GB/s DDR4 -> 16.7 GFLOP/s; 1 TB/s HBM2 -> 166.7 GFLOP/s.
+    """
+    return (
+        FLOPS_PER_NNZ
+        * memory.peak_bw
+        * utilization
+        / BYTES_PER_NNZ_CSR
+        / 1e9
+    )

@@ -1,0 +1,164 @@
+"""Whole-matrix decompression on the CPU (the paper's baseline & foil).
+
+Runs the same decode chains as :mod:`repro.udp.runtime`, collects the lane
+traces, and prices them with :class:`~repro.cpu.pipeline.CPUPipelineModel`.
+Blocks are decoded in parallel across ``spec.threads`` (Fig. 12's 32-thread
+CPU), scheduled exactly like UDP lane tasks.
+
+Used two ways:
+
+* **Snappy-only plan, 32 KB blocks** — the Fig. 10/12 CPU baseline;
+* **DSH plan, 8 KB blocks** — Fig. 14/15's ``Decomp(CPU)`` bar: what
+  happens if the CPU itself must undo the UDP's aggressive encoding
+  (answer: >30x slower, the optimization becomes infeasible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs.pipeline import MatrixCompression
+from repro.cpu.pipeline import CPUPipelineModel, ReplayResult
+from repro.cpu.specs import CPUSpec, RIVER_FE
+from repro.udp.machine import LaneTask, Schedule, UDPMachine
+from repro.udp.runtime import INDEX, VALUE, DecoderToolchain
+from repro.util.rng import derive_seed, seeded_rng
+
+
+@dataclass(frozen=True)
+class CPUChainCost:
+    """CPU cost of decoding one record (all stages)."""
+
+    block_index: int
+    stream: str
+    cycles: int
+    flush_cycles: int
+    output_bytes: int
+
+
+@dataclass(frozen=True)
+class CPURecodeReport:
+    """Aggregate CPU decompression simulation for one matrix plan."""
+
+    spec: CPUSpec
+    matrix_blocks: int
+    simulated: tuple[CPUChainCost, ...]
+    tasks: tuple[LaneTask, ...]
+    schedule: Schedule
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Sustained decompressed-output rate across all threads
+        (steady-state, matching the UDP report's convention)."""
+        return self.schedule.steady_state_throughput_bytes_per_s
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Flush cycles / total cycles over the simulated sample."""
+        total = sum(c.cycles for c in self.simulated)
+        if not total:
+            return 0.0
+        return sum(c.flush_cycles for c in self.simulated) / total
+
+    @property
+    def seconds(self) -> float:
+        return self.schedule.seconds
+
+
+class CPURecoder:
+    """Prices whole-plan decompression on a CPU spec."""
+
+    def __init__(self, spec: CPUSpec = RIVER_FE):
+        self.spec = spec
+        self.model = CPUPipelineModel(spec)
+
+    def _chain_cost(
+        self, toolchain: DecoderToolchain, block_index: int, stream: str
+    ) -> CPUChainCost:
+        chain = toolchain.run_chain(block_index, stream, collect_trace=True)
+        if not chain.verified:
+            raise ValueError(
+                f"chain failed verification: block {block_index} {stream}"
+            )
+        assert chain.traces is not None
+        cycles = 0
+        flush = 0
+        for trace in chain.traces.values():
+            result: ReplayResult = self.model.replay(trace)
+            cycles += result.cycles
+            flush += result.flush_cycles
+        return CPUChainCost(
+            block_index=block_index,
+            stream=stream,
+            cycles=cycles,
+            flush_cycles=flush,
+            output_bytes=len(chain.output),
+        )
+
+    def simulate_plan(
+        self,
+        plan: MatrixCompression,
+        sample: int | None = None,
+        seed: int = 0,
+    ) -> CPURecodeReport:
+        """Simulate CPU decompression of an entire plan.
+
+        Mirrors :func:`repro.udp.runtime.simulate_plan`: a deterministic
+        block sample is priced exactly; the rest are extrapolated at the
+        sampled cycles-per-output-byte, then all tasks are list-scheduled
+        over ``spec.threads``.
+        """
+        threads = UDPMachine(nlanes=self.spec.threads, clock_hz=self.spec.clock_hz)
+        nblocks = plan.nblocks
+        if nblocks == 0:
+            return CPURecodeReport(
+                spec=self.spec,
+                matrix_blocks=0,
+                simulated=(),
+                tasks=(),
+                schedule=threads.schedule([]),
+            )
+        toolchain = DecoderToolchain(plan)
+
+        if sample is None or sample >= nblocks:
+            picked = np.arange(nblocks)
+        else:
+            rng = seeded_rng(derive_seed(seed, "cpu-sample"))
+            picked = np.sort(rng.choice(nblocks, size=max(1, sample), replace=False))
+        picked_set = {int(i) for i in picked}
+
+        simulated: list[CPUChainCost] = []
+        by_stream: dict[str, list[CPUChainCost]] = {INDEX: [], VALUE: []}
+        for i in picked:
+            for stream in (INDEX, VALUE):
+                cost = self._chain_cost(toolchain, int(i), stream)
+                simulated.append(cost)
+                by_stream[stream].append(cost)
+
+        cpb = {
+            stream: sum(c.cycles for c in costs)
+            / max(1, sum(c.output_bytes for c in costs))
+            for stream, costs in by_stream.items()
+        }
+        lookup = {(c.block_index, c.stream): c for c in simulated}
+
+        tasks: list[LaneTask] = []
+        for i in range(nblocks):
+            block = plan.blocked.blocks[i]
+            for stream, nbytes in ((INDEX, 4 * block.nnz), (VALUE, 8 * block.nnz)):
+                if i in picked_set:
+                    cycles = lookup[(i, stream)].cycles
+                else:
+                    cycles = int(round(cpb[stream] * nbytes))
+                tasks.append(
+                    LaneTask(name=f"b{i}/{stream}", cycles=cycles, output_bytes=nbytes)
+                )
+        return CPURecodeReport(
+            spec=self.spec,
+            matrix_blocks=nblocks,
+            simulated=tuple(simulated),
+            tasks=tuple(tasks),
+            schedule=threads.schedule(tasks),
+        )

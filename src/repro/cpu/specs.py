@@ -1,0 +1,62 @@
+"""Reference CPU: the paper's evaluation machine "river-fe".
+
+Section IV-A: two Intel Xeon E5-2670 v3 processors, 12 cores each at
+2.30 GHz, 30 MB LLC; the decompression comparison of Fig. 12 uses a
+32-thread CPU configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Pipeline-level parameters of the modeled CPU.
+
+    Attributes:
+        name: label for reports.
+        clock_hz: core clock.
+        threads: worker threads used for block-parallel decompression.
+        issue_width: micro-ops issued per cycle.
+        mispredict_penalty: pipeline-flush cost in cycles (Haswell ~15-20).
+        loop_carry_latency: minimum cycles per decode step even when
+            perfectly predicted. Decoders are loop-carried serial chains —
+            the next element's position depends on finishing this one — so
+            each step pays at least a load-to-use + ALU latency (classic
+            interpreter-dispatch cost, ~5-8 cycles on deep OoO cores). The
+            UDP's whole design point is that its short pipeline retires one
+            such step per cycle.
+        copy_bytes_per_cycle: sustained bulk-copy rate (wide SIMD moves).
+        power_w: package power at full recoding load (paper: "perhaps 100W").
+    """
+
+    name: str
+    clock_hz: float
+    threads: int
+    issue_width: int
+    mispredict_penalty: int
+    loop_carry_latency: int
+    copy_bytes_per_cycle: int
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.threads < 1 or self.issue_width < 1:
+            raise ValueError("invalid CPU spec")
+        if self.mispredict_penalty < 0 or self.copy_bytes_per_cycle < 1:
+            raise ValueError("invalid CPU spec")
+        if self.loop_carry_latency < 1:
+            raise ValueError("invalid CPU spec")
+
+
+#: The paper's evaluation host (Haswell-EP), 32 decompression threads.
+RIVER_FE = CPUSpec(
+    name="river-fe (2x Xeon E5-2670 v3)",
+    clock_hz=2.3e9,
+    threads=32,
+    issue_width=4,
+    mispredict_penalty=15,
+    loop_carry_latency=6,
+    copy_bytes_per_cycle=16,
+    power_w=100.0,
+)

@@ -1,0 +1,19 @@
+"""Per-figure reproduction harness.
+
+Each ``figNN`` module regenerates one figure of the paper's evaluation
+(Section V) and returns an :class:`~repro.experiments.common.ExperimentResult`
+holding the same rows/series the paper plots, the measured headline
+numbers, and the paper's reported values for side-by-side comparison.
+
+Run everything with::
+
+    python -m repro.experiments.runner --all
+
+which also rewrites ``EXPERIMENTS.md``. Individual experiments::
+
+    python -m repro.experiments.runner --exp fig10 fig12
+"""
+
+from repro.experiments.common import ExperimentContext, ExperimentResult, MatrixLab
+
+__all__ = ["ExperimentContext", "ExperimentResult", "MatrixLab"]

@@ -1,0 +1,412 @@
+"""Ablations — design choices the paper fixes, swept.
+
+Not paper figures; these quantify the choices DESIGN.md calls out and the
+future-work items Section VII lists:
+
+* ``abl_stages``   — which pipeline stage buys what (delta x huffman grid).
+* ``abl_blocksize``— the 8 KB block budget vs compression and decode latency.
+* ``abl_stride``   — Huffman dispatch stride (bits/dispatch) vs cycles and
+  program footprint.
+* ``abl_rle``      — the custom RLE index codec vs DSH on structured
+  matrices ("novel and customized encodings on top of CSR").
+* ``abl_spmm``     — recoding benefit vs right-hand-side count for SpMM
+  ("other sparse matrix computation").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs.delta import DeltaCodec
+from repro.codecs.pipeline import compress_matrix
+from repro.codecs.rle import RLECodec
+from repro.codecs.snappy import snappy_compress
+from repro.experiments.common import ExperimentContext, ExperimentResult, MatrixLab
+from repro.sparse.blocked import partition_csr
+from repro.sparse.spmm import spmm_speedup_model
+from repro.udp import Lane, assemble
+from repro.udp.programs.huffman_prog import build_huffman_decode
+from repro.udp.programs.rle_prog import build_rle_decode
+from repro.udp.programs.snappy_prog import build_snappy_decode
+from repro.udp.runtime import simulate_plan
+from repro.util.geomean import geomean
+from repro.util.tables import Table
+
+
+def _sample_matrices(lab: MatrixLab, count: int):
+    entries = lab.suite_entries()[:count]
+    return [(e, lab.matrix(e.name, e.build)) for e in entries]
+
+
+def run_stages(ctx: ExperimentContext | None = None, lab: MatrixLab | None = None) -> ExperimentResult:
+    """Delta x Huffman grid at 8 KB blocks."""
+    ctx = ctx or ExperimentContext.quick()
+    lab = lab or MatrixLab(ctx)
+    grids = {
+        "snappy": dict(use_delta=False, use_huffman=False),
+        "delta-snappy": dict(use_delta=True, use_huffman=False),
+        "snappy-huffman": dict(use_delta=False, use_huffman=True),
+        "delta-snappy-huffman": dict(use_delta=True, use_huffman=True),
+    }
+    sizes: dict[str, list[float]] = {name: [] for name in grids}
+    for entry, m in _sample_matrices(lab, min(16, ctx.suite_count)):
+        for name, kwargs in grids.items():
+            plan = compress_matrix(m, seed=ctx.seed, **kwargs)
+            if plan.nnz:
+                sizes[name].append(plan.bytes_per_nnz)
+    table = Table(["pipeline", "geomean B/nnz"], formats=["{}", "{:.2f}"])
+    gms = {name: geomean(vals) for name, vals in sizes.items()}
+    for name, gm in sorted(gms.items(), key=lambda kv: kv[1]):
+        table.add_row(name, gm)
+    return ExperimentResult(
+        exp_id="abl_stages",
+        title="Pipeline-stage ablation (bytes/nnz, 8 KB blocks)",
+        table=table,
+        headline={f"gm_{k.replace('-', '_')}": v for k, v in gms.items()},
+        paper={},
+        notes="Extension (not a paper figure): isolates each stage's contribution.",
+    )
+
+
+def run_blocksize(ctx: ExperimentContext | None = None, lab: MatrixLab | None = None) -> ExperimentResult:
+    """Block budget sweep: compression vs single-block decode latency."""
+    ctx = ctx or ExperimentContext.quick()
+    lab = lab or MatrixLab(ctx)
+    sweep = (2048, 4096, 8192, 16384, 32768)
+    pairs = _sample_matrices(lab, min(6, ctx.suite_count))
+    table = Table(
+        ["block bytes", "geomean B/nnz", "median block latency (us)"],
+        formats=["{}", "{:.2f}", "{:.2f}"],
+    )
+    headline = {}
+    for bb in sweep:
+        sizes, lats = [], []
+        for entry, m in pairs:
+            plan = compress_matrix(m, block_bytes=bb, seed=ctx.seed)
+            if not plan.nnz:
+                continue
+            sizes.append(plan.bytes_per_nnz)
+            report = simulate_plan(plan, sample=1, seed=ctx.seed)
+            lat = report.block_latencies_s
+            if len(lat):
+                lats.append(float(np.median(lat)))
+        gm = geomean(sizes)
+        med_lat = float(np.median(lats)) * 1e6 if lats else 0.0
+        table.add_row(bb, gm, med_lat)
+        headline[f"gm_bpnnz_{bb}"] = gm
+    return ExperimentResult(
+        exp_id="abl_blocksize",
+        title="Block-size ablation: compression vs per-block decode latency",
+        table=table,
+        headline=headline,
+        paper={},
+        notes=(
+            "Extension: larger blocks compress slightly better but raise "
+            "single-lane latency and scratchpad footprint; 8 KB is the "
+            "paper's scratchpad-bounded choice."
+        ),
+    )
+
+
+def run_stride(ctx: ExperimentContext | None = None, lab: MatrixLab | None = None) -> ExperimentResult:
+    """Huffman dispatch stride sweep (cycles vs code-memory footprint)."""
+    ctx = ctx or ExperimentContext.quick()
+    lab = lab or MatrixLab(ctx)
+    entry, m = _sample_matrices(lab, 1)[0]
+    plan = lab.plan(entry.name, m, "dsh")
+    record = max(plan.index_records, key=lambda r: len(r.payload))
+    from repro.udp.runtime import BYTES_PER_CODE_SLOT, LANE_SCRATCHPAD_BYTES
+
+    table = Table(
+        ["stride (bits)", "decode cycles", "program blocks", "code bytes", "fits 64KB lane"],
+        formats=["{}", "{}", "{}", "{}", "{}"],
+    )
+    headline = {}
+    assert plan.index_table is not None
+    for stride in (1, 2, 4, 8):
+        asm = assemble(build_huffman_decode(plan.index_table, stride=stride))
+        res = Lane().run(asm, record.payload)
+        code_bytes = asm.size * BYTES_PER_CODE_SLOT
+        fits = code_bytes + 3 * plan.block_bytes <= LANE_SCRATCHPAD_BYTES
+        table.add_row(stride, res.cycles, asm.nblocks, code_bytes, "yes" if fits else "NO")
+        headline[f"cycles_stride{stride}"] = float(res.cycles)
+        headline[f"blocks_stride{stride}"] = float(asm.nblocks)
+    return ExperimentResult(
+        exp_id="abl_stride",
+        title="Huffman dispatch-stride ablation (one 8 KB index block)",
+        table=table,
+        headline=headline,
+        paper={},
+        notes=(
+            "Extension: wider dispatch halves cycles per doubling but "
+            "multiplies dispatch-family size; stride 4 balances the lane's "
+            "dispatch memory against throughput."
+        ),
+    )
+
+
+def run_rle(ctx: ExperimentContext | None = None, lab: MatrixLab | None = None) -> ExperimentResult:
+    """Custom RLE index codec vs the generic DSH stack, per structural class."""
+    ctx = ctx or ExperimentContext.quick()
+    lab = lab or MatrixLab(ctx)
+    rle = RLECodec()
+    delta = DeltaCodec()
+    rle_asm = assemble(build_rle_decode())
+    snappy_asm = assemble(build_snappy_decode())
+
+    from repro.collection import generators
+
+    # The canonical target first: a pure diagonal, whose index stream
+    # deltas to a single run per block.
+    cases: list[tuple[str, object]] = [
+        ("single-stride (diagonal)", generators.diagonals(4000, offsets=[0], seed=1))
+    ]
+    cases += [(e.kind, m) for e, m in _sample_matrices(lab, min(16, ctx.suite_count))]
+
+    by_kind: dict[str, list[tuple[float, float, float, float]]] = {}
+    for kind, m in cases:
+        blocked = partition_csr(m)
+        if not blocked.nblocks or blocked.blocks[0].nnz == 0:
+            continue
+        block = blocked.blocks[0]
+        raw = delta.encode(block.index_bytes())
+        rle_bytes = rle.encode(raw)
+        snappy_bytes = snappy_compress(raw)
+        rle_cycles = Lane().run(rle_asm, rle_bytes).cycles
+        snappy_cycles = Lane().run(snappy_asm, snappy_bytes).cycles
+        by_kind.setdefault(kind, []).append(
+            (
+                len(rle_bytes) / block.nnz,
+                len(snappy_bytes) / block.nnz,
+                rle_cycles,
+                snappy_cycles,
+            )
+        )
+
+    table = Table(
+        ["class", "RLE B/idx-entry", "Snappy B/idx-entry", "RLE cycles", "Snappy cycles"],
+        formats=["{}", "{:.3f}", "{:.3f}", "{:.0f}", "{:.0f}"],
+    )
+    rle_wins = []
+    for kind, rows in by_kind.items():
+        arr = np.array(rows, dtype=float)
+        table.add_row(kind, arr[:, 0].mean(), arr[:, 1].mean(), arr[:, 2].mean(), arr[:, 3].mean())
+        rle_wins.append((kind, arr[:, 0].mean() <= arr[:, 1].mean()))
+    single_stride_wins = dict(rle_wins).get("single-stride (diagonal)", False)
+    return ExperimentResult(
+        exp_id="abl_rle",
+        title="Custom RLE index codec vs Snappy on delta'd index streams",
+        table=table,
+        headline={
+            "single_stride_rle_wins": float(single_stride_wins),
+            "classes_where_snappy_wins": float(sum(1 for _, w in rle_wins if not w)),
+        },
+        paper={},
+        notes=(
+            "Future-work demo, with an honest outcome: RLE only beats "
+            "generic LZ on pure single-stride streams; everywhere else "
+            "Snappy's pattern matching wins. The point stands regardless — "
+            "choosing the format per matrix is a UDP program swap, not a "
+            "hardware change (see codecs.autotune)."
+        ),
+    )
+
+
+def run_shuffle(ctx: ExperimentContext | None = None, lab: MatrixLab | None = None) -> ExperimentResult:
+    """Byte-plane shuffle on the value stream: does it pay?"""
+    from repro.codecs.huffman import HuffmanTable
+    from repro.codecs.shuffle import ShuffleCodec
+
+    ctx = ctx or ExperimentContext.quick()
+    lab = lab or MatrixLab(ctx)
+    shuf = ShuffleCodec(lane=8)
+
+    plain_sizes, shuf_sizes = [], []
+    table = Table(
+        ["matrix", "kind", "snappy+huff B/val", "shuffle+snappy+huff B/val"],
+        formats=["{}", "{}", "{:.2f}", "{:.2f}"],
+    )
+    for entry, m in _sample_matrices(lab, min(12, ctx.suite_count)):
+        blocked = partition_csr(m)
+        if not blocked.nblocks or blocked.blocks[0].nnz == 0:
+            continue
+        raw = blocked.blocks[0].value_bytes()
+        nvals = blocked.blocks[0].nnz
+
+        def stack_size(payload: bytes) -> float:
+            snapped = snappy_compress(payload)
+            table_ = HuffmanTable.from_samples([snapped])
+            bits = table_.encode_bits(snapped)[1]
+            return (bits / 8) / nvals
+
+        plain = stack_size(raw)
+        shuffled = stack_size(shuf.encode(raw))
+        plain_sizes.append(plain)
+        shuf_sizes.append(shuffled)
+        table.add_row(entry.name, entry.kind, plain, shuffled)
+
+    return ExperimentResult(
+        exp_id="abl_shuffle",
+        title="Value-stream byte-plane shuffle ablation (bytes per value)",
+        table=table,
+        headline={
+            "gm_plain_bpv": geomean(plain_sizes),
+            "gm_shuffle_bpv": geomean(shuf_sizes),
+        },
+        paper={},
+        notes=(
+            "Future-work demo with an honest outcome: shuffle only helps "
+            "full-entropy value streams (slightly); palette-like values "
+            "compress better unshuffled because LZ matches whole 8-byte "
+            "patterns. Another case for per-matrix format selection."
+        ),
+    )
+
+
+def run_attach(ctx: ExperimentContext | None = None, lab: MatrixLab | None = None) -> ExperimentResult:
+    """On-die UDP vs PCIe-attached device for the same decompression."""
+    from repro.core.attach import on_die_udp, pcie_attached
+    from repro.memsys.dram import DDR4_100GBS
+
+    ctx = ctx or ExperimentContext.quick()
+    lab = lab or MatrixLab(ctx)
+    table = Table(
+        ["matrix", "on-die GB/s", "PCIe GB/s", "on-die advantage", "PCIe extra DRAM"],
+        formats=["{}", "{:.1f}", "{:.1f}", "{:.1f}x", "{:.1f}x"],
+    )
+    advantages = []
+    for rep in lab.representatives():
+        m = lab.matrix(rep.name, rep.build)
+        plan = lab.plan(rep.name, m, "dsh")
+        udp = lab.udp_report(rep.name, m)
+        ondie = on_die_udp(plan, DDR4_100GBS, udp.throughput_bytes_per_s)
+        pcie = pcie_attached(plan, DDR4_100GBS)
+        advantages.append(ondie.speedup_over(pcie))
+        table.add_row(
+            rep.name,
+            ondie.effective_output_rate / 1e9,
+            pcie.effective_output_rate / 1e9,
+            ondie.speedup_over(pcie),
+            pcie.dram_bytes / max(1, ondie.dram_bytes),
+        )
+    return ExperimentResult(
+        exp_id="abl_attach",
+        title="Attachment point: on-die UDP vs PCIe compression device",
+        table=table,
+        headline={"gm_ondie_advantage": geomean(advantages)},
+        paper={},
+        notes=(
+            "Quantifies Section III-C/VI-D: separate-address-space devices "
+            "pay the link twice plus a DRAM round trip of the *decompressed* "
+            "data, and their 2-5 GB/s device rate caps throughput."
+        ),
+    )
+
+
+def run_des(ctx: ExperimentContext | None = None, lab: MatrixLab | None = None) -> ExperimentResult:
+    """Discrete-event cross-check of the analytic Fig. 14 model."""
+    from repro.collection import generators
+    from repro.core.hetero import HeterogeneousSystem
+    from repro.core.pipeline_timing import simulate_recoded_spmv_timing
+    from repro.codecs.stats import dsh_plan
+    from repro.memsys.dram import DDR4_100GBS
+    from repro.udp.runtime import simulate_plan as udp_simulate
+
+    ctx = ctx or ExperimentContext.quick()
+    lab = lab or MatrixLab(ctx)
+    system = HeterogeneousSystem(DDR4_100GBS)
+    table = Table(
+        ["matrix nnz", "analytic GF", "DES GF", "DES/analytic", "bottleneck"],
+        formats=["{}", "{:.1f}", "{:.1f}", "{:.2f}", "{}"],
+    )
+    headline = {}
+    for n in (2000, 8000, 32000):
+        m = generators.banded(n, bandwidth=6, seed=ctx.seed)
+        plan = dsh_plan(m, seed=ctx.seed)
+        udp = udp_simulate(plan, sample=ctx.sample_blocks, seed=ctx.seed)
+        analytic = system.spmv_udp(plan, udp)
+        timing = simulate_recoded_spmv_timing(plan, udp, DDR4_100GBS, n_udp=analytic.n_udp)
+        ratio = timing.gflops / analytic.gflops
+        table.add_row(m.nnz, analytic.gflops, timing.gflops, ratio, timing.bottleneck)
+        headline[f"ratio_nnz{m.nnz}"] = ratio
+    return ExperimentResult(
+        exp_id="abl_des",
+        title="Discrete-event pipeline vs analytic Fig. 14 model",
+        table=table,
+        headline=headline,
+        paper={},
+        notes=(
+            "Validation: block-level DMA->UDP->CPU simulation converges to "
+            "the analytic steady-state model as the stream grows (fill/"
+            "drain latency amortizes); at paper-scale matrices they "
+            "coincide."
+        ),
+    )
+
+
+def run_reorder(ctx: ExperimentContext | None = None, lab: MatrixLab | None = None) -> ExperimentResult:
+    """RCM reordering before encoding: locality -> smaller deltas."""
+    from repro.collection import generators
+    from repro.sparse.reorder import bandwidth, permute_symmetric, rcm_reorder
+    from repro.util.rng import seeded_rng
+
+    ctx = ctx or ExperimentContext.quick()
+    lab = lab or MatrixLab(ctx)
+
+    # Matrices whose structure exists but is hidden by a bad ordering — the
+    # case every FEM/graph pipeline hits with as-assembled node numbering.
+    cases = []
+    for seed in range(3):
+        hidden = generators.banded(2500, bandwidth=5, fill=1.0, seed=seed)
+        scramble = seeded_rng(100 + seed).permutation(hidden.nrows)
+        cases.append((f"scrambled-band-{seed}", permute_symmetric(hidden, scramble)))
+    cases.append(("fem", generators.fem_stencil(2000, row_degree=12, jitter=400, seed=7)))
+
+    table = Table(
+        ["matrix", "bandwidth before", "after", "B/nnz before", "after"],
+        formats=["{}", "{}", "{}", "{:.2f}", "{:.2f}"],
+    )
+    gains = []
+    for name, m in cases:
+        before_b = compress_matrix(m, seed=ctx.seed).bytes_per_nnz
+        reordered, _ = rcm_reorder(m)
+        after_b = compress_matrix(reordered, seed=ctx.seed).bytes_per_nnz
+        table.add_row(name, bandwidth(m), bandwidth(reordered), before_b, after_b)
+        gains.append(before_b / after_b)
+    return ExperimentResult(
+        exp_id="abl_reorder",
+        title="RCM reordering before DSH encoding",
+        table=table,
+        headline={"gm_bpnnz_gain": geomean(gains)},
+        paper={},
+        notes=(
+            "Extension: representation-level optimization the recoding "
+            "architecture makes worthwhile — reorder once, every streamed "
+            "block compresses better."
+        ),
+    )
+
+
+def run_spmm(ctx: ExperimentContext | None = None, lab: MatrixLab | None = None) -> ExperimentResult:
+    """SpMM right-hand-side sweep: where the recoding win decays."""
+    ctx = ctx or ExperimentContext.quick()
+    lab = lab or MatrixLab(ctx)
+    entry, m = _sample_matrices(lab, 1)[0]
+    plan = lab.plan(entry.name, m, "dsh")
+    table = Table(["k (RHS)", "modeled speedup"], formats=["{}", "{:.2f}x"])
+    headline = {}
+    for k in (1, 2, 4, 8, 16, 32, 64):
+        s = spmm_speedup_model(m.nnz, m.nrows, m.ncols, k, plan.bytes_per_nnz)
+        table.add_row(k, s)
+        headline[f"speedup_k{k}"] = s
+    return ExperimentResult(
+        exp_id="abl_spmm",
+        title=f"SpMM recoding benefit vs #right-hand-sides ({entry.name})",
+        table=table,
+        headline=headline,
+        paper={},
+        notes=(
+            "Future-work demo: as dense-operand traffic grows with k, the "
+            "A-compression win decays monotonically toward 1x."
+        ),
+    )

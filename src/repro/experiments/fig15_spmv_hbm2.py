@@ -1,0 +1,30 @@
+"""Fig. 15 — CPU vs CPU-UDP SpMV performance on HBM2 (1 TB/s).
+
+Same three scenarios as Fig. 14 at 10x the bandwidth: the uncompressed
+roofline moves to ~167 GFLOP/s, the UDP speedup still tracks the
+compression ratio (more UDP instances are provisioned), and CPU-side
+decompression falls even further behind because it does not scale with
+memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentResult, MatrixLab
+from repro.experiments.fig14_spmv_ddr4 import run_on_memory
+from repro.memsys.dram import HBM2_1TBS
+
+EXP_ID = "fig15"
+TITLE = "CPU vs CPU-UDP SpMV performance on HBM2 (1 TB/s)"
+
+
+def run(ctx: ExperimentContext | None = None, lab: MatrixLab | None = None) -> ExperimentResult:
+    ctx = ctx or ExperimentContext.quick()
+    lab = lab or MatrixLab(ctx)
+    return run_on_memory(
+        ctx,
+        lab,
+        HBM2_1TBS,
+        EXP_ID,
+        TITLE,
+        paper_headline={"gm_suite_speedup": 2.4, "min_cpu_slowdown": 30.0},
+    )

@@ -1,0 +1,33 @@
+"""Fig. 17 — Raw and net memory power savings, 1 TB/s HBM2 system.
+
+Paper: max memory power 64 W; the UDP saves an average 33 W (51%) across
+the 7 representative matrices. HBM2's cheaper pJ/bit shrinks the absolute
+saving while the 10x rate demands ~10x the UDP instances, so the net
+percentage drops below the DDR4 case — the shape this experiment checks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentResult, MatrixLab
+from repro.experiments.fig16_power_ddr4 import run_on_memory
+from repro.memsys.dram import HBM2_1TBS
+
+EXP_ID = "fig17"
+TITLE = "Raw and net memory power savings, HBM2 (1 TB/s, 64 W max)"
+
+
+def run(ctx: ExperimentContext | None = None, lab: MatrixLab | None = None) -> ExperimentResult:
+    ctx = ctx or ExperimentContext.quick()
+    lab = lab or MatrixLab(ctx)
+    return run_on_memory(
+        ctx,
+        lab,
+        HBM2_1TBS,
+        EXP_ID,
+        TITLE,
+        paper_headline={
+            "avg_net_saving_w": 33.0,
+            "avg_net_saving_frac": 0.51,
+            "baseline_power_w": 64.0,
+        },
+    )

@@ -1,0 +1,29 @@
+"""Memory-system models: DRAM channels, the DMA engine, traffic accounting.
+
+Paper Section IV-A constants:
+
+* **DDR4** — single-die AMD Epyc class: 100 GB/s peak, 100 pJ/bit
+  (read + ship to CPU).
+* **HBM2** — four stacks: 1 TB/s peak, 8 pJ/bit.
+
+Maximum memory power is rate x energy/bit: 80 W for the DDR system and
+64 W for the HBM2 system, the denominators of Figs. 16-17.
+"""
+
+from repro.memsys.dram import DDR4_100GBS, HBM2_1TBS, MemorySystem
+from repro.memsys.dma import DMAEngine, DMATransfer
+from repro.memsys.noc import MeshNoC, NoCTransfer, Tile, default_chip
+from repro.memsys.traffic import TrafficLog
+
+__all__ = [
+    "MemorySystem",
+    "DDR4_100GBS",
+    "HBM2_1TBS",
+    "DMAEngine",
+    "DMATransfer",
+    "MeshNoC",
+    "NoCTransfer",
+    "Tile",
+    "default_chip",
+    "TrafficLog",
+]

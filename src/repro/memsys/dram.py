@@ -1,0 +1,60 @@
+"""DRAM channel models (bandwidth + energy), per paper Section IV-A."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB, TB
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """An off-chip memory system characterized by peak bandwidth and
+    transfer energy.
+
+    Attributes:
+        name: label for reports ("DDR4", "HBM2").
+        peak_bw: peak sustainable bandwidth, bytes/second.
+        energy_per_bit: joules to read one bit and ship it on-die.
+    """
+
+    name: str
+    peak_bw: float
+    energy_per_bit: float
+
+    def __post_init__(self) -> None:
+        if self.peak_bw <= 0 or self.energy_per_bit < 0:
+            raise ValueError("invalid memory system parameters")
+
+    def transfer_seconds(self, nbytes: float, utilization: float = 1.0) -> float:
+        """Time to stream ``nbytes`` at ``utilization`` x peak bandwidth.
+
+        Sequential block streaming achieves ~full utilization (the paper's
+        point about contiguous compressed streams); irregular access would
+        pass a lower utilization.
+        """
+        if not 0 < utilization <= 1.0:
+            raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+        return nbytes / (self.peak_bw * utilization)
+
+    def transfer_energy_j(self, nbytes: float) -> float:
+        """Energy to move ``nbytes`` from DRAM to the die."""
+        return nbytes * 8.0 * self.energy_per_bit
+
+    def power_at_rate(self, bytes_per_second: float) -> float:
+        """Memory power when streaming at the given rate (W)."""
+        if bytes_per_second < 0:
+            raise ValueError("rate must be non-negative")
+        return bytes_per_second * 8.0 * self.energy_per_bit
+
+    @property
+    def max_power_w(self) -> float:
+        """Power at peak rate — the paper's 80 W (DDR4) / 64 W (HBM2)."""
+        return self.power_at_rate(self.peak_bw)
+
+
+#: Single-die AMD Epyc class DDR4 (paper: 100 GB/s, 100 pJ/bit -> 80 W max).
+DDR4_100GBS = MemorySystem(name="DDR4", peak_bw=100 * GB, energy_per_bit=100e-12)
+
+#: Four HBM2 stacks (paper: 1 TB/s, 8 pJ/bit -> 64 W max).
+HBM2_1TBS = MemorySystem(name="HBM2", peak_bw=1 * TB, energy_per_bit=8e-12)

@@ -1,0 +1,110 @@
+"""On-die network-on-chip model (paper Fig. 4: "integration of the UDP into
+the chip NoC fabric").
+
+A 2-D mesh of routers connects CPU core tiles, the UDP tile(s), and the
+memory-controller tiles. Block transfers are priced by XY-routed hop count
+(per-hop latency + per-bit link energy) plus serialization on the link
+width. The numbers are small compared to DRAM — which is exactly the
+paper's integration argument: on-die movement is effectively free next to
+going off-chip, let alone across PCIe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Typical server-class mesh parameters (14 nm).
+DEFAULT_HOP_LATENCY_S = 1.25e-9  # 2 cycles @1.6 GHz per router+link
+DEFAULT_LINK_BYTES_PER_S = 64e9  # 512-bit links at mesh clock
+DEFAULT_ENERGY_PER_BIT_HOP = 0.1e-12  # ~0.1 pJ/bit/hop on-die
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A mesh endpoint at integer coordinates."""
+
+    name: str
+    x: int
+    y: int
+
+
+@dataclass(frozen=True)
+class NoCTransfer:
+    """One priced transfer."""
+
+    src: str
+    dst: str
+    nbytes: int
+    hops: int
+    seconds: float
+    energy_j: float
+
+
+class MeshNoC:
+    """XY-routed 2-D mesh interconnect."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        hop_latency_s: float = DEFAULT_HOP_LATENCY_S,
+        link_bytes_per_s: float = DEFAULT_LINK_BYTES_PER_S,
+        energy_per_bit_hop: float = DEFAULT_ENERGY_PER_BIT_HOP,
+    ):
+        if width < 1 or height < 1:
+            raise ValueError("mesh dims must be positive")
+        if hop_latency_s < 0 or link_bytes_per_s <= 0 or energy_per_bit_hop < 0:
+            raise ValueError("invalid NoC parameters")
+        self.width = width
+        self.height = height
+        self.hop_latency_s = hop_latency_s
+        self.link_bytes_per_s = link_bytes_per_s
+        self.energy_per_bit_hop = energy_per_bit_hop
+        self._tiles: dict[str, Tile] = {}
+
+    def place(self, name: str, x: int, y: int) -> Tile:
+        """Register a tile at mesh coordinates.
+
+        Raises:
+            ValueError: out-of-bounds coordinates or duplicate name.
+        """
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x},{y}) outside {self.width}x{self.height} mesh")
+        if name in self._tiles:
+            raise ValueError(f"tile {name!r} already placed")
+        tile = Tile(name, x, y)
+        self._tiles[name] = tile
+        return tile
+
+    def hops(self, src: str, dst: str) -> int:
+        """Manhattan (XY-routing) hop count between two tiles."""
+        a, b = self._tile(src), self._tile(dst)
+        return abs(a.x - b.x) + abs(a.y - b.y)
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> NoCTransfer:
+        """Price one block transfer: head latency + serialization + energy."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        nhops = self.hops(src, dst)
+        seconds = nhops * self.hop_latency_s + nbytes / self.link_bytes_per_s
+        energy = nbytes * 8.0 * self.energy_per_bit_hop * max(1, nhops)
+        return NoCTransfer(src, dst, nbytes, nhops, seconds, energy)
+
+    def _tile(self, name: str) -> Tile:
+        try:
+            return self._tiles[name]
+        except KeyError:
+            raise ValueError(f"unknown tile {name!r}") from None
+
+
+def default_chip(ncores: int = 8) -> MeshNoC:
+    """A small reference floorplan: cores on a mesh, one UDP tile beside
+    the memory controller (the paper's placement — the UDP sits *in* the
+    memory system, not out with the accelerator cards)."""
+    width = max(2, (ncores + 1) // 2)
+    noc = MeshNoC(width=width, height=3)
+    for i in range(ncores):
+        noc.place(f"core{i}", x=i % width, y=1 + i // width)
+    noc.place("memctrl", x=0, y=0)
+    noc.place("udp", x=min(1, width - 1), y=0)
+    return noc

@@ -1,0 +1,72 @@
+"""Coordinate (COO) format: the interchange representation used by the
+matrix generators and MatrixMarket I/O before conversion to CSR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """Triplet-form sparse matrix; duplicates are summed on conversion."""
+
+    shape: tuple[int, int]
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", np.ascontiguousarray(self.rows, dtype=np.int64))
+        object.__setattr__(self, "cols", np.ascontiguousarray(self.cols, dtype=np.int64))
+        object.__setattr__(self, "vals", np.ascontiguousarray(self.vals, dtype=VALUE_DTYPE))
+        if not (len(self.rows) == len(self.cols) == len(self.vals)):
+            raise ValueError("rows/cols/vals length mismatch")
+        m, n = self.shape
+        if len(self.rows):
+            if self.rows.min() < 0 or self.rows.max() >= m:
+                raise ValueError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= n:
+                raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored triplets (before duplicate summing)."""
+        return int(len(self.vals))
+
+    def to_csr(self) -> CSRMatrix:
+        """Convert to CSR: sort lexicographically, sum duplicates, drop
+        explicit zeros produced by cancellation."""
+        m, n = self.shape
+        if self.nnz == 0:
+            return CSRMatrix((m, n), np.zeros(m + 1), np.zeros(0), np.zeros(0))
+        order = np.lexsort((self.cols, self.rows))
+        r = self.rows[order]
+        c = self.cols[order]
+        v = self.vals[order]
+        # Sum duplicates: group boundaries where (r, c) changes.
+        new_group = np.empty(len(r), dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        group_id = np.cumsum(new_group) - 1
+        ngroups = int(group_id[-1]) + 1
+        sums = np.zeros(ngroups, dtype=VALUE_DTYPE)
+        np.add.at(sums, group_id, v)
+        ur = r[new_group]
+        uc = c[new_group]
+        keep = sums != 0.0
+        ur, uc, sums = ur[keep], uc[keep], sums[keep]
+        row_ptr = np.zeros(m + 1, dtype=np.int64)
+        np.add.at(row_ptr, ur + 1, 1)
+        row_ptr = np.cumsum(row_ptr)
+        return CSRMatrix((m, n), row_ptr, uc.astype(INDEX_DTYPE), sums)
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "COOMatrix":
+        """Expand a CSR matrix back to triplets."""
+        rows = np.repeat(np.arange(csr.nrows), np.diff(csr.row_ptr))
+        return cls(csr.shape, rows, csr.col_idx.astype(np.int64), csr.val.copy())

@@ -1,0 +1,156 @@
+"""Compressed Sparse Row format (paper Fig. 2).
+
+The paper's baseline storage cost is 12 bytes per non-zero: a 4-byte column
+index plus an 8-byte double value (``row_ptr`` is amortized away for the
+large matrices studied). :class:`CSRMatrix` enforces exactly those dtypes so
+byte accounting downstream is faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+INDEX_DTYPE = np.int32
+VALUE_DTYPE = np.float64
+
+#: Paper baseline: 4 B col index + 8 B double value per stored non-zero.
+BYTES_PER_NNZ_CSR = 12
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """An m x n sparse matrix in CSR form.
+
+    Attributes:
+        shape: ``(m, n)``.
+        row_ptr: int32 array of length ``m + 1``; ``row_ptr[i]:row_ptr[i+1]``
+            spans row *i*'s entries in ``col_idx`` / ``val``.
+        col_idx: int32 array of column indices, strictly increasing within
+            each row.
+        val: float64 array of stored values.
+    """
+
+    shape: tuple[int, int]
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    val: np.ndarray
+
+    def __post_init__(self) -> None:
+        m, n = self.shape
+        if m < 0 or n < 0:
+            raise ValueError(f"invalid shape {self.shape}")
+        object.__setattr__(self, "row_ptr", np.ascontiguousarray(self.row_ptr, dtype=INDEX_DTYPE))
+        object.__setattr__(self, "col_idx", np.ascontiguousarray(self.col_idx, dtype=INDEX_DTYPE))
+        object.__setattr__(self, "val", np.ascontiguousarray(self.val, dtype=VALUE_DTYPE))
+        if self.row_ptr.shape != (m + 1,):
+            raise ValueError(f"row_ptr must have length m+1={m + 1}, got {self.row_ptr.shape}")
+        if self.row_ptr[0] != 0 or self.row_ptr[-1] != len(self.col_idx):
+            raise ValueError("row_ptr must start at 0 and end at nnz")
+        if len(self.col_idx) != len(self.val):
+            raise ValueError("col_idx and val length mismatch")
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+        if len(self.col_idx) and (
+            self.col_idx.min() < 0 or self.col_idx.max() >= n
+        ):
+            raise ValueError("column index out of range")
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(len(self.val))
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries stored (the paper quotes this as sparsity %)."""
+        m, n = self.shape
+        total = m * n
+        return self.nnz / total if total else 0.0
+
+    def storage_bytes(self) -> int:
+        """CSR baseline bytes: 12 per nnz (+ row_ptr, reported separately)."""
+        return BYTES_PER_NNZ_CSR * self.nnz
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build from a 2-D dense array, storing exact non-zeros."""
+        dense = np.asarray(dense, dtype=VALUE_DTYPE)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        m, n = dense.shape
+        rows, cols = np.nonzero(dense)
+        row_ptr = np.zeros(m + 1, dtype=np.int64)
+        np.add.at(row_ptr, rows + 1, 1)
+        row_ptr = np.cumsum(row_ptr)
+        return cls((m, n), row_ptr, cols, dense[rows, cols])
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Build from a ``scipy.sparse`` matrix (validation bridges only)."""
+        csr = mat.tocsr()
+        csr.sum_duplicates()
+        csr.sort_indices()
+        return cls(csr.shape, csr.indptr, csr.indices, csr.data)
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (validation bridges only)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.val.copy(), self.col_idx.copy(), self.row_ptr.copy()),
+            shape=self.shape,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (small matrices / tests)."""
+        m, n = self.shape
+        out = np.zeros((m, n), dtype=VALUE_DTYPE)
+        rows = np.repeat(np.arange(m), np.diff(self.row_ptr))
+        out[rows, self.col_idx] = self.val
+        return out
+
+    # -- row access ---------------------------------------------------------
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (col_idx, val) views for row *i*."""
+        if not 0 <= i < self.nrows:
+            raise IndexError(f"row {i} out of range for {self.nrows} rows")
+        lo, hi = int(self.row_ptr[i]), int(self.row_ptr[i + 1])
+        return self.col_idx[lo:hi], self.val[lo:hi]
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row non-zero counts."""
+        return np.diff(self.row_ptr)
+
+    def has_sorted_indices(self) -> bool:
+        """True if every row's column indices are strictly increasing."""
+        if self.nnz <= 1:
+            return True
+        d = np.diff(self.col_idx)
+        # Differences across row boundaries may be anything: mask out the
+        # flat position just before each row's first element.
+        starts = self.row_ptr[1:-1]
+        starts = starts[(starts > 0) & (starts < self.nnz)]
+        mask = np.ones(len(d), dtype=bool)
+        mask[starts - 1] = False
+        return bool(np.all(d[mask] > 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.3e})"
+        )

@@ -1,0 +1,114 @@
+"""MatrixMarket (.mtx) coordinate-format reader/writer.
+
+The TAMU collection distributes matrices as MatrixMarket files; this module
+lets users load real SuiteSparse downloads into the library (and lets the
+synthetic suite be exported for inspection). Supports the coordinate
+format with ``real`` / ``integer`` / ``pattern`` fields and ``general`` /
+``symmetric`` / ``skew-symmetric`` symmetries.
+"""
+
+from __future__ import annotations
+
+import io
+from os import PathLike
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+_HEADER = "%%MatrixMarket"
+_FIELDS = {"real", "integer", "pattern"}
+_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def read_matrix_market(source: str | PathLike | io.TextIOBase) -> CSRMatrix:
+    """Parse a MatrixMarket coordinate file into a :class:`CSRMatrix`.
+
+    Symmetric / skew-symmetric storage is expanded to general form
+    (diagonal entries are not mirrored; skew mirrors with negation).
+
+    Raises:
+        ValueError: on malformed headers, unsupported formats, or bad
+            entry counts.
+    """
+    if isinstance(source, (str, PathLike)):
+        with open(source, "r", encoding="ascii") as fh:
+            return read_matrix_market(fh)
+
+    header = source.readline()
+    parts = header.strip().split()
+    if len(parts) != 5 or parts[0] != _HEADER:
+        raise ValueError(f"not a MatrixMarket file: {header!r}")
+    _, obj, fmt, field, symmetry = (p.lower() for p in parts)
+    if obj != "matrix" or fmt != "coordinate":
+        raise ValueError(f"unsupported MatrixMarket object/format: {obj}/{fmt}")
+    if field not in _FIELDS:
+        raise ValueError(f"unsupported field {field!r} (complex not supported)")
+    if symmetry not in _SYMMETRIES:
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+
+    # Skip comments.
+    line = source.readline()
+    while line and line.lstrip().startswith("%"):
+        line = source.readline()
+    dims = line.split()
+    if len(dims) != 3:
+        raise ValueError(f"bad size line: {line!r}")
+    m, n, declared_nnz = (int(d) for d in dims)
+
+    rows = np.empty(declared_nnz, dtype=np.int64)
+    cols = np.empty(declared_nnz, dtype=np.int64)
+    vals = np.empty(declared_nnz, dtype=np.float64)
+    count = 0
+    for line in source:
+        line = line.strip()
+        if not line or line.startswith("%"):
+            continue
+        toks = line.split()
+        if field == "pattern":
+            if len(toks) != 2:
+                raise ValueError(f"bad pattern entry: {line!r}")
+            v = 1.0
+        else:
+            if len(toks) != 3:
+                raise ValueError(f"bad entry: {line!r}")
+            v = float(toks[2])
+        if count >= declared_nnz:
+            raise ValueError("more entries than declared")
+        rows[count] = int(toks[0]) - 1
+        cols[count] = int(toks[1]) - 1
+        vals[count] = v
+        count += 1
+    if count != declared_nnz:
+        raise ValueError(f"declared {declared_nnz} entries, found {count}")
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off]])
+        cols_new = np.concatenate([cols, rows[: count][off]])
+        vals = np.concatenate([vals, sign * vals[off]])
+        cols = cols_new
+    return COOMatrix((m, n), rows, cols, vals).to_csr()
+
+
+def write_matrix_market(
+    matrix: CSRMatrix,
+    dest: str | PathLike | io.TextIOBase,
+    comment: str | None = None,
+) -> None:
+    """Write a CSR matrix as a general real coordinate MatrixMarket file."""
+    if isinstance(dest, (str, PathLike)):
+        with open(dest, "w", encoding="ascii") as fh:
+            write_matrix_market(matrix, fh, comment=comment)
+            return
+    dest.write("%%MatrixMarket matrix coordinate real general\n")
+    if comment:
+        for line in comment.splitlines():
+            dest.write(f"% {line}\n")
+    m, n = matrix.shape
+    dest.write(f"{m} {n} {matrix.nnz}\n")
+    rows = np.repeat(np.arange(m), np.diff(matrix.row_ptr))
+    for r, c, v in zip(rows, matrix.col_idx, matrix.val):
+        dest.write(f"{r + 1} {c + 1} {float(v)!r}\n")

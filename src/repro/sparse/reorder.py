@@ -1,0 +1,75 @@
+"""Matrix reordering: make matrices *more compressible* before encoding.
+
+Delta compression of index streams rewards locality: the closer a row's
+neighbors, the smaller (and more repetitive) the deltas. Reverse
+Cuthill-McKee — the classic bandwidth-reducing permutation — therefore
+feeds directly into the paper's pipeline: reorder once at load time, then
+every streamed block compresses better forever after. (This is the kind of
+representation-level optimization the paper's programmable-recoding
+architecture makes worth doing.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def bandwidth(a: CSRMatrix) -> int:
+    """Maximum |i - j| over stored entries (0 for diagonal/empty)."""
+    if a.nnz == 0:
+        return 0
+    rows = np.repeat(np.arange(a.nrows), np.diff(a.row_ptr))
+    return int(np.abs(rows - a.col_idx).max())
+
+
+def rcm_permutation(a: CSRMatrix) -> np.ndarray:
+    """Reverse Cuthill-McKee ordering of the symmetrized pattern.
+
+    Returns:
+        ``perm`` with ``perm[new_index] = old_index``.
+
+    Raises:
+        ValueError: for non-square matrices (RCM permutes symmetrically).
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("RCM requires a square matrix")
+    from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+    return np.asarray(
+        reverse_cuthill_mckee(a.to_scipy(), symmetric_mode=False), dtype=np.int64
+    )
+
+
+def permute_symmetric(a: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
+    """Apply ``B = A[perm, :][:, perm]`` (simultaneous row/col permutation).
+
+    Raises:
+        ValueError: non-square input or a non-permutation ``perm``.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("symmetric permutation requires a square matrix")
+    perm = np.asarray(perm, dtype=np.int64)
+    n = a.nrows
+    if perm.shape != (n,) or not np.array_equal(np.sort(perm), np.arange(n)):
+        raise ValueError("perm must be a permutation of 0..n-1")
+    inv = np.empty(n, dtype=np.int64)
+    inv[perm] = np.arange(n)
+    rows = np.repeat(np.arange(n), np.diff(a.row_ptr))
+    return COOMatrix(
+        (n, n), inv[rows], inv[a.col_idx.astype(np.int64)], a.val.copy()
+    ).to_csr()
+
+
+def rcm_reorder(a: CSRMatrix) -> tuple[CSRMatrix, np.ndarray]:
+    """Convenience: compute the RCM permutation and apply it.
+
+    Returns:
+        ``(reordered_matrix, perm)``; solve workflows permute vectors with
+        the same ``perm`` (``x_new = x[perm]``, ``y = y_new`` un-permuted
+        via ``y[perm] = y_new``).
+    """
+    perm = rcm_permutation(a)
+    return permute_symmetric(a, perm), perm

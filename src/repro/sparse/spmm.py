@@ -1,0 +1,88 @@
+"""Sparse matrix x dense matrix (SpMM): Y = A @ X for k right-hand sides.
+
+The paper's future work asks after "performance benefit of other sparse
+matrix computation using flexible data recoding". SpMM is the natural
+first: each stored non-zero now does 2k flops but is still fetched once, so
+the recoding win (less A-traffic) shrinks as k grows and x/y traffic takes
+over — :func:`spmm_speedup_model` quantifies that crossover.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.sparse.blocked import BlockedCSR, CSRBlock
+from repro.sparse.csr import CSRMatrix, VALUE_DTYPE
+
+
+def _check_x(a_shape: tuple[int, int], x: np.ndarray) -> np.ndarray:
+    x = np.ascontiguousarray(x, dtype=VALUE_DTYPE)
+    if x.ndim != 2 or x.shape[0] != a_shape[1]:
+        raise ValueError(f"X must have shape ({a_shape[1]}, k), got {x.shape}")
+    return x
+
+
+def spmm(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Vectorized SpMM: gather rows of X, scale, segment-sum per A-row."""
+    x = _check_x(a.shape, x)
+    k = x.shape[1]
+    out = np.zeros((a.nrows, k), dtype=VALUE_DTYPE)
+    if a.nnz == 0:
+        return out
+    products = a.val[:, None] * x[a.col_idx]
+    starts = a.row_ptr[:-1]
+    nonempty = np.diff(a.row_ptr) > 0
+    seg = np.add.reduceat(products, np.minimum(starts[nonempty], a.nnz - 1), axis=0)
+    out[nonempty] += seg
+    return out
+
+
+def spmm_blocked(
+    blocked: BlockedCSR,
+    x: np.ndarray,
+    recode: Callable[[CSRBlock], CSRBlock] | None = None,
+) -> np.ndarray:
+    """Tiled SpMM with the same ``recode`` hook as
+    :func:`repro.sparse.spmv.spmv_blocked`."""
+    x = _check_x(blocked.shape, x)
+    k = x.shape[1]
+    out = np.zeros((blocked.shape[0], k), dtype=VALUE_DTYPE)
+    for block in blocked.blocks:
+        if recode is not None:
+            block = recode(block)
+        if block.nnz == 0:
+            continue
+        products = block.val[:, None] * x[block.col_idx]
+        starts = block.row_ptr[:-1]
+        nonempty = np.diff(block.row_ptr) > 0
+        if not np.any(nonempty):
+            continue
+        seg = np.add.reduceat(
+            products, np.minimum(starts[nonempty], block.nnz - 1), axis=0
+        )
+        rows = np.arange(block.row_start, block.row_end)[nonempty]
+        out[rows] += seg
+    return out
+
+
+def spmm_speedup_model(
+    nnz: int, nrows: int, ncols: int, k: int, bytes_per_nnz: float
+) -> float:
+    """Modeled speedup of compressed vs uncompressed SpMM at k RHS.
+
+    Traffic per multiply: A (12 or ``bytes_per_nnz`` per nnz) + X and Y
+    streamed once (8k bytes per column entry). As k grows, the dense
+    operands dominate and the recoding win decays toward 1 — the crossover
+    the paper's future work would explore.
+
+    Raises:
+        ValueError: on non-positive ``k`` or ``bytes_per_nnz``.
+    """
+    if k < 1 or bytes_per_nnz <= 0:
+        raise ValueError("k and bytes_per_nnz must be positive")
+    dense_bytes = 8.0 * k * (nrows + ncols)
+    base = 12.0 * nnz + dense_bytes
+    compressed = bytes_per_nnz * nnz + dense_bytes
+    return base / compressed

@@ -1,0 +1,76 @@
+"""The Unstructured Data Processor (UDP) accelerator simulator.
+
+Models the paper's Section III-E micro-architecture:
+
+* :mod:`~repro.udp.isa` — blocks of actions with a single transition each;
+  the key transition is **multi-way dispatch**, which selects among many
+  targets by adding a runtime key to a family base address (no prediction,
+  no target table).
+* :mod:`~repro.udp.effclip` — the EffCLiP coupled-linear-packing layout
+  engine that places dispatch families so that ``addr(base) + key`` is a
+  perfect hash into code memory.
+* :mod:`~repro.udp.assembler` — two-pass assembler: collects families,
+  runs EffCLiP, and emits an executable image.
+* :mod:`~repro.udp.lane` — one UDP lane (Dispatch / Stream-Prefetch /
+  Action units, scratchpad) with cycle accounting.
+* :mod:`~repro.udp.machine` — the 64-lane MIMD accelerator
+  (1.6 GHz, 160 mW at 14 nm per the paper's scaling).
+* :mod:`~repro.udp.programs` — the DSH decode programs (delta, Snappy,
+  Huffman) written against this ISA; the Huffman program is compiled from
+  each matrix's code table, exactly as the real UDP toolchain would.
+* :mod:`~repro.udp.runtime` — block-level decompression runs over a
+  :class:`~repro.codecs.pipeline.MatrixCompression` plan, producing cycle
+  counts, latencies, and throughput.
+"""
+
+from repro.udp.assembler import AssembledProgram, assemble
+from repro.udp.isa import (
+    AluI,
+    AluR,
+    Block,
+    Br,
+    CopyBack,
+    CopyIn,
+    Dispatch,
+    EmitB,
+    EmitI,
+    EmitWLE,
+    Halt,
+    Jmp,
+    MovI,
+    MovR,
+    Program,
+    ReadBytesLE,
+    ReadSym,
+)
+from repro.udp.lane import Lane, LaneResult, UDPFault
+from repro.udp.machine import UDP_CLOCK_HZ, UDP_LANES, UDP_POWER_W, UDPMachine
+
+__all__ = [
+    "Program",
+    "Block",
+    "MovI",
+    "MovR",
+    "AluR",
+    "AluI",
+    "ReadSym",
+    "ReadBytesLE",
+    "EmitB",
+    "EmitI",
+    "EmitWLE",
+    "CopyIn",
+    "CopyBack",
+    "Jmp",
+    "Br",
+    "Dispatch",
+    "Halt",
+    "assemble",
+    "AssembledProgram",
+    "Lane",
+    "LaneResult",
+    "UDPFault",
+    "UDPMachine",
+    "UDP_LANES",
+    "UDP_CLOCK_HZ",
+    "UDP_POWER_W",
+]

@@ -1,0 +1,113 @@
+"""Two-pass UDP assembler.
+
+Pass 1 collects dispatch families (blocks carrying a ``dispatch_key``) and
+free blocks, and validates that every transition target exists. Pass 2 runs
+EffCLiP placement and emits an :class:`AssembledProgram`: an address-indexed
+image plus the family base table, which is all the lane needs — dispatch at
+runtime is literally ``base + key``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.udp.effclip import Placement, pack
+from repro.udp.isa import Block, Br, Dispatch, Halt, Jmp, Program
+
+
+@dataclass(frozen=True)
+class AssembledProgram:
+    """An executable UDP program image."""
+
+    name: str
+    image: tuple[Block | None, ...]
+    addr_of: dict[str, int]
+    family_base: dict[str, int]
+    family_sizes: dict[str, int]
+    entry_addr: int
+    density: float
+
+    @property
+    def size(self) -> int:
+        return len(self.image)
+
+    @property
+    def nblocks(self) -> int:
+        return sum(1 for b in self.image if b is not None)
+
+    def block_at(self, addr: int) -> Block:
+        """Fetch the block at ``addr`` (dispatch landing site).
+
+        Raises:
+            ValueError: when the address holds no block — a dispatch key
+                outside the family, which real hardware would fault on.
+        """
+        if not 0 <= addr < len(self.image) or self.image[addr] is None:
+            raise ValueError(f"no block at address {addr}")
+        return self.image[addr]  # type: ignore[return-value]
+
+
+def assemble(program: Program) -> AssembledProgram:
+    """Assemble ``program``: validate, place with EffCLiP, emit the image.
+
+    Raises:
+        ValueError: undefined targets, dispatches to unknown families,
+            duplicate (family, key) pins, or unreachable-key dispatch
+            families with no members.
+    """
+    labels = {b.label for b in program.blocks}
+
+    families: dict[str, dict[int, str]] = {}
+    singles: list[str] = []
+    for block in program.blocks:
+        if block.dispatch_key is not None:
+            fam, key = block.dispatch_key
+            members = families.setdefault(fam, {})
+            if key in members:
+                raise ValueError(
+                    f"family {fam!r} key {key} pinned twice "
+                    f"({members[key]!r} and {block.label!r})"
+                )
+            members[key] = block.label
+        else:
+            singles.append(block.label)
+
+    # Validate transitions.
+    for block in program.blocks:
+        t = block.transition
+        if isinstance(t, Jmp):
+            targets = [t.target]
+        elif isinstance(t, Br):
+            targets = [t.then_target, t.else_target]
+        elif isinstance(t, Dispatch):
+            if t.family not in families:
+                raise ValueError(
+                    f"block {block.label!r} dispatches to unknown family {t.family!r}"
+                )
+            targets = []
+        elif isinstance(t, Halt):
+            targets = []
+        else:
+            raise ValueError(f"unknown transition {t!r} in block {block.label!r}")
+        for target in targets:
+            if target not in labels:
+                raise ValueError(
+                    f"block {block.label!r} targets undefined label {target!r}"
+                )
+
+    placement: Placement = pack(families, singles)
+
+    image: list[Block | None] = [None] * placement.size
+    by_label = {b.label: b for b in program.blocks}
+    for label, addr in placement.addr_of.items():
+        image[addr] = by_label[label]
+
+    return AssembledProgram(
+        name=program.name,
+        image=tuple(image),
+        addr_of=dict(placement.addr_of),
+        family_base=dict(placement.family_base),
+        family_sizes={fam: len(members) for fam, members in families.items()},
+        entry_addr=placement.addr_of[program.entry],
+        density=placement.density,
+    )

@@ -1,0 +1,115 @@
+"""UDP program disassembler / pretty-printer.
+
+Developer tooling for inspecting generated programs (especially the
+per-matrix Huffman dispatch families) and EffCLiP placements::
+
+    >>> from repro.udp import assemble
+    >>> from repro.udp.programs import build_snappy_decode
+    >>> print(disassemble(assemble(build_snappy_decode())))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from repro.udp.assembler import AssembledProgram
+from repro.udp.isa import (
+    Action,
+    AluI,
+    AluR,
+    Block,
+    Br,
+    CopyBack,
+    CopyIn,
+    Dispatch,
+    EmitB,
+    EmitI,
+    EmitWLE,
+    Halt,
+    Jmp,
+    MovI,
+    MovR,
+    ReadBytesLE,
+    ReadSym,
+    Transition,
+)
+
+
+def format_action(action: Action) -> str:
+    """One action as assembly-ish text."""
+    if isinstance(action, MovI):
+        return f"movi  r{action.dst}, {action.imm:#x}"
+    if isinstance(action, MovR):
+        return f"mov   r{action.dst}, r{action.src}"
+    if isinstance(action, AluR):
+        return f"{action.op:<5} r{action.dst}, r{action.a}, r{action.b}"
+    if isinstance(action, AluI):
+        return f"{action.op}i{' ' * max(1, 4 - len(action.op))}r{action.dst}, r{action.a}, {action.imm:#x}"
+    if isinstance(action, ReadSym):
+        eof = f", eof={action.eof_value}" if action.eof_value is not None else ""
+        return f"rdsym r{action.dst}, {action.nbits}b{eof}"
+    if isinstance(action, ReadBytesLE):
+        return f"rdle  r{action.dst}, {action.nbytes}B"
+    if isinstance(action, EmitB):
+        return f"emitb r{action.src}"
+    if isinstance(action, EmitI):
+        return f"emiti {action.imm:#04x}"
+    if isinstance(action, EmitWLE):
+        return f"emitw r{action.src}, {action.nbytes}B"
+    if isinstance(action, CopyIn):
+        return f"cpyin len=r{action.len_reg}"
+    if isinstance(action, CopyBack):
+        return f"cpybk off=r{action.offset_reg}, len=r{action.len_reg}"
+    return repr(action)
+
+
+def format_transition(t: Transition) -> str:
+    """The block's control transfer as text."""
+    if isinstance(t, Jmp):
+        return f"jmp   {t.target}"
+    if isinstance(t, Br):
+        return f"br.{t.cond:<3} r{t.reg} ? {t.then_target} : {t.else_target}"
+    if isinstance(t, Dispatch):
+        return f"disp  {t.family}[r{t.key_reg}]"
+    if isinstance(t, Halt):
+        return f"halt  {t.status}"
+    return repr(t)
+
+
+def format_block(block: Block, addr: int | None = None) -> str:
+    """One block, with its pinned dispatch key if any."""
+    header = f"{addr:>5}: " if addr is not None else ""
+    pin = ""
+    if block.dispatch_key is not None:
+        fam, key = block.dispatch_key
+        pin = f"  ; {fam}+{key}"
+    lines = [f"{header}{block.label}:{pin}"]
+    for action in block.actions:
+        lines.append(f"        {format_action(action)}")
+    lines.append(f"        {format_transition(block.transition)}")
+    return "\n".join(lines)
+
+
+def disassemble(program: AssembledProgram, max_blocks: int | None = None) -> str:
+    """Whole-image listing in address order (holes shown as gaps).
+
+    Args:
+        program: an assembled image.
+        max_blocks: truncate huge programs (Huffman families run to
+            thousands of blocks); ``None`` lists everything.
+    """
+    lines = [
+        f"; program {program.name}: {program.nblocks} blocks in "
+        f"{program.size} slots (density {program.density:.2f})",
+        f"; entry @ {program.entry_addr}",
+    ]
+    for fam, base in sorted(program.family_base.items()):
+        lines.append(f"; family {fam}: base {base}, {program.family_sizes[fam]} members")
+    shown = 0
+    for addr, block in enumerate(program.image):
+        if block is None:
+            continue
+        if max_blocks is not None and shown >= max_blocks:
+            lines.append(f"; ... {program.nblocks - shown} more blocks elided")
+            break
+        lines.append(format_block(block, addr))
+        shown += 1
+    return "\n".join(lines)

@@ -1,0 +1,290 @@
+"""UDP instruction set.
+
+A UDP program is a set of **blocks**. Each block carries a short list of
+*actions* (executed by the Action unit) and exactly one *transition*
+(resolved by the Dispatch unit). The Stream-Prefetch unit feeds variable-
+size symbols to ``ReadSym``-class actions.
+
+The signature transition is :class:`Dispatch`: the next block's address is
+``family_base + key`` — a plain integer add, the "perfect hash" that
+EffCLiP's placement makes collision-free. Branch-intensive decode loops
+(Huffman, Snappy tag parsing) thus never consult a predictor.
+
+Registers are 16 general-purpose 64-bit registers ``r0..r15``. Arithmetic
+wraps at 64 bits; ``Br`` conditions interpret registers as signed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NUM_REGS = 16
+REG_MASK = (1 << 64) - 1
+
+ALU_OPS = ("add", "sub", "and", "or", "xor", "shl", "shr")
+BR_CONDS = ("z", "nz", "lez", "gtz")
+
+
+def _check_reg(r: int, what: str) -> None:
+    if not 0 <= r < NUM_REGS:
+        raise ValueError(f"{what} register r{r} out of range (0..{NUM_REGS - 1})")
+
+
+# --------------------------------------------------------------------------
+# Actions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class; concrete actions define their operands."""
+
+
+@dataclass(frozen=True)
+class MovI(Action):
+    """dst <- imm (64-bit immediate)."""
+
+    dst: int
+    imm: int
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, "MovI dst")
+
+
+@dataclass(frozen=True)
+class MovR(Action):
+    """dst <- src."""
+
+    dst: int
+    src: int
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, "MovR dst")
+        _check_reg(self.src, "MovR src")
+
+
+@dataclass(frozen=True)
+class AluR(Action):
+    """dst <- a OP b (register-register)."""
+
+    op: str
+    dst: int
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.op not in ALU_OPS:
+            raise ValueError(f"unknown ALU op {self.op!r}")
+        _check_reg(self.dst, "AluR dst")
+        _check_reg(self.a, "AluR a")
+        _check_reg(self.b, "AluR b")
+
+
+@dataclass(frozen=True)
+class AluI(Action):
+    """dst <- a OP imm (register-immediate)."""
+
+    op: str
+    dst: int
+    a: int
+    imm: int
+
+    def __post_init__(self) -> None:
+        if self.op not in ALU_OPS:
+            raise ValueError(f"unknown ALU op {self.op!r}")
+        _check_reg(self.dst, "AluI dst")
+        _check_reg(self.a, "AluI a")
+
+
+@dataclass(frozen=True)
+class ReadSym(Action):
+    """dst <- next ``nbits`` of the input stream, MSB-first.
+
+    The Stream-Prefetch unit tracks the stream bound. If ``eof_value`` is
+    set and the stream is fully exhausted, dst receives ``eof_value``
+    instead (consuming nothing) — this turns end-of-stream into an ordinary
+    dispatch key, so decode loops terminate without a branch. Partial reads
+    past the end zero-fill and are counted in ``eof_fill_bits``.
+    """
+
+    dst: int
+    nbits: int
+    eof_value: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, "ReadSym dst")
+        if not 1 <= self.nbits <= 64:
+            raise ValueError("ReadSym nbits must be in 1..64")
+        if self.eof_value is not None and self.eof_value < 0:
+            raise ValueError("ReadSym eof_value must be non-negative")
+
+
+@dataclass(frozen=True)
+class ReadBytesLE(Action):
+    """dst <- next ``nbytes`` little-endian; stream must be byte-aligned."""
+
+    dst: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, "ReadBytesLE dst")
+        if not 1 <= self.nbytes <= 8:
+            raise ValueError("ReadBytesLE nbytes must be in 1..8")
+
+
+@dataclass(frozen=True)
+class EmitB(Action):
+    """Append the low byte of ``src`` to the output stream."""
+
+    src: int
+
+    def __post_init__(self) -> None:
+        _check_reg(self.src, "EmitB src")
+
+
+@dataclass(frozen=True)
+class EmitI(Action):
+    """Append the constant byte ``imm`` to the output stream."""
+
+    imm: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.imm <= 0xFF:
+            raise ValueError("EmitI imm must be a byte")
+
+
+@dataclass(frozen=True)
+class EmitWLE(Action):
+    """Append the low ``nbytes`` of ``src``, little-endian."""
+
+    src: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        _check_reg(self.src, "EmitWLE src")
+        if not 1 <= self.nbytes <= 8:
+            raise ValueError("EmitWLE nbytes must be in 1..8")
+
+
+@dataclass(frozen=True)
+class CopyIn(Action):
+    """Block-move ``len`` bytes from the (byte-aligned) input stream to the
+    output. Multi-cycle: the scratchpad datapath moves 8 bytes/cycle."""
+
+    len_reg: int
+
+    def __post_init__(self) -> None:
+        _check_reg(self.len_reg, "CopyIn len")
+
+
+@dataclass(frozen=True)
+class CopyBack(Action):
+    """Back-reference copy: append ``len`` bytes starting ``offset`` bytes
+    back in the output (overlap repeats the pattern, LZ77-style).
+    Multi-cycle: 8 bytes/cycle."""
+
+    offset_reg: int
+    len_reg: int
+
+    def __post_init__(self) -> None:
+        _check_reg(self.offset_reg, "CopyBack offset")
+        _check_reg(self.len_reg, "CopyBack len")
+
+
+# --------------------------------------------------------------------------
+# Transitions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Transition:
+    """Base class for the single per-block control transfer."""
+
+
+@dataclass(frozen=True)
+class Jmp(Transition):
+    """Unconditional transfer."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class Br(Transition):
+    """Two-way branch on a register condition (signed compare with zero)."""
+
+    cond: str
+    reg: int
+    then_target: str
+    else_target: str
+
+    def __post_init__(self) -> None:
+        if self.cond not in BR_CONDS:
+            raise ValueError(f"unknown branch condition {self.cond!r}")
+        _check_reg(self.reg, "Br reg")
+
+
+@dataclass(frozen=True)
+class Dispatch(Transition):
+    """Multi-way transfer: next address = base(family) + key register.
+
+    The assembler verifies every reachable key has a block; EffCLiP places
+    the family so the add is a perfect hash.
+    """
+
+    family: str
+    key_reg: int
+
+    def __post_init__(self) -> None:
+        _check_reg(self.key_reg, "Dispatch key")
+
+
+@dataclass(frozen=True)
+class Halt(Transition):
+    """Stop the program; ``status`` 0 means success."""
+
+    status: int = 0
+
+
+# --------------------------------------------------------------------------
+# Blocks & programs
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Block:
+    """One code point: actions + a transition.
+
+    ``dispatch_key``, when set to ``(family, key)``, pins this block as the
+    dispatch target for ``key`` within ``family`` — the coupled placement
+    constraint EffCLiP resolves.
+    """
+
+    label: str
+    actions: tuple[Action, ...]
+    transition: Transition
+    dispatch_key: tuple[str, int] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("block label must be non-empty")
+        if self.dispatch_key is not None and self.dispatch_key[1] < 0:
+            raise ValueError("dispatch key must be non-negative")
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+
+@dataclass(frozen=True)
+class Program:
+    """An unassembled UDP program."""
+
+    name: str
+    blocks: tuple[Block, ...]
+    entry: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "blocks", tuple(self.blocks))
+        labels = [b.label for b in self.blocks]
+        if len(set(labels)) != len(labels):
+            dupes = sorted({l for l in labels if labels.count(l) > 1})
+            raise ValueError(f"duplicate block labels: {dupes}")
+        if self.entry not in set(labels):
+            raise ValueError(f"entry label {self.entry!r} not defined")

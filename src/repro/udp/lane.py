@@ -1,0 +1,309 @@
+"""One UDP lane: Dispatch unit, Stream-Prefetch unit, Action unit, and a
+private scratchpad, with cycle accounting.
+
+Cycle model (paper Section III-E: short pipeline, one dispatch per cycle):
+
+* every executed block costs 1 cycle, which covers the transition and up to
+  two actions (the Action unit executes a small bundle per dispatch);
+* each additional action beyond the first two costs +1 cycle;
+* block moves (``CopyIn`` / ``CopyBack``) stream 8 bytes per cycle through
+  the 64-bit scratchpad datapath: +ceil(len/8) cycles;
+* multi-way dispatch costs nothing extra — the target address is an integer
+  add, the whole point of the design.
+
+The lane can record an execution **trace** (one event per block) which the
+CPU cost model replays: the same work, priced with branch prediction and
+pipeline flushes instead (see :mod:`repro.cpu.pipeline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.udp.assembler import AssembledProgram
+from repro.udp.isa import (
+    AluI,
+    AluR,
+    Br,
+    CopyBack,
+    CopyIn,
+    Dispatch,
+    EmitB,
+    EmitI,
+    EmitWLE,
+    Halt,
+    Jmp,
+    MovI,
+    MovR,
+    NUM_REGS,
+    REG_MASK,
+    ReadBytesLE,
+    ReadSym,
+)
+
+#: Default runaway-program guard.
+DEFAULT_MAX_CYCLES = 200_000_000
+
+
+class UDPFault(Exception):
+    """Raised on conditions real hardware would fault on: dispatch to an
+    unoccupied address, byte reads past end-of-stream, bad back-references,
+    or exceeding the cycle guard."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed block, as the CPU replay model needs to see it.
+
+    Attributes:
+        addr: block address (CPU model keys predictor state on this).
+        n_actions: actions executed in the block.
+        kind: transition kind ("jmp" | "br" | "dispatch" | "halt").
+        target: resolved next address (-1 for halt).
+        ntargets: dispatch family size (indirect-branch fan-out); 2 for br.
+        copy_bytes: bytes moved by CopyIn/CopyBack in this block.
+        taken: for "br" events, whether the then-target was taken.
+    """
+
+    addr: int
+    n_actions: int
+    kind: str
+    target: int
+    ntargets: int
+    copy_bytes: int
+    taken: bool = False
+
+
+@dataclass
+class LaneCounters:
+    """Aggregate execution statistics."""
+
+    cycles: int = 0
+    blocks: int = 0
+    actions: int = 0
+    dispatches: int = 0
+    branches: int = 0
+    copy_bytes: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    eof_fill_bits: int = 0
+
+
+@dataclass
+class LaneResult:
+    """Outcome of one program run on one lane."""
+
+    output: bytes
+    status: int
+    counters: LaneCounters
+    trace: list[TraceEvent] | None = None
+
+    @property
+    def cycles(self) -> int:
+        return self.counters.cycles
+
+
+class Lane:
+    """A single UDP lane executing an assembled program over a stream."""
+
+    def __init__(self, max_cycles: int = DEFAULT_MAX_CYCLES):
+        self.max_cycles = max_cycles
+
+    def run(
+        self,
+        program: AssembledProgram,
+        stream: bytes,
+        init_regs: dict[int, int] | None = None,
+        max_output: int | None = None,
+        collect_trace: bool = False,
+    ) -> LaneResult:
+        """Execute ``program`` over ``stream`` until :class:`Halt`.
+
+        Args:
+            program: assembled image.
+            stream: input byte stream (consumed by ReadSym/ReadBytesLE/CopyIn).
+            init_regs: initial register values (e.g. expected output count).
+            max_output: fault if the output exceeds this many bytes.
+            collect_trace: record per-block :class:`TraceEvent`s.
+
+        Raises:
+            UDPFault: on hardware-fault conditions (see class docstring).
+        """
+        regs = [0] * NUM_REGS
+        for r, v in (init_regs or {}).items():
+            if not 0 <= r < NUM_REGS:
+                raise ValueError(f"init reg r{r} out of range")
+            regs[r] = v & REG_MASK
+
+        out = bytearray()
+        counters = LaneCounters(bytes_in=len(stream))
+        trace: list[TraceEvent] | None = [] if collect_trace else None
+
+        bit_pos = 0
+        nbits_total = len(stream) * 8
+        fam_sizes = program.family_sizes
+
+        def read_bits(n: int) -> int:
+            nonlocal bit_pos
+            value = 0
+            for _ in range(n):
+                if bit_pos < nbits_total:
+                    byte = stream[bit_pos >> 3]
+                    bit = (byte >> (7 - (bit_pos & 7))) & 1
+                else:
+                    bit = 0
+                    counters.eof_fill_bits += 1
+                value = (value << 1) | bit
+                bit_pos += 1
+            return value
+
+        addr = program.entry_addr
+        status: int | None = None
+        while status is None:
+            block = program.image[addr] if 0 <= addr < program.size else None
+            if block is None:
+                raise UDPFault(f"dispatch to unoccupied address {addr}")
+            n_actions = len(block.actions)
+            block_copy_bytes = 0
+            block_cycles = 1 + max(0, n_actions - 2)
+
+            for action in block.actions:
+                if isinstance(action, MovI):
+                    regs[action.dst] = action.imm & REG_MASK
+                elif isinstance(action, MovR):
+                    regs[action.dst] = regs[action.src]
+                elif isinstance(action, AluR):
+                    regs[action.dst] = _alu(action.op, regs[action.a], regs[action.b])
+                elif isinstance(action, AluI):
+                    regs[action.dst] = _alu(action.op, regs[action.a], action.imm & REG_MASK)
+                elif isinstance(action, ReadSym):
+                    if action.eof_value is not None and bit_pos >= nbits_total:
+                        regs[action.dst] = action.eof_value
+                    else:
+                        regs[action.dst] = read_bits(action.nbits)
+                elif isinstance(action, ReadBytesLE):
+                    if bit_pos % 8:
+                        raise UDPFault("ReadBytesLE on unaligned stream")
+                    start = bit_pos >> 3
+                    if start + action.nbytes > len(stream):
+                        raise UDPFault("ReadBytesLE past end of stream")
+                    regs[action.dst] = int.from_bytes(
+                        stream[start : start + action.nbytes], "little"
+                    )
+                    bit_pos += 8 * action.nbytes
+                elif isinstance(action, EmitB):
+                    out.append(regs[action.src] & 0xFF)
+                elif isinstance(action, EmitI):
+                    out.append(action.imm)
+                elif isinstance(action, EmitWLE):
+                    out += (regs[action.src] & ((1 << (8 * action.nbytes)) - 1)).to_bytes(
+                        action.nbytes, "little"
+                    )
+                elif isinstance(action, CopyIn):
+                    if bit_pos % 8:
+                        raise UDPFault("CopyIn on unaligned stream")
+                    length = regs[action.len_reg]
+                    start = bit_pos >> 3
+                    if start + length > len(stream):
+                        raise UDPFault("CopyIn past end of stream")
+                    out += stream[start : start + length]
+                    bit_pos += 8 * length
+                    block_copy_bytes += length
+                    block_cycles += -(-length // 8)
+                elif isinstance(action, CopyBack):
+                    length = regs[action.len_reg]
+                    offset = regs[action.offset_reg]
+                    if offset == 0 or offset > len(out):
+                        raise UDPFault(
+                            f"CopyBack offset {offset} invalid at output {len(out)}"
+                        )
+                    if offset >= length:
+                        src = len(out) - offset
+                        out += out[src : src + length]
+                    else:
+                        pattern = out[len(out) - offset :]
+                        reps = -(-length // offset)
+                        out += (pattern * reps)[:length]
+                    block_copy_bytes += length
+                    block_cycles += -(-length // 8)
+                else:  # pragma: no cover - exhaustive over ISA
+                    raise UDPFault(f"unknown action {action!r}")
+
+            if max_output is not None and len(out) > max_output:
+                raise UDPFault(f"output exceeded {max_output} bytes")
+
+            t = block.transition
+            br_taken = False
+            if isinstance(t, Jmp):
+                next_addr = program.addr_of[t.target]
+                kind, ntargets = "jmp", 1
+            elif isinstance(t, Br):
+                br_taken = _br_taken(t.cond, regs[t.reg])
+                next_addr = program.addr_of[t.then_target if br_taken else t.else_target]
+                kind, ntargets = "br", 2
+                counters.branches += 1
+            elif isinstance(t, Dispatch):
+                base = program.family_base[t.family]
+                next_addr = base + regs[t.key_reg]
+                kind, ntargets = "dispatch", fam_sizes[t.family]
+                counters.dispatches += 1
+            elif isinstance(t, Halt):
+                next_addr = -1
+                kind, ntargets = "halt", 1
+                status = t.status
+            else:  # pragma: no cover - exhaustive over ISA
+                raise UDPFault(f"unknown transition {t!r}")
+
+            counters.blocks += 1
+            counters.actions += n_actions
+            counters.copy_bytes += block_copy_bytes
+            counters.cycles += block_cycles
+            if counters.cycles > self.max_cycles:
+                raise UDPFault(f"exceeded cycle guard ({self.max_cycles})")
+            if trace is not None:
+                trace.append(
+                    TraceEvent(
+                        addr=addr,
+                        n_actions=n_actions,
+                        kind=kind,
+                        target=next_addr,
+                        ntargets=ntargets,
+                        copy_bytes=block_copy_bytes,
+                        taken=br_taken,
+                    )
+                )
+            addr = next_addr
+
+        counters.bytes_out = len(out)
+        return LaneResult(output=bytes(out), status=status, counters=counters, trace=trace)
+
+
+def _alu(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return (a + b) & REG_MASK
+    if op == "sub":
+        return (a - b) & REG_MASK
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return (a << (b & 63)) & REG_MASK
+    if op == "shr":
+        return a >> (b & 63)
+    raise UDPFault(f"unknown ALU op {op!r}")  # pragma: no cover
+
+
+def _br_taken(cond: str, value: int) -> bool:
+    signed = value - (1 << 64) if value >= (1 << 63) else value
+    if cond == "z":
+        return signed == 0
+    if cond == "nz":
+        return signed != 0
+    if cond == "lez":
+        return signed <= 0
+    if cond == "gtz":
+        return signed > 0
+    raise UDPFault(f"unknown branch condition {cond!r}")  # pragma: no cover

@@ -1,0 +1,28 @@
+"""UDP decode programs for the DSH pipeline.
+
+The decompression of one block "contains these three transformations, run
+in the reverse order — huffman decode, snappy decode, inverse delta — that
+run as a series of steps in a single lane of the UDP" (paper Section V-A).
+
+* :func:`~repro.udp.programs.delta_prog.build_delta_decode` — static
+  program, inverse first-difference over int32 lanes.
+* :func:`~repro.udp.programs.snappy_prog.build_snappy_decode` — static
+  program; the tag byte's low two bits feed a 4-way dispatch, literal
+  extra-length bytes feed a second dispatch family.
+* :func:`~repro.udp.programs.huffman_prog.build_huffman_decode` — generated
+  per matrix from the Huffman table: the code-tree DFA becomes one dispatch
+  family per state, and end-of-stream is a 17th dispatch key, so the hot
+  loop is branch-free (exactly the paper's "multi-way dispatch" win).
+"""
+
+from repro.udp.programs.delta_prog import build_delta_decode
+from repro.udp.programs.huffman_prog import build_huffman_decode
+from repro.udp.programs.rle_prog import build_rle_decode
+from repro.udp.programs.snappy_prog import build_snappy_decode
+
+__all__ = [
+    "build_delta_decode",
+    "build_snappy_decode",
+    "build_huffman_decode",
+    "build_rle_decode",
+]

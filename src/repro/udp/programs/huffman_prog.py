@@ -1,0 +1,88 @@
+"""UDP program: canonical Huffman decode, generated from a code table.
+
+This mirrors the real UDP toolchain: the per-matrix Huffman tree is
+compiled into a stride-bit DFA (:meth:`HuffmanTable.decode_automaton`),
+whose states become **dispatch families** — one family per internal trie
+node, one member block per chunk value. The hot loop is a single block per
+chunk: emit the decoded symbols, prefetch the next chunk, dispatch. No
+branches, no count checks: the Stream-Prefetch unit returns a 17th key
+(``EOF_KEY``) when the stream is exhausted, and that key's block halts.
+
+Decoded output may carry a few spurious trailing symbols produced by the
+final byte's padding bits; callers truncate to the known output length
+(exactly what the paper's ``recode`` runtime does, since every record
+stores its decoded size).
+
+Register contract:
+    r1 — current chunk (dispatch key).
+"""
+
+from __future__ import annotations
+
+from repro.codecs.huffman import HuffmanDFA, HuffmanTable
+from repro.udp.isa import Block, Dispatch, EmitI, Halt, Program, ReadSym
+
+_R_CHUNK = 1
+
+#: Default chunk width (bits consumed per dispatch).
+DEFAULT_STRIDE = 4
+
+
+def eof_key(stride: int) -> int:
+    """The out-of-band dispatch key returned at end-of-stream."""
+    return 1 << stride
+
+
+def build_huffman_decode(
+    table: HuffmanTable, stride: int = DEFAULT_STRIDE
+) -> Program:
+    """Compile ``table`` into a UDP decode program.
+
+    Args:
+        table: the matrix's canonical Huffman table.
+        stride: bits per dispatch (8/stride must be integral so chunks
+            never straddle the byte-padded payload end).
+
+    Returns:
+        An unassembled :class:`Program` (families: one per DFA state).
+    """
+    if 8 % stride != 0:
+        raise ValueError("stride must divide 8 so chunks align to payload end")
+    dfa: HuffmanDFA = table.decode_automaton(stride=stride)
+    eof = eof_key(stride)
+
+    blocks: list[Block] = [
+        Block(
+            label="start",
+            actions=(ReadSym(_R_CHUNK, stride, eof_value=eof),),
+            transition=Dispatch(f"st{dfa.root}", _R_CHUNK),
+        ),
+        Block(label="done", actions=(), transition=Halt(0)),
+    ]
+
+    for state, row in enumerate(dfa.transitions):
+        if not row:
+            continue  # leaf trie node: never a resting state
+        for chunk, (next_state, emitted) in enumerate(row):
+            actions = tuple(EmitI(sym) for sym in emitted) + (
+                ReadSym(_R_CHUNK, stride, eof_value=eof),
+            )
+            blocks.append(
+                Block(
+                    label=f"n{state}_{chunk}",
+                    dispatch_key=(f"st{state}", chunk),
+                    actions=actions,
+                    transition=Dispatch(f"st{next_state}", _R_CHUNK),
+                )
+            )
+        # End-of-stream member: halt.
+        blocks.append(
+            Block(
+                label=f"fin{state}",
+                dispatch_key=(f"st{state}", eof),
+                actions=(),
+                transition=Halt(0),
+            )
+        )
+
+    return Program(name=f"huffman-decode-s{stride}", blocks=tuple(blocks), entry="start")

@@ -1,0 +1,148 @@
+"""UDP program: RLE decode for int32 lanes (the custom structured-matrix
+codec of :mod:`repro.codecs.rle`).
+
+Demonstrates the paper's programmability claim: a brand-new storage format
+costs one new UDP program — no CPU code change, no new hardware. The run
+expansion uses the back-reference copy trick (emit the 4-byte value once,
+then ``CopyBack(offset=4, len=4*(count-1))``), so a whole run costs ~4
+blocks plus 1 cycle per 8 output bytes — cheaper than Snappy-decoding the
+same stream.
+
+Stream layout (from ``RLECodec.encode``):
+    uvarint(element_count) || ( uvarint(run) uvarint(zigzag(value)) )*
+
+Register contract:
+    r0 — remaining elements; r2 — varint byte; r3 — varint accumulator;
+    r4 — varint shift; r5 — run length; r6 — decoded value; r7 — scratch.
+"""
+
+from __future__ import annotations
+
+from repro.udp.isa import (
+    AluI,
+    AluR,
+    Block,
+    Br,
+    CopyBack,
+    EmitWLE,
+    Halt,
+    Jmp,
+    Program,
+    ReadBytesLE,
+)
+
+_R_REMAIN = 0
+_R_BYTE = 2
+_R_ACC = 3
+_R_SHIFT = 4
+_R_RUN = 5
+_R_VALUE = 6
+_R_TMP = 7
+
+
+def _varint_blocks(prefix: str, done_label: str) -> list[Block]:
+    """Blocks reading one uvarint into r3, then jumping to ``done_label``."""
+    return [
+        Block(
+            label=f"{prefix}_init",
+            actions=(
+                AluI("and", _R_ACC, _R_ACC, 0),
+                AluI("and", _R_SHIFT, _R_SHIFT, 0),
+            ),
+            transition=Jmp(f"{prefix}_byte"),
+        ),
+        Block(
+            label=f"{prefix}_byte",
+            actions=(
+                ReadBytesLE(_R_BYTE, 1),
+                AluI("and", _R_TMP, _R_BYTE, 0x7F),
+                AluR("shl", _R_TMP, _R_TMP, _R_SHIFT),
+                AluR("or", _R_ACC, _R_ACC, _R_TMP),
+                AluI("add", _R_SHIFT, _R_SHIFT, 7),
+                AluI("and", _R_BYTE, _R_BYTE, 0x80),
+            ),
+            transition=Br("nz", _R_BYTE, f"{prefix}_byte", done_label),
+        ),
+    ]
+
+
+def build_rle_decode() -> Program:
+    """Build the (static) RLE-decode program."""
+    blocks: list[Block] = []
+    # Element count (consumed for validation; loop is count-driven).
+    blocks += _varint_blocks("count", "count_done")
+    blocks.append(
+        Block(
+            label="count_done",
+            actions=(AluR("or", _R_REMAIN, _R_ACC, _R_ACC),),
+            transition=Jmp("check"),
+        )
+    )
+    blocks.append(
+        Block(label="check", actions=(), transition=Br("gtz", _R_REMAIN, "run_init", "done"))
+    )
+    # Run length.
+    blocks += _varint_blocks("run", "run_done")
+    blocks.append(
+        Block(
+            label="run_done",
+            actions=(AluR("or", _R_RUN, _R_ACC, _R_ACC),),
+            transition=Jmp("val_init"),
+        )
+    )
+    # Zigzag value: value = (zz >> 1) ^ -(zz & 1), in 32-bit arithmetic.
+    blocks += _varint_blocks("val", "val_done")
+    blocks.append(
+        Block(
+            label="val_done",
+            actions=(
+                AluI("and", _R_TMP, _R_ACC, 1),
+                AluI("shr", _R_ACC, _R_ACC, 1),
+            ),
+            transition=Br("nz", _R_TMP, "val_neg", "val_pos"),
+        )
+    )
+    blocks.append(
+        Block(
+            label="val_pos",
+            actions=(AluR("or", _R_VALUE, _R_ACC, _R_ACC),),
+            transition=Jmp("emit_first"),
+        )
+    )
+    blocks.append(
+        Block(
+            label="val_neg",
+            actions=(
+                # value = ~(zz >> 1) in two's complement = -(zz>>1) - 1.
+                AluI("xor", _R_VALUE, _R_ACC, (1 << 64) - 1),
+            ),
+            transition=Jmp("emit_first"),
+        )
+    )
+    # Emit the first element, then block-copy the rest of the run.
+    blocks.append(
+        Block(
+            label="emit_first",
+            actions=(
+                EmitWLE(_R_VALUE, 4),
+                AluI("sub", _R_REMAIN, _R_REMAIN, 1),
+                AluI("sub", _R_RUN, _R_RUN, 1),
+            ),
+            transition=Br("gtz", _R_RUN, "expand", "check"),
+        )
+    )
+    blocks.append(
+        Block(
+            label="expand",
+            actions=(
+                AluI("shl", _R_TMP, _R_RUN, 2),  # bytes = 4 * (run - 1)
+                AluI("and", _R_BYTE, _R_BYTE, 0),
+                AluI("add", _R_BYTE, _R_BYTE, 4),  # offset = 4
+                CopyBack(_R_BYTE, _R_TMP),
+                AluR("sub", _R_REMAIN, _R_REMAIN, _R_RUN),
+            ),
+            transition=Jmp("check"),
+        )
+    )
+    blocks.append(Block(label="done", actions=(), transition=Halt(0)))
+    return Program(name="rle-decode", blocks=tuple(blocks), entry="count_init")

@@ -1,0 +1,196 @@
+"""UDP program: Snappy block-format decompression.
+
+This is the poster child for multi-way dispatch: the element loop reads a
+tag byte and dispatches on its low two bits (literal / copy-1 / copy-2 /
+copy-4) in a single cycle, where a CPU suffers an unpredictable indirect
+branch (paper Section III-E). Literal extra-length bytes (codes 60-63) use
+a second, 4-way dispatch family.
+
+Register contract:
+    r0 — remaining output bytes (loaded from the stream preamble varint).
+    r2 — tag byte / scratch.
+    r3 — element length (also dispatch key for the tag family, low 2 bits).
+    r4 — copy offset.
+    r5 — scratch.
+    r6 — varint shift counter.
+"""
+
+from __future__ import annotations
+
+from repro.udp.isa import (
+    AluI,
+    AluR,
+    Block,
+    Br,
+    CopyBack,
+    CopyIn,
+    Dispatch,
+    Halt,
+    Jmp,
+    Program,
+    ReadBytesLE,
+)
+
+_R_REMAIN = 0
+_R_TAG = 2
+_R_LEN = 3
+_R_OFF = 4
+_R_TMP = 5
+_R_SHIFT = 6
+
+
+def build_snappy_decode() -> Program:
+    """Build the (static) Snappy-decode program."""
+    blocks: list[Block] = []
+
+    # Preamble: uvarint uncompressed length into r0.
+    blocks.append(
+        Block(
+            label="start",
+            actions=(
+                AluI("and", _R_REMAIN, _R_REMAIN, 0),  # r0 = 0
+                AluI("and", _R_SHIFT, _R_SHIFT, 0),  # shift = 0
+            ),
+            transition=Jmp("varint"),
+        )
+    )
+    blocks.append(
+        Block(
+            label="varint",
+            actions=(
+                ReadBytesLE(_R_TAG, 1),
+                AluI("and", _R_TMP, _R_TAG, 0x7F),
+                AluR("shl", _R_TMP, _R_TMP, _R_SHIFT),
+                AluR("or", _R_REMAIN, _R_REMAIN, _R_TMP),
+                AluI("add", _R_SHIFT, _R_SHIFT, 7),
+                AluI("and", _R_TAG, _R_TAG, 0x80),
+            ),
+            transition=Br("nz", _R_TAG, "varint", "check"),
+        )
+    )
+
+    # Main element loop.
+    blocks.append(
+        Block(
+            label="check",
+            actions=(),
+            transition=Br("gtz", _R_REMAIN, "tag", "done"),
+        )
+    )
+    blocks.append(
+        Block(
+            label="tag",
+            actions=(
+                ReadBytesLE(_R_TAG, 1),
+                AluI("and", _R_LEN, _R_TAG, 3),
+            ),
+            transition=Dispatch("tag", _R_LEN),
+        )
+    )
+
+    # --- tag 0: literal -----------------------------------------------------
+    blocks.append(
+        Block(
+            label="lit",
+            dispatch_key=("tag", 0),
+            actions=(
+                AluI("shr", _R_LEN, _R_TAG, 2),
+                AluI("sub", _R_TMP, _R_LEN, 59),
+            ),
+            transition=Br("gtz", _R_TMP, "lit_ext", "lit_short"),
+        )
+    )
+    blocks.append(
+        Block(
+            label="lit_short",
+            actions=(AluI("add", _R_LEN, _R_LEN, 1),),
+            transition=Jmp("lit_copy"),
+        )
+    )
+    # Extra length bytes: r5 in 1..4 selects how many bytes hold (length-1).
+    blocks.append(
+        Block(
+            label="lit_ext",
+            actions=(),
+            transition=Dispatch("litext", _R_TMP),
+        )
+    )
+    for nbytes in (1, 2, 3, 4):
+        blocks.append(
+            Block(
+                label=f"lit_ext{nbytes}",
+                dispatch_key=("litext", nbytes),
+                actions=(
+                    ReadBytesLE(_R_LEN, nbytes),
+                    AluI("add", _R_LEN, _R_LEN, 1),
+                ),
+                transition=Jmp("lit_copy"),
+            )
+        )
+    blocks.append(
+        Block(
+            label="lit_copy",
+            actions=(
+                CopyIn(_R_LEN),
+                AluR("sub", _R_REMAIN, _R_REMAIN, _R_LEN),
+            ),
+            transition=Br("gtz", _R_REMAIN, "tag", "done"),
+        )
+    )
+
+    # --- tag 1: copy, 1-byte offset ------------------------------------------
+    blocks.append(
+        Block(
+            label="copy1",
+            dispatch_key=("tag", 1),
+            actions=(
+                AluI("shr", _R_TMP, _R_TAG, 2),
+                AluI("and", _R_TMP, _R_TMP, 7),
+                AluI("add", _R_LEN, _R_TMP, 4),
+                AluI("shr", _R_OFF, _R_TAG, 5),
+                AluI("shl", _R_OFF, _R_OFF, 8),
+                ReadBytesLE(_R_TMP, 1),
+                AluR("or", _R_OFF, _R_OFF, _R_TMP),
+            ),
+            transition=Jmp("do_copy"),
+        )
+    )
+    # --- tag 2: copy, 2-byte offset ------------------------------------------
+    blocks.append(
+        Block(
+            label="copy2",
+            dispatch_key=("tag", 2),
+            actions=(
+                AluI("shr", _R_LEN, _R_TAG, 2),
+                AluI("add", _R_LEN, _R_LEN, 1),
+                ReadBytesLE(_R_OFF, 2),
+            ),
+            transition=Jmp("do_copy"),
+        )
+    )
+    # --- tag 3: copy, 4-byte offset ------------------------------------------
+    blocks.append(
+        Block(
+            label="copy3",
+            dispatch_key=("tag", 3),
+            actions=(
+                AluI("shr", _R_LEN, _R_TAG, 2),
+                AluI("add", _R_LEN, _R_LEN, 1),
+                ReadBytesLE(_R_OFF, 4),
+            ),
+            transition=Jmp("do_copy"),
+        )
+    )
+    blocks.append(
+        Block(
+            label="do_copy",
+            actions=(
+                CopyBack(_R_OFF, _R_LEN),
+                AluR("sub", _R_REMAIN, _R_REMAIN, _R_LEN),
+            ),
+            transition=Br("gtz", _R_REMAIN, "tag", "done"),
+        )
+    )
+
+    blocks.append(Block(label="done", actions=(), transition=Halt(0)))
+    return Program(name="snappy-decode", blocks=tuple(blocks), entry="start")

@@ -1,0 +1,304 @@
+"""UDP runtime: execute DSH decode chains over compressed matrix plans.
+
+For each 8 KB block the runtime runs the paper's three steps on one lane —
+Huffman decode, Snappy decode, inverse delta (index stream only) — chaining
+each stage's output into the next, accumulating cycles. Results are
+verified bit-exact against the stored originals.
+
+Whole-suite experiments don't need every block simulated: cycle counts per
+block are tightly clustered, so :func:`simulate_plan` can simulate a
+deterministic sample and extrapolate the rest (per stream kind) before
+scheduling all tasks on the 64-lane machine. ``sample=None`` simulates
+everything (tests do this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs.pipeline import MatrixCompression
+from repro.udp.assembler import AssembledProgram, assemble
+from repro.udp.lane import Lane, TraceEvent
+from repro.udp.machine import LaneTask, Schedule, UDPMachine
+from repro.udp.programs.delta_prog import REG_COUNT, build_delta_decode
+from repro.udp.programs.huffman_prog import build_huffman_decode
+from repro.udp.programs.snappy_prog import build_snappy_decode
+from repro.util.rng import derive_seed, seeded_rng
+
+#: Stream kinds within a block.
+INDEX, VALUE = "index", "value"
+
+#: Per-lane local memory (64 lanes x 64 KB = the 4 MB UDP local store).
+LANE_SCRATCHPAD_BYTES = 64 * 1024
+#: Machine-code footprint of one placed block slot.
+BYTES_PER_CODE_SLOT = 8
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """Per-lane scratchpad budget check for a toolchain.
+
+    A lane must hold the largest decode program's code image plus three
+    streaming buffers (compressed input, Snappy intermediate, 8 KB output)
+    — "with enough memory per lane to store the 8KB block and the output
+    of each individual step" (paper Section V-A).
+    """
+
+    program_bytes: dict[str, int]
+    buffer_bytes: int
+    lane_budget: int
+
+    @property
+    def largest_program(self) -> int:
+        return max(self.program_bytes.values()) if self.program_bytes else 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.largest_program + self.buffer_bytes
+
+    @property
+    def fits(self) -> bool:
+        return self.total_bytes <= self.lane_budget
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """One record decoded through the full stage chain on one lane."""
+
+    block_index: int
+    stream: str
+    stage_cycles: dict[str, int]
+    output: bytes
+    verified: bool
+    traces: dict[str, list[TraceEvent]] | None = None
+
+    @property
+    def cycles(self) -> int:
+        return sum(self.stage_cycles.values())
+
+
+@dataclass(frozen=True)
+class UDPDecodeReport:
+    """Aggregate decode simulation for one matrix plan."""
+
+    matrix_blocks: int
+    simulated: tuple[ChainResult, ...]
+    tasks: tuple[LaneTask, ...]
+    schedule: Schedule
+    clock_hz: float
+
+    @property
+    def all_verified(self) -> bool:
+        return all(r.verified for r in self.simulated)
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Sustained decompressed-output rate of the whole accelerator
+        (steady-state: the paper decodes block streams far longer than the
+        lane count, so lanes stay fed)."""
+        return self.schedule.steady_state_throughput_bytes_per_s
+
+    @property
+    def makespan_throughput_bytes_per_s(self) -> float:
+        """Output rate over this finite task set's makespan (lower when the
+        task count cannot fill all 64 lanes)."""
+        return self.schedule.throughput_bytes_per_s
+
+    @property
+    def block_latencies_s(self) -> np.ndarray:
+        """Per-block single-lane latency (index + value chain) in seconds,
+        over the simulated sample."""
+        per_block: dict[int, int] = {}
+        for r in self.simulated:
+            per_block[r.block_index] = per_block.get(r.block_index, 0) + r.cycles
+        return np.array(sorted(per_block.values()), dtype=float) / self.clock_hz
+
+
+class DecoderToolchain:
+    """Assembled programs for one matrix plan (built once, reused per block)."""
+
+    def __init__(self, plan: MatrixCompression, stride: int = 4):
+        self.plan = plan
+        self.snappy = assemble(build_snappy_decode())
+        self.delta = assemble(build_delta_decode())
+        self.huffman_index: AssembledProgram | None = None
+        self.huffman_value: AssembledProgram | None = None
+        if plan.use_huffman:
+            if plan.index_table is None or plan.value_table is None:
+                raise ValueError("huffman plan is missing tables")
+            self.huffman_index = assemble(build_huffman_decode(plan.index_table, stride))
+            self.huffman_value = assemble(build_huffman_decode(plan.value_table, stride))
+
+    def footprint(self, lane_budget: int = LANE_SCRATCHPAD_BYTES) -> FootprintReport:
+        """Check the toolchain against a lane's local memory.
+
+        Programs run as sequential steps on one lane, so only the largest
+        code image is resident at once alongside the three block buffers.
+        """
+        programs: dict[str, AssembledProgram | None] = {
+            "snappy": self.snappy,
+            "delta": self.delta,
+            "huffman-index": self.huffman_index,
+            "huffman-value": self.huffman_value,
+        }
+        program_bytes = {
+            name: prog.size * BYTES_PER_CODE_SLOT
+            for name, prog in programs.items()
+            if prog is not None
+        }
+        # Compressed input + Snappy intermediate + decompressed output.
+        buffer_bytes = 3 * self.plan.block_bytes
+        return FootprintReport(
+            program_bytes=program_bytes,
+            buffer_bytes=buffer_bytes,
+            lane_budget=lane_budget,
+        )
+
+    def run_chain(
+        self,
+        block_index: int,
+        stream: str,
+        lane: Lane | None = None,
+        collect_trace: bool = False,
+    ) -> ChainResult:
+        """Decode one record through Huffman → Snappy → (inverse delta).
+
+        Raises:
+            ValueError: on an unknown stream kind.
+        """
+        if stream == INDEX:
+            record = self.plan.index_records[block_index]
+            huffman = self.huffman_index
+        elif stream == VALUE:
+            record = self.plan.value_records[block_index]
+            huffman = self.huffman_value
+        else:
+            raise ValueError(f"unknown stream kind {stream!r}")
+        lane = lane or Lane()
+        stage_cycles: dict[str, int] = {}
+        traces: dict[str, list[TraceEvent]] = {}
+
+        data = record.payload
+        if self.plan.use_huffman:
+            assert huffman is not None
+            res = lane.run(huffman, data, collect_trace=collect_trace)
+            # Padding bits may decode to spurious tail symbols; the record
+            # stores the true length.
+            data = res.output[: record.snappy_len]
+            if len(data) < record.snappy_len:
+                raise ValueError(
+                    f"huffman produced {len(res.output)} < {record.snappy_len} bytes"
+                )
+            stage_cycles["huffman"] = res.cycles
+            if collect_trace and res.trace is not None:
+                traces["huffman"] = res.trace
+
+        res = lane.run(self.snappy, data, collect_trace=collect_trace)
+        data = res.output
+        stage_cycles["snappy"] = res.cycles
+        if collect_trace and res.trace is not None:
+            traces["snappy"] = res.trace
+
+        if stream == INDEX and self.plan.use_delta:
+            res = lane.run(
+                self.delta,
+                data,
+                init_regs={REG_COUNT: len(data) // 4},
+                collect_trace=collect_trace,
+            )
+            data = res.output
+            stage_cycles["delta"] = res.cycles
+            if collect_trace and res.trace is not None:
+                traces["delta"] = res.trace
+
+        ref_block = self.plan.blocked.blocks[block_index]
+        expected = ref_block.index_bytes() if stream == INDEX else ref_block.value_bytes()
+        return ChainResult(
+            block_index=block_index,
+            stream=stream,
+            stage_cycles=stage_cycles,
+            output=data,
+            verified=data == expected,
+            traces=traces or None,
+        )
+
+
+def simulate_plan(
+    plan: MatrixCompression,
+    machine: UDPMachine | None = None,
+    sample: int | None = None,
+    seed: int = 0,
+    stride: int = 4,
+) -> UDPDecodeReport:
+    """Simulate decoding an entire matrix plan on the UDP accelerator.
+
+    Args:
+        plan: the compressed matrix.
+        machine: accelerator configuration (default: 64 lanes @ 1.6 GHz).
+        sample: number of blocks to cycle-simulate (None = all). The
+            remaining blocks become tasks with the sampled per-stream mean
+            cycle count, scaled by their payload size.
+        seed: sample selection seed.
+        stride: Huffman dispatch stride in bits.
+
+    Returns:
+        A :class:`UDPDecodeReport` with verified outputs, per-task cycle
+        counts, and the 64-lane schedule.
+    """
+    machine = machine or UDPMachine()
+    nblocks = plan.nblocks
+    toolchain = DecoderToolchain(plan, stride=stride)
+
+    if nblocks == 0:
+        return UDPDecodeReport(
+            matrix_blocks=0,
+            simulated=(),
+            tasks=(),
+            schedule=machine.schedule([]),
+            clock_hz=machine.clock_hz,
+        )
+
+    if sample is None or sample >= nblocks:
+        picked = np.arange(nblocks)
+    else:
+        rng = seeded_rng(derive_seed(seed, "udp-sample"))
+        picked = np.sort(rng.choice(nblocks, size=max(1, sample), replace=False))
+    picked_set = set(int(i) for i in picked)
+
+    lane = Lane()
+    simulated: list[ChainResult] = []
+    sim_by_stream: dict[str, list[ChainResult]] = {INDEX: [], VALUE: []}
+    for i in picked:
+        for stream in (INDEX, VALUE):
+            result = toolchain.run_chain(int(i), stream, lane=lane)
+            simulated.append(result)
+            sim_by_stream[stream].append(result)
+
+    # Cycles-per-output-byte per stream kind, for extrapolation.
+    cpb: dict[str, float] = {}
+    for stream, results in sim_by_stream.items():
+        out_bytes = sum(len(r.output) for r in results)
+        cpb[stream] = sum(r.cycles for r in results) / max(1, out_bytes)
+
+    tasks: list[LaneTask] = []
+    sim_lookup = {(r.block_index, r.stream): r for r in simulated}
+    for i in range(nblocks):
+        block = plan.blocked.blocks[i]
+        for stream, nbytes in ((INDEX, 4 * block.nnz), (VALUE, 8 * block.nnz)):
+            if i in picked_set:
+                cycles = sim_lookup[(i, stream)].cycles
+            else:
+                cycles = int(round(cpb[stream] * nbytes))
+            tasks.append(
+                LaneTask(name=f"b{i}/{stream}", cycles=cycles, output_bytes=nbytes)
+            )
+
+    return UDPDecodeReport(
+        matrix_blocks=nblocks,
+        simulated=tuple(simulated),
+        tasks=tuple(tasks),
+        schedule=machine.schedule(tasks),
+        clock_hz=machine.clock_hz,
+    )

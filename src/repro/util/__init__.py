@@ -1,0 +1,35 @@
+"""Shared utilities: statistics helpers, unit formatting, table rendering, RNG policy."""
+
+from repro.util.geomean import geomean, geomean_ratio
+from repro.util.rng import seeded_rng, derive_seed
+from repro.util.tables import Table
+from repro.util.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    fmt_bytes,
+    fmt_rate,
+    fmt_seconds,
+    fmt_power,
+)
+
+__all__ = [
+    "geomean",
+    "geomean_ratio",
+    "seeded_rng",
+    "derive_seed",
+    "Table",
+    "GB",
+    "GIB",
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_seconds",
+    "fmt_power",
+]

@@ -1,0 +1,46 @@
+"""Geometric-mean helpers.
+
+The paper reports nearly every aggregate as a geometric mean (compressed
+bytes/nnz, decompression throughput, SpMV speedup), so these helpers are used
+throughout the experiment harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Computed in log space so that long suites of small per-matrix ratios do
+    not underflow.
+
+    Raises:
+        ValueError: if ``values`` is empty or contains a non-positive entry.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(arr <= 0.0):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def geomean_ratio(numerators: Iterable[float], denominators: Iterable[float]) -> float:
+    """Geometric mean of elementwise ratios ``numerators[i] / denominators[i]``.
+
+    Raises:
+        ValueError: on length mismatch, empty input, or non-positive entries.
+    """
+    num = np.asarray(list(numerators), dtype=np.float64)
+    den = np.asarray(list(denominators), dtype=np.float64)
+    if num.shape != den.shape:
+        raise ValueError(f"length mismatch: {num.shape} vs {den.shape}")
+    if num.size == 0:
+        raise ValueError("geomean_ratio of empty sequences")
+    if np.any(num <= 0.0) or np.any(den <= 0.0):
+        raise ValueError("geomean_ratio requires strictly positive values")
+    return float(np.exp(np.mean(np.log(num) - np.log(den))))

@@ -1,0 +1,59 @@
+"""Minimal ASCII/markdown table renderer used by the experiment harness to
+print the same rows the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class Table:
+    """A simple column-aligned table.
+
+    Rows are formatted eagerly on ``add_row`` so non-string cells may be
+    passed with a per-column format spec.
+    """
+
+    def __init__(self, columns: Sequence[str], formats: Sequence[str] | None = None):
+        if not columns:
+            raise ValueError("table needs at least one column")
+        if formats is not None and len(formats) != len(columns):
+            raise ValueError("formats length must match columns")
+        self.columns = list(columns)
+        self.formats = list(formats) if formats is not None else ["{}"] * len(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append(
+            [fmt.format(cell) for fmt, cell in zip(self.formats, cells)]
+        )
+
+    def _widths(self) -> list[int]:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        widths = self._widths()
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "  ".join("-" * w for w in widths)
+        body = [
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in self.rows
+        ]
+        return "\n".join([header, rule, *body])
+
+    def render_markdown(self) -> str:
+        """Render as a GitHub-flavored markdown table (for EXPERIMENTS.md)."""
+        header = "| " + " | ".join(self.columns) + " |"
+        rule = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = ["| " + " | ".join(row) + " |" for row in self.rows]
+        return "\n".join([header, rule, *body])
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

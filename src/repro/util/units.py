@@ -1,0 +1,56 @@
+"""Unit constants and human-readable formatting.
+
+Decimal units (GB = 1e9) are used for bandwidths and rates, matching the
+paper's "100GB/s DDR" / "1TB/s HBM2" convention; binary units (KiB) are used
+for block sizes ("8KB block" in the paper means 8192 bytes, the UDP
+scratchpad bank size).
+"""
+
+from __future__ import annotations
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary-prefix unit."""
+    n = float(n)
+    for unit, scale in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Format a data rate with a decimal-prefix unit (paper convention)."""
+    r = float(bytes_per_second)
+    for unit, scale in (("TB/s", TB), ("GB/s", GB), ("MB/s", MB), ("KB/s", KB)):
+        if abs(r) >= scale:
+            return f"{r / scale:.2f} {unit}"
+    return f"{r:.0f} B/s"
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Format a duration, choosing s/ms/us/ns."""
+    s = float(seconds)
+    if abs(s) >= 1.0:
+        return f"{s:.3f} s"
+    if abs(s) >= 1e-3:
+        return f"{s * 1e3:.2f} ms"
+    if abs(s) >= 1e-6:
+        return f"{s * 1e6:.2f} us"
+    return f"{s * 1e9:.1f} ns"
+
+
+def fmt_power(watts: float) -> str:
+    """Format a power figure."""
+    w = float(watts)
+    if abs(w) >= 1.0:
+        return f"{w:.2f} W"
+    return f"{w * 1e3:.1f} mW"

@@ -1,0 +1,169 @@
+"""Tests for the canonical Huffman codec and its decode DFA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs import HuffmanCodec, HuffmanTable
+
+
+def table_for(data: bytes) -> HuffmanTable:
+    return HuffmanTable.from_samples([data])
+
+
+class TestTableConstruction:
+    def test_all_symbols_have_codes(self):
+        # Add-one smoothing: even unseen symbols are encodable.
+        table = table_for(b"aaaa")
+        assert np.all(table.lengths > 0)
+
+    def test_skew_gives_short_code_to_common_symbol(self):
+        data = b"a" * 10_000 + bytes(range(256))
+        table = table_for(data)
+        assert table.lengths[ord("a")] == table.lengths.min()
+        assert table.lengths[ord("a")] <= 2
+
+    def test_uniform_gives_eight_bit_codes(self):
+        table = HuffmanTable.from_frequencies([1000] * 256)
+        assert np.all(table.lengths == 8)
+
+    def test_kraft_inequality_holds_with_equality(self):
+        # A full Huffman tree satisfies Kraft with equality.
+        for blob in [b"", b"abc", b"a" * 500, bytes(range(256)) * 3]:
+            table = table_for(blob)
+            kraft = np.sum(2.0 ** -table.lengths.astype(float))
+            assert kraft == pytest.approx(1.0, rel=1e-9)
+
+    def test_canonical_codes_are_prefix_free(self):
+        table = table_for(b"hello huffman world" * 20)
+        entries = sorted(
+            ((int(table.lengths[s]), int(table.codes[s])) for s in range(256))
+        )
+        for (l1, c1), (l2, c2) in zip(entries, entries[1:]):
+            # No code is a prefix of a longer one.
+            assert (c2 >> (l2 - l1)) != c1 or l1 == l2
+
+    def test_wrong_frequency_count_raises(self):
+        with pytest.raises(ValueError):
+            HuffmanTable.from_frequencies([1] * 255)
+
+    def test_negative_frequency_raises(self):
+        with pytest.raises(ValueError):
+            HuffmanTable.from_frequencies([-1] + [1] * 255)
+
+    def test_serialize_round_trip(self):
+        table = table_for(b"serialize me" * 50)
+        back = HuffmanTable.deserialize(table.serialize())
+        np.testing.assert_array_equal(back.lengths, table.lengths)
+        np.testing.assert_array_equal(back.codes, table.codes)
+
+    def test_deserialize_wrong_size_raises(self):
+        with pytest.raises(ValueError):
+            HuffmanTable.deserialize(b"\x01" * 255)
+
+    def test_expected_bits_per_byte(self):
+        table = HuffmanTable.from_frequencies([1000] * 256)
+        freqs = np.ones(256)
+        assert table.expected_bits_per_byte(freqs) == pytest.approx(8.0)
+        assert table.expected_bits_per_byte(np.zeros(256)) == 0.0
+
+
+class TestEncodeDecode:
+    def test_round_trip_text(self):
+        data = b"the quick brown fox jumps over the lazy dog" * 10
+        table = table_for(data)
+        payload, bits = table.encode_bits(data)
+        assert table.decode_bits(payload, len(data)) == data
+        assert len(payload) == (bits + 7) // 8
+
+    def test_compresses_skewed_data(self):
+        data = b"a" * 9000 + b"b" * 900 + b"c" * 90
+        table = table_for(data)
+        payload, _ = table.encode_bits(data)
+        assert len(payload) < len(data) // 4
+
+    def test_empty(self):
+        table = table_for(b"anything")
+        payload, bits = table.encode_bits(b"")
+        assert payload == b"" and bits == 0
+        assert table.decode_bits(b"", 0) == b""
+
+    def test_symbols_outside_sample_still_work(self):
+        table = table_for(b"aaaa")
+        data = bytes(range(256))
+        payload, _ = table.encode_bits(data)
+        assert table.decode_bits(payload, len(data)) == data
+
+    def test_truncated_stream_raises(self):
+        table = table_for(b"xy" * 100)
+        payload, _ = table.encode_bits(b"xyxy")
+        with pytest.raises(ValueError):
+            table.decode_bits(payload, 1000)
+
+    def test_codec_wrapper_framing(self):
+        data = b"frame me please " * 30
+        codec = HuffmanCodec(table_for(data))
+        assert codec.decode(codec.encode(data)) == data
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(max_size=600))
+    def test_property_round_trip(self, data):
+        table = table_for(data if data else b"\x00")
+        payload, _ = table.encode_bits(data)
+        assert table.decode_bits(payload, len(data)) == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=1, max_size=300), st.binary(max_size=300))
+    def test_property_table_from_different_sample(self, sample, data):
+        # Decoding with a table built from unrelated data must still
+        # round-trip (smoothing covers the whole alphabet).
+        table = table_for(sample)
+        payload, _ = table.encode_bits(data)
+        assert table.decode_bits(payload, len(data)) == data
+
+
+class TestDFA:
+    def test_dfa_matches_reference_decoder(self):
+        data = b"huffman dfa check " * 40
+        table = table_for(data)
+        payload, _ = table.encode_bits(data)
+        dfa = table.decode_automaton(stride=4)
+        assert dfa.decode(payload, len(data)) == data
+
+    @pytest.mark.parametrize("stride", [1, 2, 4, 8])
+    def test_dfa_strides(self, stride):
+        data = bytes(np.random.default_rng(stride).integers(0, 256, 500, dtype=np.uint8))
+        table = table_for(data)
+        payload, _ = table.encode_bits(data)
+        dfa = table.decode_automaton(stride=stride)
+        assert dfa.decode(payload, len(data)) == data
+
+    def test_dfa_state_count_bounded(self):
+        # Full binary tree over 256 leaves has 255 internal nodes; the DFA
+        # has one row per trie node (leaf rows empty).
+        table = table_for(bytes(range(256)) * 4)
+        dfa = table.decode_automaton(stride=4)
+        assert dfa.nstates == 511
+
+    def test_dfa_emits_multiple_symbols_per_chunk(self):
+        # Highly skewed table: 1-bit code => 4-bit chunk can emit 4 symbols.
+        data = b"a" * 100_000
+        table = table_for(data)
+        dfa = table.decode_automaton(stride=4)
+        payload, _ = table.encode_bits(b"aaaa")
+        assert dfa.decode(payload, 4) == b"aaaa"
+
+    def test_bad_stride_raises(self):
+        table = table_for(b"x")
+        with pytest.raises(ValueError):
+            table.decode_automaton(stride=0)
+        with pytest.raises(ValueError):
+            table.decode_automaton(stride=9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=400))
+    def test_property_dfa_equals_reference(self, data):
+        table = table_for(data)
+        payload, _ = table.encode_bits(data)
+        dfa = table.decode_automaton(stride=4)
+        assert dfa.decode(payload, len(data)) == table.decode_bits(payload, len(data))

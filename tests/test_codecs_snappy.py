@@ -1,0 +1,137 @@
+"""Tests for the from-scratch Snappy codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs import SnappyCodec, snappy_compress, snappy_decompress
+from repro.codecs.varint import read_varint
+
+
+class TestFormat:
+    def test_preamble_is_uncompressed_length(self):
+        data = b"hello world, hello world, hello world"
+        compressed = snappy_compress(data)
+        length, _ = read_varint(compressed)
+        assert length == len(data)
+
+    def test_empty_input(self):
+        compressed = snappy_compress(b"")
+        assert snappy_decompress(compressed) == b""
+
+    def test_single_byte(self):
+        assert snappy_decompress(snappy_compress(b"x")) == b"x"
+
+    def test_known_literal_element(self):
+        # 3 incompressible bytes: preamble 0x03, tag (3-1)<<2 = 0x08, bytes.
+        compressed = snappy_compress(b"\x01\x02\x03")
+        assert compressed == b"\x03\x08\x01\x02\x03"
+
+    def test_decodes_spec_example_with_copy(self):
+        # Hand-built stream: "abcd" literal then copy(offset=4, len=4)
+        # => "abcdabcd".
+        stream = bytes([8, (4 - 1) << 2]) + b"abcd" + bytes([2 | ((4 - 1) << 2), 4, 0])
+        assert snappy_decompress(stream) == b"abcdabcd"
+
+    def test_decodes_copy1_element(self):
+        # copy-1: tag&3==1, len=4+((tag>>2)&7), offset=((tag>>5)<<8)|byte.
+        stream = bytes([8, (4 - 1) << 2]) + b"abcd" + bytes([1 | (0 << 2), 4])
+        assert snappy_decompress(stream) == b"abcdabcd"
+
+    def test_decodes_copy4_element(self):
+        stream = bytes([8, (4 - 1) << 2]) + b"abcd" + bytes([3 | ((4 - 1) << 2), 4, 0, 0, 0])
+        assert snappy_decompress(stream) == b"abcdabcd"
+
+    def test_overlapping_copy_rle(self):
+        # "a" then copy(offset=1, len=7) => "aaaaaaaa" (classic RLE trick).
+        stream = bytes([8, 0]) + b"a" + bytes([2 | ((7 - 1) << 2), 1, 0])
+        assert snappy_decompress(stream) == b"aaaaaaaa"
+
+    def test_long_literal_length_encodings(self):
+        for n in [59, 60, 61, 100, 255, 256, 300, 70000]:
+            data = np.random.default_rng(n).bytes(n)
+            assert snappy_decompress(snappy_compress(data)) == data
+
+
+class TestErrors:
+    def test_bad_offset_zero(self):
+        stream = bytes([4, 0]) + b"a" + bytes([2 | ((3 - 1) << 2), 0, 0])
+        with pytest.raises(ValueError):
+            snappy_decompress(stream)
+
+    def test_offset_beyond_output(self):
+        stream = bytes([8, 0]) + b"a" + bytes([2 | ((4 - 1) << 2), 9, 0])
+        with pytest.raises(ValueError):
+            snappy_decompress(stream)
+
+    def test_truncated_literal(self):
+        stream = bytes([8, (8 - 1) << 2]) + b"abc"
+        with pytest.raises(ValueError):
+            snappy_decompress(stream)
+
+    def test_length_mismatch(self):
+        stream = bytes([9, (4 - 1) << 2]) + b"abcd"
+        with pytest.raises(ValueError):
+            snappy_decompress(stream)
+
+    def test_output_exceeds_preamble(self):
+        stream = bytes([2, (4 - 1) << 2]) + b"abcd"
+        with pytest.raises(ValueError):
+            snappy_decompress(stream)
+
+    def test_truncated_copy(self):
+        stream = bytes([8, (4 - 1) << 2]) + b"abcd" + bytes([2 | ((4 - 1) << 2), 4])
+        with pytest.raises(ValueError):
+            snappy_decompress(stream)
+
+
+class TestRoundTrip:
+    def test_repetitive_compresses_well(self):
+        data = b"the quick brown fox " * 500
+        compressed = snappy_compress(data)
+        assert snappy_decompress(compressed) == data
+        assert len(compressed) < len(data) // 5
+
+    def test_random_data_small_overhead(self):
+        data = np.random.default_rng(7).bytes(10_000)
+        compressed = snappy_compress(data)
+        assert snappy_decompress(compressed) == data
+        # Spec guarantees at most ~1/6 expansion; our encoder stays close.
+        assert len(compressed) <= len(data) + len(data) // 6 + 32
+
+    def test_multi_fragment_input(self):
+        # > 64 KiB exercises fragment splitting.
+        base = np.random.default_rng(3).bytes(1000)
+        data = base * 80  # ~80 KB, crosses fragment boundary
+        assert snappy_decompress(snappy_compress(data)) == data
+
+    def test_long_match_split_into_copies(self):
+        data = b"A" * 1000
+        compressed = snappy_compress(data)
+        assert snappy_decompress(compressed) == data
+        assert len(compressed) < 60
+
+    def test_csr_index_stream(self):
+        # Delta-encoded banded indices: tiny alphabet, very compressible.
+        idx = np.arange(0, 2048, dtype="<i4")
+        delta = np.diff(idx, prepend=idx[:1]).astype("<i4").tobytes()
+        compressed = snappy_compress(delta)
+        assert snappy_decompress(compressed) == delta
+        assert len(compressed) < len(delta) // 10
+
+    def test_codec_wrapper(self):
+        codec = SnappyCodec()
+        data = b"wrap me " * 100
+        assert codec.decode(codec.encode(data)) == data
+        assert codec.name == "snappy"
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.binary(max_size=3000))
+    def test_property_round_trip(self, data):
+        assert snappy_decompress(snappy_compress(data)) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=1, max_size=64), st.integers(1, 400))
+    def test_property_repeated_round_trip(self, unit, reps):
+        data = unit * reps
+        assert snappy_decompress(snappy_compress(data)) == data

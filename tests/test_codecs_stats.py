@@ -1,0 +1,64 @@
+"""Tests for the compression-statistics helpers (Fig. 10/11 plumbing)."""
+
+import pytest
+
+from repro.codecs.stats import (
+    CompressionComparison,
+    SuiteCompressionSummary,
+    compare_schemes,
+    dsh_plan,
+    summarize,
+)
+from repro.collection import generators
+from repro.sparse.blocked import CPU_BLOCK_BYTES, UDP_BLOCK_BYTES
+
+
+class TestCompareSchemes:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_schemes(
+            generators.banded(1200, bandwidth=6, seed=17), name="b1200", seed=3
+        )
+
+    def test_all_schemes_beat_baseline(self, comparison):
+        assert comparison.cpu_snappy < comparison.baseline
+        assert comparison.udp_delta_snappy < comparison.baseline
+        assert comparison.udp_dsh < comparison.baseline
+
+    def test_fig10_block_sizes(self):
+        # The comparison uses the paper's exact configurations.
+        m = generators.banded(600, bandwidth=4, seed=1)
+        cmp_ = compare_schemes(m)
+        cpu_plan = dsh_plan(m)  # 8 KB DSH
+        assert cpu_plan.block_bytes == UDP_BLOCK_BYTES
+        assert CPU_BLOCK_BYTES == 4 * UDP_BLOCK_BYTES
+
+    def test_deterministic(self):
+        m = generators.fem_stencil(700, row_degree=10, jitter=25, seed=2)
+        a = compare_schemes(m, seed=5)
+        b = compare_schemes(m, seed=5)
+        assert a.udp_dsh == b.udp_dsh
+        assert a.cpu_snappy == b.cpu_snappy
+
+    def test_nnz_recorded(self, comparison):
+        assert comparison.nnz > 0
+        assert comparison.name == "b1200"
+
+
+class TestSummarize:
+    def _mk(self, name, cpu, ds, dsh):
+        return CompressionComparison(
+            name=name, nnz=100, cpu_snappy=cpu, udp_delta_snappy=ds, udp_dsh=dsh
+        )
+
+    def test_geomean_aggregation(self):
+        comps = [self._mk("a", 4.0, 6.0, 3.0), self._mk("b", 9.0, 6.0, 12.0)]
+        summary = summarize(comps)
+        assert summary.count == 2
+        assert summary.gm_cpu_snappy == pytest.approx(6.0)
+        assert summary.gm_udp_delta_snappy == pytest.approx(6.0)
+        assert summary.gm_udp_dsh == pytest.approx(6.0)
+
+    def test_type(self):
+        summary = summarize([self._mk("x", 5.0, 5.9, 5.0)])
+        assert isinstance(summary, SuiteCompressionSummary)

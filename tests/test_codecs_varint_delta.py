@@ -1,0 +1,102 @@
+"""Tests for varint and delta codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codecs import DeltaCodec, delta_decode, delta_encode, read_varint, write_varint
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),
+            ((1 << 32) - 1, b"\xff\xff\xff\xff\x0f"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert write_varint(value) == expected
+
+    def test_round_trip_boundaries(self):
+        for v in [0, 1, 127, 128, 16383, 16384, (1 << 32) - 1]:
+            encoded = write_varint(v)
+            decoded, pos = read_varint(encoded)
+            assert decoded == v
+            assert pos == len(encoded)
+
+    def test_offset_reading(self):
+        blob = b"\xff" + write_varint(300) + b"trail"
+        value, pos = read_varint(blob, 1)
+        assert value == 300
+        assert blob[pos:] == b"trail"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            write_varint(-1)
+
+    def test_too_large_raises(self):
+        with pytest.raises(ValueError):
+            write_varint(1 << 32)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            read_varint(b"\x80")
+
+    def test_overlong_raises(self):
+        with pytest.raises(ValueError):
+            read_varint(b"\xff\xff\xff\xff\xff\xff")
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_property_round_trip(self, v):
+        decoded, pos = read_varint(write_varint(v))
+        assert decoded == v
+
+
+class TestDelta:
+    def test_arithmetic_series_becomes_constant(self):
+        # The paper's motivation: banded/diagonal index streams become
+        # repeating integers.
+        arr = np.arange(100, 200, dtype=np.int32)
+        d = delta_encode(arr)
+        assert d[0] == 100
+        assert np.all(d[1:] == 1)
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 1 << 30, size=500).astype(np.int32)
+        np.testing.assert_array_equal(delta_decode(delta_encode(arr)), arr)
+
+    def test_empty(self):
+        arr = np.zeros(0, dtype=np.int32)
+        assert delta_encode(arr).size == 0
+        assert delta_decode(arr).size == 0
+
+    def test_single(self):
+        arr = np.array([42], dtype=np.int32)
+        np.testing.assert_array_equal(delta_decode(delta_encode(arr)), arr)
+
+    def test_wraparound_round_trip(self):
+        arr = np.array([np.iinfo(np.int32).max, np.iinfo(np.int32).min], dtype=np.int32)
+        np.testing.assert_array_equal(delta_decode(delta_encode(arr)), arr)
+
+    def test_byte_codec_round_trip(self):
+        codec = DeltaCodec()
+        data = np.arange(64, dtype="<i4").tobytes()
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_byte_codec_alignment(self):
+        codec = DeltaCodec()
+        with pytest.raises(ValueError):
+            codec.encode(b"abc")
+        with pytest.raises(ValueError):
+            codec.decode(b"abcde")
+
+    @given(st.lists(st.integers(-(1 << 31), (1 << 31) - 1), max_size=200))
+    def test_property_bijection(self, values):
+        arr = np.array(values, dtype=np.int32)
+        np.testing.assert_array_equal(delta_decode(delta_encode(arr)), arr)

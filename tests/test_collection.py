@@ -1,0 +1,179 @@
+"""Tests for the synthetic matrix collection."""
+
+import numpy as np
+import pytest
+
+from repro.collection import (
+    REPRESENTATIVE_NAMES,
+    SuiteConfig,
+    build_suite,
+    generators,
+    representative_suite,
+)
+from repro.codecs.stats import compare_schemes
+
+
+class TestGenerators:
+    def test_banded_structure(self):
+        m = generators.banded(100, bandwidth=3, seed=1)
+        rows = np.repeat(np.arange(100), np.diff(m.row_ptr))
+        assert np.all(np.abs(rows - m.col_idx) <= 3)
+        assert m.nnz > 0
+
+    def test_banded_fill(self):
+        dense = generators.banded(200, bandwidth=2, fill=1.0, seed=0)
+        sparse_fill = generators.banded(200, bandwidth=2, fill=0.5, seed=0)
+        assert sparse_fill.nnz < dense.nnz
+
+    def test_diagonals_offsets(self):
+        m = generators.diagonals(50, offsets=[0, 5], seed=0)
+        rows = np.repeat(np.arange(50), np.diff(m.row_ptr))
+        offs = set((m.col_idx - rows).tolist())
+        assert offs == {0, 5}
+
+    def test_mesh2d_is_5_point(self):
+        m = generators.mesh2d(10, value_style="exact")
+        assert m.shape == (100, 100)
+        assert m.row_nnz().max() == 5
+        # Laplacian row sums are zero in the interior.
+        dense = m.to_dense()
+        assert dense[55].sum() == pytest.approx(0.0)
+
+    def test_mesh2d_exact_symmetric(self):
+        m = generators.mesh2d(8, 6, value_style="exact")
+        dense = m.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_mesh2d_default_has_value_entropy(self):
+        # Default variable coefficients: many distinct values (real TAMU
+        # matrices are not constant-coefficient Laplacians).
+        m = generators.mesh2d(20)
+        assert len(np.unique(m.val)) > 100
+        # Pattern is still the 5-point stencil.
+        assert m.row_nnz().max() == 5
+
+    def test_mesh3d_is_7_point(self):
+        m = generators.mesh3d(5)
+        assert m.shape == (125, 125)
+        assert m.row_nnz().max() == 7
+
+    def test_unstructured_density(self):
+        m = generators.unstructured(100, density=0.05, seed=3)
+        # Duplicates collapse, so observed density is slightly below target.
+        assert 0.02 < m.density <= 0.05
+
+    def test_powerlaw_graph_symmetric_and_skewed(self):
+        m = generators.powerlaw_graph(500, attach=3, seed=5)
+        dense = m.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        degrees = m.row_nnz()
+        # Scale-free: hub degree far above median.
+        assert degrees.max() > 5 * np.median(degrees[degrees > 0])
+
+    def test_symmetric_blocks_block_diagonal(self):
+        m = generators.symmetric_blocks(4, 10, density=0.8, seed=2)
+        rows = np.repeat(np.arange(m.nrows), np.diff(m.row_ptr))
+        assert np.all((rows // 10) == (m.col_idx // 10))
+        dense = m.to_dense()
+        np.testing.assert_allclose((dense != 0), (dense != 0).T)
+
+    def test_fem_stencil_degree(self):
+        m = generators.fem_stencil(300, row_degree=10, jitter=15, seed=4)
+        assert m.row_nnz().max() <= 10  # duplicates can only shrink rows
+        assert m.nnz > 0.5 * 300 * 10
+
+    def test_determinism(self):
+        a = generators.banded(50, seed=9)
+        b = generators.banded(50, seed=9)
+        np.testing.assert_array_equal(a.val, b.val)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generators.banded(0)
+        with pytest.raises(ValueError):
+            generators.banded(10, fill=0.0)
+        with pytest.raises(ValueError):
+            generators.unstructured(10, density=2.0)
+        with pytest.raises(ValueError):
+            generators.mesh2d(0)
+        with pytest.raises(ValueError):
+            generators.powerlaw_graph(1)
+        with pytest.raises(ValueError):
+            generators.symmetric_blocks(0, 4)
+        with pytest.raises(ValueError):
+            generators.fem_stencil(10, row_degree=0)
+
+    def test_value_styles(self):
+        stencil = generators.banded(100, seed=0, value_style="stencil")
+        assert len(np.unique(stencil.val)) <= 8
+        with pytest.raises(ValueError):
+            generators.banded(10, value_style="bogus")
+
+
+class TestSuite:
+    def test_default_count_is_369(self):
+        suite = build_suite()
+        assert len(suite) == 369
+
+    def test_entries_deterministic(self):
+        a = build_suite(SuiteConfig(count=10))
+        b = build_suite(SuiteConfig(count=10))
+        assert [e.seed for e in a] == [e.seed for e in b]
+        ma, mb = a[0].build(), b[0].build()
+        np.testing.assert_array_equal(ma.val, mb.val)
+
+    def test_nnz_distribution_shape(self):
+        suite = build_suite(SuiteConfig(count=100, scale=0.01))
+        targets = np.array([e.target_nnz for e in suite])
+        # Median near 4.9e6 * scale = 49_000.
+        assert 3e4 < np.median(targets) < 8e4
+        assert targets.min() >= 1e3
+        assert targets.max() <= 1.2e7
+
+    def test_class_mix_present(self):
+        suite = build_suite(SuiteConfig(count=200))
+        kinds = {e.kind for e in suite}
+        assert len(kinds) >= 6
+
+    def test_built_nnz_near_target(self):
+        suite = build_suite(SuiteConfig(count=30, scale=0.001))
+        for entry in suite[:8]:
+            m = entry.build()
+            # Duplicate collapsing etc. allows slack, but within 2.5x.
+            assert m.nnz > entry.target_nnz / 2.5
+            assert m.nnz < entry.target_nnz * 2.5
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            SuiteConfig(count=0)
+        with pytest.raises(ValueError):
+            SuiteConfig(scale=0.0)
+
+
+class TestRepresentatives:
+    def test_all_seven_present(self):
+        reps = representative_suite(scale=0.005)
+        assert tuple(r.name for r in reps) == REPRESENTATIVE_NAMES
+
+    def test_build_all(self):
+        for rep in representative_suite(scale=0.002):
+            m = rep.build()
+            assert m.nnz > 500, rep.name
+
+    def test_metadata(self):
+        reps = {r.name: r for r in representative_suite()}
+        assert reps["shipsec1"].meta.symmetric
+        assert reps["gas_sensor"].meta.true_nnz == 1703365
+        assert 0 < reps["copter2"].meta.true_density < 1
+
+    def test_structures_differ_in_compressibility(self):
+        # The whole point of picking 7 diverse matrices: their B/nnz spread.
+        reps = representative_suite(scale=0.002)
+        ratios = [
+            compare_schemes(r.build(), name=r.name).udp_dsh for r in reps
+        ]
+        assert max(ratios) / min(ratios) > 1.3
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            representative_suite(scale=0)

@@ -1,0 +1,172 @@
+"""Tests for the heterogeneous system model: roofline, scenarios, power,
+and the end-to-end recoded SpMV pipeline."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.codecs.stats import dsh_plan
+from repro.core import (
+    HeterogeneousSystem,
+    iso_performance_power,
+    max_uncompressed_gflops,
+    recoded_spmv,
+    spmv_gflops,
+)
+from repro.cpu import CPURecoder
+from repro.memsys import DDR4_100GBS, HBM2_1TBS
+from repro.sparse import CSRMatrix, spmv
+from repro.udp.machine import UDP_POWER_W
+from repro.udp.runtime import simulate_plan
+
+
+def banded_matrix(n=800, band=6, seed=0) -> CSRMatrix:
+    rng = np.random.default_rng(seed)
+    diags = [rng.normal(size=n - abs(k)) for k in range(-band, band + 1)]
+    return CSRMatrix.from_scipy(
+        sp.diags(diags, offsets=range(-band, band + 1), format="csr")
+    )
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return dsh_plan(banded_matrix())
+
+
+@pytest.fixture(scope="module")
+def udp_report(plan):
+    return simulate_plan(plan, sample=4)
+
+
+@pytest.fixture(scope="module")
+def cpu_report(plan):
+    return CPURecoder().simulate_plan(plan, sample=4)
+
+
+class TestRoofline:
+    def test_paper_fig3_flat_line(self):
+        # 2 flops x 100e9 / 12 = 16.7 GFLOP/s for any large matrix.
+        assert max_uncompressed_gflops(DDR4_100GBS) == pytest.approx(16.67, rel=1e-2)
+        assert max_uncompressed_gflops(HBM2_1TBS) == pytest.approx(166.7, rel=1e-2)
+
+    def test_spmv_gflops(self):
+        # 1e6 nnz at 12 B/nnz on 100 GB/s: t = 0.12 ms, 2 Mflop -> 16.7 GF.
+        assert spmv_gflops(10**6, 12e6, DDR4_100GBS) == pytest.approx(16.67, rel=1e-2)
+
+    def test_utilization_scales(self):
+        full = max_uncompressed_gflops(DDR4_100GBS)
+        half = max_uncompressed_gflops(DDR4_100GBS, utilization=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_zero_traffic(self):
+        assert spmv_gflops(0, 0, DDR4_100GBS) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spmv_gflops(-1, 10, DDR4_100GBS)
+
+
+class TestScenarios:
+    def test_udp_speedup_equals_compression_ratio(self, plan, udp_report):
+        sys_ = HeterogeneousSystem(DDR4_100GBS)
+        cmp_ = sys_.compare("banded", plan, udp_report, CPURecoder().simulate_plan(plan, sample=2))
+        assert cmp_.udp_speedup == pytest.approx(12.0 / plan.bytes_per_nnz, rel=1e-6)
+
+    def test_paper_regime_speedup(self, plan, udp_report, cpu_report):
+        # Banded matrices compress well; speedup must be >1.5x (paper's
+        # geomean over the whole suite is 2.4x).
+        cmp_ = HeterogeneousSystem(DDR4_100GBS).compare(
+            "banded", plan, udp_report, cpu_report
+        )
+        assert cmp_.udp_speedup > 1.5
+
+    def test_cpu_decomp_much_slower(self, plan, udp_report, cpu_report):
+        cmp_ = HeterogeneousSystem(DDR4_100GBS).compare(
+            "banded", plan, udp_report, cpu_report
+        )
+        assert cmp_.cpu_slowdown > 3.0
+        assert cmp_.cpu_decomp.gflops < cmp_.udp_cpu.gflops / 3
+
+    def test_hbm2_scales_all_scenarios(self, plan, udp_report, cpu_report):
+        ddr = HeterogeneousSystem(DDR4_100GBS).compare("m", plan, udp_report, cpu_report)
+        hbm = HeterogeneousSystem(HBM2_1TBS).compare("m", plan, udp_report, cpu_report)
+        assert hbm.uncompressed.gflops == pytest.approx(10 * ddr.uncompressed.gflops)
+        assert hbm.udp_cpu.gflops == pytest.approx(10 * ddr.udp_cpu.gflops)
+        # CPU decompression does NOT scale with memory: it is compute bound.
+        assert hbm.cpu_decomp.gflops < 1.5 * ddr.cpu_decomp.gflops
+
+    def test_udp_count_scales_with_bandwidth(self, plan, udp_report):
+        ddr = HeterogeneousSystem(DDR4_100GBS).spmv_udp(plan, udp_report)
+        hbm = HeterogeneousSystem(HBM2_1TBS).spmv_udp(plan, udp_report)
+        assert hbm.n_udp > ddr.n_udp
+        assert ddr.udp_power_w == pytest.approx(ddr.n_udp * UDP_POWER_W)
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            HeterogeneousSystem(DDR4_100GBS, utilization=0.0)
+
+
+class TestPower:
+    def test_paper_ddr4_magnitude(self, plan, udp_report):
+        # At ~5 B/nnz the paper saves ~51W of 80W on DDR4 (63%).
+        scenario = iso_performance_power(
+            "banded", plan, DDR4_100GBS, udp_report.throughput_bytes_per_s
+        )
+        assert scenario.baseline_power_w == pytest.approx(80.0)
+        expected_raw = 80.0 * (1 - plan.bytes_per_nnz / 12)
+        assert scenario.raw_saving_w == pytest.approx(expected_raw, rel=1e-6)
+        assert 0 < scenario.net_saving_w < scenario.raw_saving_w
+        assert 0.3 < scenario.saving_fraction < 0.8
+
+    def test_paper_hbm2_magnitude(self, plan, udp_report):
+        scenario = iso_performance_power(
+            "banded", plan, HBM2_1TBS, udp_report.throughput_bytes_per_s
+        )
+        assert scenario.baseline_power_w == pytest.approx(64.0)
+        assert scenario.net_saving_w > 0
+
+    def test_udp_count_covers_rate(self, plan, udp_report):
+        tput = udp_report.throughput_bytes_per_s
+        scenario = iso_performance_power("m", plan, DDR4_100GBS, tput)
+        assert scenario.n_udp * tput >= DDR4_100GBS.peak_bw
+
+    def test_custom_delivered_rate(self, plan, udp_report):
+        half = iso_performance_power(
+            "m", plan, DDR4_100GBS, udp_report.throughput_bytes_per_s,
+            delivered_rate=50e9,
+        )
+        assert half.baseline_power_w == pytest.approx(40.0)
+
+    def test_validation(self, plan):
+        with pytest.raises(ValueError):
+            iso_performance_power("m", plan, DDR4_100GBS, 0)
+
+
+class TestRecodedSpMVPipeline:
+    def test_result_matches_plain_spmv(self, plan):
+        m = banded_matrix()
+        x = np.random.default_rng(1).normal(size=m.ncols)
+        y, stats = recoded_spmv(plan, x)
+        np.testing.assert_allclose(y, spmv(m, x), rtol=1e-12)
+
+    def test_traffic_shrinks_by_compression_ratio(self, plan):
+        x = np.ones(plan.blocked.shape[1])
+        _, stats = recoded_spmv(plan, x)
+        assert stats.dram_bytes == plan.compressed_bytes - 2 * 256  # tables not re-streamed
+        assert stats.traffic_ratio == pytest.approx(
+            plan.bytes_per_nnz / 12, rel=0.05
+        )
+        assert stats.traffic.bytes_on("udp", "cpu") == 12 * plan.nnz
+
+    def test_dma_time_positive(self, plan):
+        _, stats = recoded_spmv(plan, np.ones(plan.blocked.shape[1]))
+        assert stats.dma_seconds > 0
+
+    def test_udp_simulator_path_bit_exact(self):
+        m = banded_matrix(n=200, band=3)
+        small_plan = dsh_plan(m)
+        x = np.random.default_rng(2).normal(size=m.ncols)
+        y_fast, _ = recoded_spmv(small_plan, x, use_udp_simulator=False)
+        y_sim, _ = recoded_spmv(small_plan, x, use_udp_simulator=True)
+        np.testing.assert_array_equal(y_fast, y_sim)
+        np.testing.assert_allclose(y_sim, spmv(m, x), rtol=1e-12)

@@ -1,0 +1,191 @@
+"""Tests for the CPU branch-predictor pipeline model and the CPU recoder."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.codecs.pipeline import compress_matrix
+from repro.codecs.stats import dsh_plan
+from repro.cpu import (
+    CPUPipelineModel,
+    CPURecoder,
+    CPUSpec,
+    IndirectPredictor,
+    RIVER_FE,
+    TwoBitPredictor,
+)
+from repro.sparse import CSRMatrix
+from repro.udp.lane import TraceEvent
+from repro.udp.runtime import simulate_plan
+
+
+def banded_matrix(n=500, band=4, seed=0) -> CSRMatrix:
+    rng = np.random.default_rng(seed)
+    diags = [rng.normal(size=n - abs(k)) for k in range(-band, band + 1)]
+    return CSRMatrix.from_scipy(
+        sp.diags(diags, offsets=range(-band, band + 1), format="csr")
+    )
+
+
+def ev(addr, kind, target, n_actions=1, ntargets=1, copy_bytes=0, taken=False):
+    return TraceEvent(
+        addr=addr,
+        n_actions=n_actions,
+        kind=kind,
+        target=target,
+        ntargets=ntargets,
+        copy_bytes=copy_bytes,
+        taken=taken,
+    )
+
+
+class TestTwoBitPredictor:
+    def test_learns_monotone_branch(self):
+        p = TwoBitPredictor()
+        for _ in range(100):
+            p.predict_and_update(7, True)
+        assert p.miss_rate < 0.05
+
+    def test_tolerates_single_anomaly(self):
+        # 2-bit hysteresis: one not-taken doesn't flip the prediction.
+        p = TwoBitPredictor()
+        for _ in range(10):
+            p.predict_and_update(1, True)
+        p.predict_and_update(1, False)  # mispredict, counter 3 -> 2
+        assert p.predict_and_update(1, True)  # still predicted taken
+
+    def test_alternating_pattern_hurts(self):
+        p = TwoBitPredictor()
+        for i in range(200):
+            p.predict_and_update(1, i % 2 == 0)
+        assert p.miss_rate > 0.4
+
+    def test_sites_independent(self):
+        p = TwoBitPredictor()
+        for _ in range(50):
+            p.predict_and_update(1, True)
+            p.predict_and_update(2, False)
+        assert p.miss_rate < 0.1
+
+    def test_empty_miss_rate(self):
+        assert TwoBitPredictor().miss_rate == 0.0
+
+
+class TestIndirectPredictor:
+    def test_stable_target_predicts(self):
+        p = IndirectPredictor()
+        for _ in range(100):
+            p.predict_and_update(5, 42)
+        assert p.miss_rate < 0.05
+
+    def test_random_targets_defeat_btb(self):
+        rng = np.random.default_rng(0)
+        p = IndirectPredictor()
+        targets = rng.integers(0, 16, size=1000)
+        for t in targets:
+            p.predict_and_update(5, int(t))
+        assert p.miss_rate > 0.8
+
+    def test_empty_miss_rate(self):
+        assert IndirectPredictor().miss_rate == 0.0
+
+
+class TestPipelineModel:
+    def test_straight_line_code_is_cheap(self):
+        model = CPUPipelineModel()
+        trace = [ev(i, "jmp", i + 1, n_actions=3) for i in range(100)]
+        res = model.replay(trace)
+        assert res.flush_cycles == 0
+        # Loop-carry latency floors each decode step at 6 cycles.
+        assert res.base_cycles == 600
+
+    def test_issue_width_respected(self):
+        spec = CPUSpec("w2", 1e9, 1, 2, 15, 1, 16, 100.0)
+        model = CPUPipelineModel(spec)
+        res = model.replay([ev(0, "jmp", 1, n_actions=5)])
+        assert res.base_cycles == 3  # ceil(6/2)
+
+    def test_loop_carry_floor(self):
+        spec = CPUSpec("lc", 1e9, 1, 4, 15, 6, 16, 100.0)
+        res = CPUPipelineModel(spec).replay([ev(0, "jmp", 1, n_actions=1)])
+        assert res.base_cycles == 6
+
+    def test_random_dispatch_wastes_most_cycles(self):
+        # The paper's 80%-waste claim: data-driven dispatch floods the
+        # pipeline with flushes.
+        rng = np.random.default_rng(1)
+        trace = [
+            ev(0, "dispatch", int(t), n_actions=2, ntargets=16)
+            for t in rng.integers(100, 116, size=2000)
+        ]
+        res = CPUPipelineModel().replay(trace)
+        assert res.wasted_fraction > 0.7
+        assert res.dispatch_miss_rate > 0.8
+
+    def test_predictable_branch_loop_is_fine(self):
+        trace = [ev(0, "br", 0, taken=True) for _ in range(500)]
+        res = CPUPipelineModel().replay(trace)
+        assert res.wasted_fraction < 0.1
+
+    def test_copy_priced_by_simd_rate(self):
+        res = CPUPipelineModel().replay([ev(0, "jmp", 1, copy_bytes=160)])
+        assert res.base_cycles == 6 + 10  # loop-carry floor + 160/16
+
+    def test_seconds(self):
+        model = CPUPipelineModel()
+        res = model.replay([ev(0, "jmp", 1)])
+        assert model.seconds(res) == pytest.approx(res.cycles / RIVER_FE.clock_hz)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            CPUSpec("bad", 0, 1, 1, 15, 6, 16, 100.0)
+        with pytest.raises(ValueError):
+            CPUSpec("bad", 1e9, 1, 1, -1, 6, 16, 100.0)
+        with pytest.raises(ValueError):
+            CPUSpec("bad", 1e9, 1, 1, 15, 0, 16, 100.0)
+
+
+class TestCPURecoder:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return dsh_plan(banded_matrix())
+
+    def test_simulate_plan(self, plan):
+        report = CPURecoder().simulate_plan(plan)
+        assert report.matrix_blocks == plan.nblocks
+        assert report.throughput_bytes_per_s > 0
+        assert 0 < report.wasted_fraction < 1
+
+    def test_cpu_much_slower_than_udp_per_block(self, plan):
+        # The paper's headline contrast: same work, >several-fold gap even
+        # before lane-count scaling.
+        cpu = CPURecoder().simulate_plan(plan)
+        udp = simulate_plan(plan)
+        cpu_cycles = sum(c.cycles for c in cpu.simulated)
+        udp_cycles = sum(r.cycles for r in udp.simulated)
+        assert cpu_cycles > 2 * udp_cycles
+
+    def test_udp_accelerator_beats_cpu_machine(self, plan):
+        # 64 lanes @1.6GHz vs 32 threads @2.3GHz on whole-plan throughput.
+        cpu = CPURecoder().simulate_plan(plan)
+        udp = simulate_plan(plan)
+        assert udp.throughput_bytes_per_s > cpu.throughput_bytes_per_s
+
+    def test_sampling_extrapolates(self, plan):
+        full = CPURecoder().simulate_plan(plan)
+        sampled = CPURecoder().simulate_plan(plan, sample=2)
+        ratio = sampled.schedule.makespan_cycles / full.schedule.makespan_cycles
+        assert 0.5 < ratio < 2.0
+
+    def test_snappy_only_plan(self):
+        plan = compress_matrix(
+            banded_matrix(n=300), use_delta=False, use_huffman=False
+        )
+        report = CPURecoder().simulate_plan(plan)
+        assert report.throughput_bytes_per_s > 0
+
+    def test_empty_plan(self):
+        m = CSRMatrix((3, 3), np.zeros(4), np.zeros(0), np.zeros(0))
+        plan = dsh_plan(m)
+        report = CPURecoder().simulate_plan(plan)
+        assert report.seconds >= 0

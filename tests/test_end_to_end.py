@@ -1,0 +1,92 @@
+"""End-to-end integration: the full story in one test module.
+
+A matrix goes generator -> compressed plan -> .dsh container -> loaded
+plan -> cycle-level UDP decode -> SpMV -> heterogeneous-system numbers,
+deterministically.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.codecs import load_plan, save_plan
+from repro.codecs.stats import dsh_plan
+from repro.collection import generators
+from repro.core import (
+    HeterogeneousSystem,
+    iso_performance_power,
+    recoded_spmv,
+    simulate_recoded_spmv_timing,
+)
+from repro.cpu import CPURecoder
+from repro.memsys import DDR4_100GBS, HBM2_1TBS
+from repro.sparse import spmv
+from repro.udp.runtime import DecoderToolchain, simulate_plan
+
+
+@pytest.fixture(scope="module")
+def world():
+    matrix = generators.fem_stencil(1800, row_degree=14, jitter=35, seed=99)
+    plan = dsh_plan(matrix, seed=99)
+    udp = simulate_plan(plan, sample=3, seed=99)
+    cpu = CPURecoder().simulate_plan(plan, sample=3, seed=99)
+    return matrix, plan, udp, cpu
+
+
+class TestFullStory:
+    def test_compression_wins(self, world):
+        matrix, plan, udp, cpu = world
+        assert plan.bytes_per_nnz < 12.0
+        assert plan.verify()
+
+    def test_container_round_trip_preserves_everything(self, world):
+        matrix, plan, udp, cpu = world
+        buf = io.BytesIO()
+        save_plan(plan, buf)
+        loaded = load_plan(buf.getvalue())
+        # Byte-identical payloads -> identical modeled numbers.
+        assert loaded.compressed_bytes == plan.compressed_bytes
+        x = np.random.default_rng(1).normal(size=matrix.ncols)
+        y_orig, _ = recoded_spmv(plan, x)
+        y_load, _ = recoded_spmv(loaded, x)
+        np.testing.assert_array_equal(y_orig, y_load)
+        np.testing.assert_allclose(y_load, spmv(matrix, x), rtol=1e-12)
+
+    def test_udp_decodes_bit_exactly(self, world):
+        matrix, plan, udp, cpu = world
+        assert udp.all_verified
+        toolchain = DecoderToolchain(plan)
+        assert toolchain.footprint().fits
+
+    def test_system_story_holds(self, world):
+        matrix, plan, udp, cpu = world
+        for memory in (DDR4_100GBS, HBM2_1TBS):
+            cmp_ = HeterogeneousSystem(memory).compare("e2e", plan, udp, cpu)
+            # The paper's ordering on every memory system:
+            assert cmp_.udp_cpu.gflops > cmp_.uncompressed.gflops > cmp_.cpu_decomp.gflops
+            assert cmp_.udp_speedup == pytest.approx(12.0 / plan.bytes_per_nnz, rel=1e-6)
+            power = iso_performance_power(
+                "e2e", plan, memory, udp.throughput_bytes_per_s
+            )
+            assert 0 < power.net_saving_w < power.baseline_power_w
+            assert power.udp_power_w < 0.1 * power.baseline_power_w
+
+    def test_des_consistent_with_story(self, world):
+        matrix, plan, udp, cpu = world
+        analytic = HeterogeneousSystem(DDR4_100GBS).spmv_udp(plan, udp)
+        timing = simulate_recoded_spmv_timing(
+            plan, udp, DDR4_100GBS, n_udp=analytic.n_udp
+        )
+        assert 0 < timing.gflops <= analytic.gflops * 1.05
+
+    def test_whole_pipeline_deterministic(self, world):
+        matrix, plan, udp, cpu = world
+        matrix2 = generators.fem_stencil(1800, row_degree=14, jitter=35, seed=99)
+        plan2 = dsh_plan(matrix2, seed=99)
+        buf1, buf2 = io.BytesIO(), io.BytesIO()
+        save_plan(plan, buf1)
+        save_plan(plan2, buf2)
+        assert buf1.getvalue() == buf2.getvalue()  # byte-identical containers
+        udp2 = simulate_plan(plan2, sample=3, seed=99)
+        assert udp2.schedule.makespan_cycles == udp.schedule.makespan_cycles

@@ -1,0 +1,175 @@
+"""Tests for the experiment harness (tiny profile: shape, not scale)."""
+
+import pytest
+
+from repro.experiments import ExperimentContext, MatrixLab
+from repro.experiments import (
+    fig03_cpu_spmv,
+    fig10_compressed_size,
+    fig11_size_scatter,
+    fig12_decomp_throughput,
+    fig13_udp_scatter,
+    fig14_spmv_ddr4,
+    fig15_spmv_hbm2,
+    fig16_power_ddr4,
+    fig17_power_hbm2,
+)
+from repro.experiments.runner import ALL_EXPERIMENTS, render_markdown, run_experiments
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(suite_count=6, suite_scale=0.001, rep_nnz=6000, sample_blocks=1)
+
+
+@pytest.fixture(scope="module")
+def lab(ctx):
+    return MatrixLab(ctx)
+
+
+class TestContext:
+    def test_quick_and_full_profiles(self):
+        q = ExperimentContext.quick()
+        f = ExperimentContext.full()
+        assert f.suite_count == 369
+        assert f.suite_count > q.suite_count
+        assert f.rep_nnz > q.rep_nnz
+
+
+class TestLab:
+    def test_plan_caching(self, ctx, lab):
+        entry = lab.suite_entries()[0]
+        m = lab.matrix(entry.name, entry.build)
+        a = lab.plan(entry.name, m, "dsh")
+        b = lab.plan(entry.name, m, "dsh")
+        assert a is b
+
+    def test_unknown_scheme_rejected(self, ctx, lab):
+        entry = lab.suite_entries()[0]
+        m = lab.matrix(entry.name, entry.build)
+        with pytest.raises(ValueError):
+            lab.plan(entry.name, m, "gzip")
+
+    def test_representatives_are_seven(self, lab):
+        assert len(lab.representatives()) == 7
+
+
+class TestFigures:
+    def test_fig03_flat_roofline(self, ctx, lab):
+        res = fig03_cpu_spmv.run(ctx, lab)
+        assert res.headline["flat_gflops_ddr4"] == pytest.approx(16.67, rel=1e-2)
+        # Every row shows the same GFLOP/s (flat line).
+        gf_cells = {row[-1] for row in res.table.rows}
+        assert len(gf_cells) == 1
+
+    def test_fig10_ordering(self, ctx, lab):
+        res = fig10_compressed_size.run(ctx, lab)
+        h = res.headline
+        # Everything beats the 12 B baseline; Huffman improves on
+        # Delta-Snappy (the paper's 5.92 -> 5.00 step).
+        assert h["gm_udp_dsh_bpnnz"] < 12
+        assert h["gm_cpu_snappy_bpnnz"] < 12
+        # At this tiny test profile (1k-nnz matrices) the per-matrix Huffman
+        # tables can outweigh their win; allow slack here. The strict paper
+        # ordering (DSH < Delta-Snappy) is asserted at realistic scale in
+        # benchmarks/bench_fig10_compressed_size.py.
+        assert h["gm_udp_dsh_bpnnz"] < h["gm_udp_delta_snappy_bpnnz"] * 1.3
+
+    def test_fig11_weak_correlation(self, ctx, lab):
+        res = fig11_size_scatter.run(ctx, lab)
+        assert abs(res.headline["corr_lognnz_vs_bpnnz"]) < 0.9
+
+    def test_fig12_udp_wins(self, ctx, lab):
+        res = fig12_decomp_throughput.run(ctx, lab)
+        assert res.headline["gm_udp_over_cpu"] > 1.0
+
+    def test_fig13_latency_decade(self, ctx, lab):
+        res = fig13_udp_scatter.run(ctx, lab)
+        # Paper: 21.7 us geomean per 8 KB block; same decade required.
+        assert 1.0 < res.headline["gm_block_latency_us"] < 220.0
+
+    def test_fig14_shape(self, ctx, lab):
+        res = fig14_spmv_ddr4.run(ctx, lab)
+        assert res.headline["gm_suite_speedup"] > 1.3
+        assert res.headline["min_cpu_slowdown"] > 3.0
+
+    def test_fig15_hbm2_scales(self, ctx, lab):
+        ddr = fig14_spmv_ddr4.run(ctx, lab)
+        hbm = fig15_spmv_hbm2.run(ctx, lab)
+        # Speedups are ratio-driven, hence equal; absolute GF differ 10x
+        # (checked in core tests).
+        assert hbm.headline["gm_rep_speedup"] == pytest.approx(
+            ddr.headline["gm_rep_speedup"], rel=1e-6
+        )
+
+    def test_fig16_power_shape(self, ctx, lab):
+        res = fig16_power_ddr4.run(ctx, lab)
+        assert res.headline["baseline_power_w"] == pytest.approx(80.0)
+        assert 0 < res.headline["avg_net_saving_w"] < 80.0
+        assert res.headline["avg_net_saving_frac"] > 0.2
+
+    def test_fig17_vs_fig16(self, ctx, lab):
+        ddr = fig16_power_ddr4.run(ctx, lab)
+        hbm = fig17_power_hbm2.run(ctx, lab)
+        assert hbm.headline["baseline_power_w"] == pytest.approx(64.0)
+        # Paper shape: DDR4 saves a larger fraction than HBM2 (UDP power
+        # matters more at 1 TB/s, and pJ/bit is cheaper).
+        assert hbm.headline["avg_net_saving_frac"] < ddr.headline["avg_net_saving_frac"]
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig03", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "fig17", "headline",
+        }
+
+    def test_run_experiments_and_markdown(self, ctx):
+        results = run_experiments(["fig03"], ctx)
+        assert len(results) == 1
+        md = render_markdown(results, ctx)
+        assert "# EXPERIMENTS" in md
+        assert "fig03" in md
+        assert "| metric | measured | paper |" in md
+
+    def test_unknown_experiment_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            run_experiments(["fig99"], ctx)
+
+    def test_ablation_names_resolve(self, ctx):
+        from repro.experiments.runner import ABLATIONS
+
+        assert set(ABLATIONS) == {
+            "abl_stages", "abl_blocksize", "abl_stride", "abl_rle",
+            "abl_shuffle", "abl_attach", "abl_reorder", "abl_spmm", "abl_des",
+        }
+        results = run_experiments(["abl_spmm"], ctx)
+        assert results[0][0].exp_id == "abl_spmm"
+
+    def test_main_cli_overrides_and_md(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        md_path = tmp_path / "EXP.md"
+        rc = main([
+            "--exp", "fig03",
+            "--suite-count", "4",
+            "--suite-scale", "0.0005",
+            "--rep-nnz", "3000",
+            "--samples", "1",
+            "--write-md", str(md_path),
+        ])
+        assert rc == 0
+        assert "fig03" in capsys.readouterr().out
+        text = md_path.read_text()
+        assert "suite_count=4" in text
+        assert "rep_nnz=3000" in text
+
+    def test_main_no_args_prints_help(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main([]) == 2
+
+    def test_result_render(self, ctx, lab):
+        res = fig03_cpu_spmv.run(ctx, lab)
+        out = res.render()
+        assert "fig03" in out and "paper:" in out

@@ -1,0 +1,96 @@
+"""Tests for the memory-system models."""
+
+import pytest
+
+from repro.memsys import DDR4_100GBS, DMAEngine, HBM2_1TBS, MemorySystem, TrafficLog
+
+
+class TestMemorySystem:
+    def test_paper_ddr4_constants(self):
+        assert DDR4_100GBS.peak_bw == 100e9
+        assert DDR4_100GBS.energy_per_bit == 100e-12
+        # Paper: 100GB/s x 100pJ/bit x 8 bits/byte = 80W.
+        assert DDR4_100GBS.max_power_w == pytest.approx(80.0)
+
+    def test_paper_hbm2_constants(self):
+        assert HBM2_1TBS.peak_bw == 1e12
+        # Paper: 1000GB/s x 8pJ/bit x 8 = 64W.
+        assert HBM2_1TBS.max_power_w == pytest.approx(64.0)
+
+    def test_transfer_seconds(self):
+        assert DDR4_100GBS.transfer_seconds(100e9) == pytest.approx(1.0)
+        assert DDR4_100GBS.transfer_seconds(1e9, utilization=0.5) == pytest.approx(0.02)
+
+    def test_transfer_energy(self):
+        # 1 GB at 100 pJ/bit = 1e9 * 8 * 100e-12 = 0.8 J.
+        assert DDR4_100GBS.transfer_energy_j(1e9) == pytest.approx(0.8)
+
+    def test_power_at_rate(self):
+        assert DDR4_100GBS.power_at_rate(50e9) == pytest.approx(40.0)
+        assert DDR4_100GBS.power_at_rate(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemorySystem("x", 0, 1e-12)
+        with pytest.raises(ValueError):
+            DDR4_100GBS.transfer_seconds(1, utilization=0.0)
+        with pytest.raises(ValueError):
+            DDR4_100GBS.power_at_rate(-1)
+
+
+class TestDMA:
+    def test_transfer_accounting(self):
+        dma = DMAEngine(DDR4_100GBS, startup_s=0.0)
+        t = dma.transfer(8192)
+        assert t.seconds == pytest.approx(8192 / 100e9)
+        assert t.energy_j == pytest.approx(8192 * 8 * 100e-12)
+        assert dma.log.bytes_on("dram", "udp") == 8192
+
+    def test_startup_amortization(self):
+        dma = DMAEngine(DDR4_100GBS, startup_s=50e-9)
+        small = dma.effective_bandwidth(64)
+        big = dma.effective_bandwidth(8192)
+        assert small < big < DDR4_100GBS.peak_bw
+        # 8 KB blocks still achieve most of peak.
+        assert big > 0.5 * DDR4_100GBS.peak_bw
+
+    def test_validation(self):
+        dma = DMAEngine(DDR4_100GBS)
+        with pytest.raises(ValueError):
+            dma.transfer(-1)
+        with pytest.raises(ValueError):
+            dma.effective_bandwidth(0)
+        with pytest.raises(ValueError):
+            DMAEngine(DDR4_100GBS, startup_s=-1)
+
+
+class TestTrafficLog:
+    def test_record_and_query(self):
+        log = TrafficLog()
+        log.record("dram", "udp", 100)
+        log.record("dram", "udp", 50)
+        log.record("udp", "cpu", 300)
+        assert log.bytes_on("dram", "udp") == 150
+        assert log.bytes_from("dram") == 150
+        assert log.bytes_into("cpu") == 300
+        assert log.total_bytes == 450
+
+    def test_missing_edge_is_zero(self):
+        assert TrafficLog().bytes_on("a", "b") == 0
+
+    def test_clear(self):
+        log = TrafficLog()
+        log.record("a", "b", 10)
+        log.clear()
+        assert log.total_bytes == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficLog().record("a", "b", -1)
+
+    def test_edges_snapshot_isolated(self):
+        log = TrafficLog()
+        log.record("a", "b", 1)
+        snap = log.edges()
+        snap[("a", "b")] = 999
+        assert log.bytes_on("a", "b") == 1

@@ -1,0 +1,128 @@
+"""Tests for the NoC fabric model and the UDP scratchpad footprint check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs.stats import dsh_plan
+from repro.collection import generators
+from repro.memsys import DDR4_100GBS, MeshNoC, default_chip
+from repro.udp.runtime import (
+    BYTES_PER_CODE_SLOT,
+    DecoderToolchain,
+    LANE_SCRATCHPAD_BYTES,
+)
+
+
+class TestMeshNoC:
+    def test_place_and_hops(self):
+        noc = MeshNoC(4, 4)
+        noc.place("a", 0, 0)
+        noc.place("b", 3, 2)
+        assert noc.hops("a", "b") == 5
+        assert noc.hops("b", "a") == 5
+        assert noc.hops("a", "a") == 0
+
+    def test_transfer_pricing(self):
+        noc = MeshNoC(2, 2, hop_latency_s=1e-9, link_bytes_per_s=64e9)
+        noc.place("a", 0, 0)
+        noc.place("b", 1, 1)
+        t = noc.transfer("a", "b", 8192)
+        assert t.hops == 2
+        assert t.seconds == pytest.approx(2e-9 + 8192 / 64e9)
+        assert t.energy_j > 0
+
+    def test_zero_bytes(self):
+        noc = MeshNoC(2, 1)
+        noc.place("a", 0, 0)
+        noc.place("b", 1, 0)
+        t = noc.transfer("a", "b", 0)
+        assert t.seconds == pytest.approx(noc.hop_latency_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshNoC(0, 2)
+        noc = MeshNoC(2, 2)
+        with pytest.raises(ValueError):
+            noc.place("x", 5, 0)
+        noc.place("x", 0, 0)
+        with pytest.raises(ValueError):
+            noc.place("x", 1, 1)
+        with pytest.raises(ValueError):
+            noc.hops("x", "ghost")
+        noc.place("y", 1, 0)
+        with pytest.raises(ValueError):
+            noc.transfer("x", "y", -1)
+
+    def test_default_chip_floorplan(self):
+        noc = default_chip(ncores=8)
+        # The UDP sits beside the memory controller — the paper's point.
+        assert noc.hops("udp", "memctrl") <= 1
+        for i in range(8):
+            assert noc.hops(f"core{i}", "udp") >= 1
+
+    def test_on_die_transfer_negligible_vs_dram(self):
+        # 8 KB across the die vs the same 8 KB from DRAM.
+        noc = default_chip()
+        on_die = noc.transfer("udp", "core0", 8192)
+        dram_s = DDR4_100GBS.transfer_seconds(8192)
+        assert on_die.energy_j < 0.1 * DDR4_100GBS.transfer_energy_j(8192)
+        assert on_die.seconds < 10 * dram_s  # same order; energy is the win
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 7), st.integers(0, 7),
+           st.integers(0, 7), st.integers(0, 7))
+    def test_property_hops_metric(self, w, h, ax, ay, bx, by):
+        noc = MeshNoC(8, 8)
+        noc.place("a", ax, ay)
+        noc.place("b", bx, by)
+        hops = noc.hops("a", "b")
+        assert hops == abs(ax - bx) + abs(ay - by)
+        assert hops == noc.hops("b", "a")
+
+
+class TestFootprint:
+    @pytest.fixture(scope="class")
+    def toolchain(self):
+        return DecoderToolchain(dsh_plan(generators.banded(1500, bandwidth=4, seed=3)))
+
+    def test_default_toolchain_fits_a_lane(self, toolchain):
+        report = toolchain.footprint()
+        assert report.fits, report
+        assert report.lane_budget == LANE_SCRATCHPAD_BYTES
+        assert set(report.program_bytes) == {
+            "snappy", "delta", "huffman-index", "huffman-value",
+        }
+
+    def test_buffers_are_three_blocks(self, toolchain):
+        report = toolchain.footprint()
+        assert report.buffer_bytes == 3 * 8192
+
+    def test_huffman_dominates_code_size(self, toolchain):
+        report = toolchain.footprint()
+        assert report.program_bytes["huffman-index"] > report.program_bytes["snappy"]
+        assert report.largest_program == max(report.program_bytes.values())
+
+    def test_stride8_bursts_the_budget(self):
+        # The abl_stride finding, as a hard check: byte-wide dispatch
+        # tables do not fit a 64 KB lane.
+        plan = dsh_plan(generators.banded(800, bandwidth=3, seed=4))
+        wide = DecoderToolchain(plan, stride=8)
+        assert not wide.footprint().fits
+
+    def test_snappy_only_plan_small(self):
+        from repro.codecs.pipeline import compress_matrix
+
+        plan = compress_matrix(
+            generators.banded(500, bandwidth=3, seed=5),
+            use_delta=False,
+            use_huffman=False,
+        )
+        report = DecoderToolchain(plan).footprint()
+        assert report.fits
+        assert "huffman-index" not in report.program_bytes
+        assert report.largest_program < 1024
+
+    def test_custom_budget(self, toolchain):
+        tight = toolchain.footprint(lane_budget=1024)
+        assert not tight.fits

@@ -1,0 +1,107 @@
+"""Tests: the discrete-event pipeline agrees with the analytic model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codecs.stats import dsh_plan
+from repro.collection import generators
+from repro.core import HeterogeneousSystem, simulate_recoded_spmv_timing
+from repro.core.pipeline_timing import PipelineTiming
+from repro.cpu import CPURecoder
+from repro.memsys import DDR4_100GBS, HBM2_1TBS
+from repro.udp.runtime import simulate_plan
+
+
+@pytest.fixture(scope="module")
+def setup():
+    m = generators.banded(4000, bandwidth=6, seed=21)
+    plan = dsh_plan(m)
+    udp = simulate_plan(plan, sample=4)
+    return m, plan, udp
+
+
+class TestDES:
+    def test_dram_bound_with_enough_udps(self, setup):
+        m, plan, udp = setup
+        # Provision like the analytic model does.
+        analytic = HeterogeneousSystem(DDR4_100GBS).spmv_udp(plan, udp)
+        timing = simulate_recoded_spmv_timing(
+            plan, udp, DDR4_100GBS, n_udp=analytic.n_udp
+        )
+        assert timing.bottleneck == "dram"
+
+    def test_approaches_analytic_gflops_with_scale(self, setup):
+        # At our scaled-down sizes, one block's ~10 us decode latency is
+        # comparable to the whole DRAM stream, so fill/drain suppresses the
+        # DES below the steady-state analytic model; the gap must close as
+        # the matrix (and thus the stream) grows — at paper scale (5M nnz,
+        # thousands of blocks) they coincide.
+        ratios = []
+        for n in (2000, 8000, 32000):
+            mat = generators.banded(n, bandwidth=6, seed=21)
+            plan = dsh_plan(mat)
+            udp = simulate_plan(plan, sample=3)
+            analytic = HeterogeneousSystem(DDR4_100GBS).spmv_udp(plan, udp)
+            timing = simulate_recoded_spmv_timing(
+                plan, udp, DDR4_100GBS, n_udp=analytic.n_udp
+            )
+            assert timing.gflops <= analytic.gflops * 1.05
+            ratios.append(timing.gflops / analytic.gflops)
+        assert ratios[-1] > ratios[0]
+        assert ratios[-1] > 0.5
+
+    def test_udp_bound_when_underprovisioned(self, setup):
+        m, plan, udp = setup
+        starved = simulate_recoded_spmv_timing(
+            plan, udp, HBM2_1TBS, n_udp=1
+        )
+        assert starved.bottleneck in ("udp", "cpu")
+        provisioned = simulate_recoded_spmv_timing(
+            plan, udp, HBM2_1TBS, n_udp=16
+        )
+        assert provisioned.gflops > starved.gflops
+
+    def test_more_udps_never_slower(self, setup):
+        m, plan, udp = setup
+        g = [
+            simulate_recoded_spmv_timing(plan, udp, DDR4_100GBS, n_udp=k).gflops
+            for k in (1, 2, 4)
+        ]
+        assert g[0] <= g[1] * 1.01 and g[1] <= g[2] * 1.01
+
+    def test_busy_accounting(self, setup):
+        m, plan, udp = setup
+        timing = simulate_recoded_spmv_timing(plan, udp, DDR4_100GBS, n_udp=2)
+        # DRAM busy time is exactly the compressed bytes over peak BW.
+        expected = sum(
+            r.stored_bytes for r in plan.index_records + plan.value_records
+        ) / DDR4_100GBS.peak_bw
+        assert timing.busy_s["dram"] == pytest.approx(expected, rel=1e-9)
+        assert timing.busy_s["udp"] > 0 and timing.busy_s["cpu"] > 0
+        for res in ("dram", "udp", "cpu"):
+            assert 0 <= timing.utilization(res) <= 1.0 + 1e-9
+
+    def test_mismatched_report_rejected(self, setup):
+        m, plan, udp = setup
+        other = dsh_plan(generators.banded(300, bandwidth=2, seed=5))
+        with pytest.raises(ValueError):
+            simulate_recoded_spmv_timing(other, udp, DDR4_100GBS)
+
+    def test_bad_n_udp_rejected(self, setup):
+        m, plan, udp = setup
+        with pytest.raises(ValueError):
+            simulate_recoded_spmv_timing(plan, udp, DDR4_100GBS, n_udp=0)
+
+    def test_empty_plan(self):
+        import numpy as np
+
+        from repro.sparse import CSRMatrix
+
+        m = CSRMatrix((4, 4), np.zeros(5), np.zeros(0), np.zeros(0))
+        plan = dsh_plan(m)
+        udp = simulate_plan(plan)
+        timing = simulate_recoded_spmv_timing(plan, udp, DDR4_100GBS)
+        assert isinstance(timing, PipelineTiming)
+        assert timing.gflops >= 0.0

@@ -1,0 +1,139 @@
+"""Cross-module property tests: scheduler bounds, pipeline composition,
+roofline monotonicity, and end-to-end compression invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs.base import IdentityCodec
+from repro.codecs.delta import DeltaCodec
+from repro.codecs.huffman import HuffmanCodec, HuffmanTable
+from repro.codecs.pipeline import RecodePipeline, compress_matrix
+from repro.codecs.rle import RLECodec
+from repro.codecs.shuffle import ShuffleCodec
+from repro.codecs.snappy import SnappyCodec
+from repro.core.roofline import spmv_gflops
+from repro.memsys.dram import MemorySystem
+from repro.sparse.csr import CSRMatrix
+from repro.udp.machine import LaneTask, UDPMachine
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 32),
+        st.lists(st.integers(0, 10_000), max_size=100),
+    )
+    def test_makespan_bounds(self, nlanes, cycles):
+        machine = UDPMachine(nlanes=nlanes)
+        tasks = [LaneTask(f"t{i}", c, 1) for i, c in enumerate(cycles)]
+        sched = machine.schedule(tasks)
+        total = sum(cycles)
+        longest = max(cycles, default=0)
+        # Classic list-scheduling bounds.
+        assert sched.makespan_cycles >= max(longest, -(-total // nlanes) if cycles else 0)
+        assert sched.makespan_cycles <= (total // nlanes) + longest + 1
+        assert sched.total_cycles == total
+        assert 0 <= sched.utilization <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=60))
+    def test_more_lanes_never_slower(self, cycles):
+        tasks = [LaneTask(f"t{i}", c, 1) for i, c in enumerate(cycles)]
+        small = UDPMachine(nlanes=2).schedule(tasks)
+        big = UDPMachine(nlanes=8).schedule(tasks)
+        assert big.makespan_cycles <= small.makespan_cycles
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=40))
+    def test_steady_state_at_least_makespan_rate(self, cycles):
+        tasks = [LaneTask(f"t{i}", c, 8) for i, c in enumerate(cycles)]
+        sched = UDPMachine(nlanes=16).schedule(tasks)
+        assert (
+            sched.steady_state_throughput_bytes_per_s
+            >= sched.throughput_bytes_per_s * (1 - 1e-12)
+        )
+
+
+class TestPipelineComposition:
+    _int32_stage_pool = [DeltaCodec, RLECodec]
+    _byte_stage_pool = [SnappyCodec, ShuffleCodec, IdentityCodec]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.sampled_from(range(3)), max_size=3),
+        st.lists(st.integers(-(1 << 20), 1 << 20), max_size=200),
+    )
+    def test_random_stage_stacks_round_trip(self, stage_picks, values):
+        # int32 payload so the lane-oriented codecs are applicable.
+        data = np.array(values, dtype="<i4").tobytes()
+        stages = [self._byte_stage_pool[i]() for i in stage_picks]
+        pipe = RecodePipeline(tuple(stages), name="fuzz")
+        assert pipe.decode(pipe.encode(data)) == data
+
+    def test_full_custom_stack(self):
+        data = np.arange(2048, dtype="<i4").tobytes()
+        table = HuffmanTable.from_samples([data])
+        pipe = RecodePipeline(
+            (DeltaCodec(), RLECodec(), SnappyCodec(), HuffmanCodec(table)),
+            name="delta-rle-snappy-huffman",
+        )
+        encoded = pipe.encode(data)
+        assert pipe.decode(encoded) == data
+        assert len(encoded) < len(data) // 20  # arithmetic stream crushes
+
+
+class TestRooflineProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(1, 10**8),
+        st.floats(1.0, 1e10),
+        st.floats(1e9, 2e12),
+        st.floats(1e-12, 1e-9),
+    )
+    def test_gflops_positive_and_linear_in_bw(self, nnz, traffic, bw, epb):
+        mem1 = MemorySystem("m1", bw, epb)
+        mem2 = MemorySystem("m2", 2 * bw, epb)
+        g1 = spmv_gflops(nnz, traffic, mem1)
+        g2 = spmv_gflops(nnz, traffic, mem2)
+        assert g1 > 0
+        assert g2 == pytest.approx(2 * g1, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(1e3, 1e9), st.floats(1e3, 1e9))
+    def test_less_traffic_never_slower(self, t1, t2):
+        mem = MemorySystem("m", 100e9, 100e-12)
+        lo, hi = sorted((t1, t2))
+        assert spmv_gflops(10**6, lo, mem) >= spmv_gflops(10**6, hi, mem)
+
+
+class TestCompressionInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(30, 150), st.floats(0.02, 0.3), st.integers(0, 50))
+    def test_plan_accounting_consistent(self, n, density, seed):
+        import scipy.sparse as sp
+
+        m = CSRMatrix.from_scipy(sp.random(n, n, density=density, format="csr", random_state=seed))
+        plan = compress_matrix(m, seed=seed)
+        assert plan.nnz == m.nnz
+        assert len(plan.index_records) == len(plan.value_records) == plan.nblocks
+        assert plan.uncompressed_bytes == 12 * m.nnz
+        if m.nnz:
+            assert plan.bytes_per_nnz * m.nnz == pytest.approx(plan.compressed_bytes)
+        # orig_len of each index record is 4 bytes/entry; value 8.
+        for block, irec, vrec in zip(
+            plan.blocked.blocks, plan.index_records, plan.value_records
+        ):
+            assert irec.orig_len == 4 * block.nnz
+            assert vrec.orig_len == 8 * block.nnz
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(40, 120), st.integers(0, 20))
+    def test_snappy_never_expands_much(self, n, seed):
+        # Spec bound: worst case ~ len + len/6 + preamble slack per block.
+        import scipy.sparse as sp
+
+        m = CSRMatrix.from_scipy(sp.random(n, n, density=0.2, format="csr", random_state=seed))
+        plan = compress_matrix(m, use_delta=False, use_huffman=False)
+        for rec in list(plan.index_records) + list(plan.value_records):
+            assert len(rec.payload) <= rec.orig_len + rec.orig_len // 6 + 32

@@ -1,0 +1,100 @@
+"""Tests for the byte-plane shuffle codec and the attachment-point model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs import ShuffleCodec, shuffle_bytes, unshuffle_bytes
+from repro.codecs.snappy import snappy_compress
+from repro.codecs.stats import dsh_plan
+from repro.collection import generators
+from repro.core.attach import on_die_udp, pcie_attached
+from repro.memsys import DDR4_100GBS
+from repro.udp.runtime import simulate_plan
+
+
+class TestShuffle:
+    def test_known_transpose(self):
+        data = bytes([1, 2, 3, 4, 5, 6])
+        assert shuffle_bytes(data, lane=2) == bytes([1, 3, 5, 2, 4, 6])
+        assert unshuffle_bytes(shuffle_bytes(data, lane=2), lane=2) == data
+
+    def test_partial_tail_preserved(self):
+        data = bytes(range(10))
+        out = shuffle_bytes(data, lane=4)
+        assert out[-2:] == data[-2:]  # 2-byte tail passes through
+        assert unshuffle_bytes(out, lane=4) == data
+
+    def test_empty(self):
+        assert shuffle_bytes(b"", 8) == b""
+        assert unshuffle_bytes(b"", 8) == b""
+
+    def test_lane_validation(self):
+        with pytest.raises(ValueError):
+            shuffle_bytes(b"x", 0)
+        with pytest.raises(ValueError):
+            ShuffleCodec(lane=0)
+
+    def test_codec_wrapper(self):
+        codec = ShuffleCodec(lane=8)
+        data = np.random.default_rng(0).normal(size=100).tobytes()
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_groups_exponent_bytes(self):
+        # Doubles in [1, 2): identical exponent bytes land contiguously,
+        # so the shuffled stream has a long constant run snappy can eat.
+        vals = 1.0 + np.random.default_rng(1).random(512)
+        raw = vals.tobytes()
+        shuffled = shuffle_bytes(raw, 8)
+        # Last plane = highest-significance byte of little-endian doubles.
+        plane = shuffled[7 * 512 :]
+        assert len(set(plane)) <= 2
+
+    def test_helps_smooth_unique_doubles(self):
+        vals = np.sort(1.0 + np.random.default_rng(2).random(2048) * 1e-3)
+        raw = vals.tobytes()
+        assert len(snappy_compress(shuffle_bytes(raw, 8))) < len(snappy_compress(raw))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=500), st.integers(1, 16))
+    def test_property_bijection(self, data, lane):
+        assert unshuffle_bytes(shuffle_bytes(data, lane), lane) == data
+
+
+class TestAttach:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return dsh_plan(generators.banded(3000, bandwidth=5, seed=2))
+
+    @pytest.fixture(scope="class")
+    def udp_tput(self, plan):
+        return simulate_plan(plan, sample=2).throughput_bytes_per_s
+
+    def test_on_die_faster_than_pcie(self, plan, udp_tput):
+        ondie = on_die_udp(plan, DDR4_100GBS, udp_tput)
+        pcie = pcie_attached(plan, DDR4_100GBS)
+        assert ondie.seconds < pcie.seconds
+        assert ondie.speedup_over(pcie) > 3.0
+
+    def test_pcie_capped_by_device_rate(self, plan):
+        pcie = pcie_attached(plan, DDR4_100GBS, device_rate=4e9)
+        assert pcie.effective_output_rate <= 4e9 * 1.01
+
+    def test_pcie_moves_more_dram_bytes(self, plan, udp_tput):
+        ondie = on_die_udp(plan, DDR4_100GBS, udp_tput)
+        pcie = pcie_attached(plan, DDR4_100GBS)
+        # comp + 2*out vs comp alone.
+        assert pcie.dram_bytes > 2 * plan.uncompressed_bytes
+        assert ondie.dram_bytes == plan.compressed_bytes
+
+    def test_on_die_pipelines_stream_and_decode(self, plan):
+        # Huge UDP throughput -> bound by the compressed stream time.
+        fast = on_die_udp(plan, DDR4_100GBS, udp_output_throughput=1e15)
+        expected = DDR4_100GBS.transfer_seconds(plan.compressed_bytes)
+        assert fast.seconds == pytest.approx(expected)
+
+    def test_validation(self, plan):
+        with pytest.raises(ValueError):
+            on_die_udp(plan, DDR4_100GBS, 0)
+        with pytest.raises(ValueError):
+            pcie_attached(plan, DDR4_100GBS, device_rate=0)

@@ -1,0 +1,202 @@
+"""Tests for repro.sparse.csr and repro.sparse.coo."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import COOMatrix, CSRMatrix
+from repro.sparse.csr import BYTES_PER_NNZ_CSR
+
+
+def paper_example() -> CSRMatrix:
+    """The 4x4 matrix of paper Fig. 2."""
+    dense = np.array(
+        [
+            [1, 0, 2, 0],
+            [0, 0, 0, 0],
+            [3, 0, 4, 5],
+            [0, 6, 0, 7],
+        ],
+        dtype=float,
+    )
+    return CSRMatrix.from_dense(dense)
+
+
+class TestCSRConstruction:
+    def test_paper_fig2_arrays(self):
+        a = paper_example()
+        np.testing.assert_array_equal(a.row_ptr, [0, 2, 2, 5, 7])
+        np.testing.assert_array_equal(a.col_idx, [0, 2, 0, 2, 3, 1, 3])
+        np.testing.assert_array_equal(a.val, [1, 2, 3, 4, 5, 6, 7])
+
+    def test_dtypes_match_paper_baseline(self):
+        a = paper_example()
+        assert a.col_idx.dtype == np.int32
+        assert a.val.dtype == np.float64
+        assert a.storage_bytes() == BYTES_PER_NNZ_CSR * 7
+
+    def test_round_trip_dense(self):
+        a = paper_example()
+        np.testing.assert_array_equal(
+            a.to_dense(),
+            [[1, 0, 2, 0], [0, 0, 0, 0], [3, 0, 4, 5], [0, 6, 0, 7]],
+        )
+
+    def test_scipy_round_trip(self):
+        a = paper_example()
+        back = CSRMatrix.from_scipy(a.to_scipy())
+        np.testing.assert_array_equal(back.to_dense(), a.to_dense())
+
+    def test_properties(self):
+        a = paper_example()
+        assert a.nnz == 7
+        assert a.nrows == 4 and a.ncols == 4
+        assert a.density == pytest.approx(7 / 16)
+
+    def test_row_access(self):
+        a = paper_example()
+        cols, vals = a.row(2)
+        np.testing.assert_array_equal(cols, [0, 2, 3])
+        np.testing.assert_array_equal(vals, [3, 4, 5])
+        with pytest.raises(IndexError):
+            a.row(4)
+
+    def test_row_nnz(self):
+        np.testing.assert_array_equal(paper_example().row_nnz(), [2, 0, 3, 2])
+
+    def test_sorted_indices(self):
+        assert paper_example().has_sorted_indices()
+
+    def test_sorted_indices_with_leading_empty_rows(self):
+        # Regression: a single entry in the last row used to index the
+        # boundary mask at -1 (hypothesis-found).
+        a = CSRMatrix((2, 1), np.array([0, 0, 1]), np.array([0]), np.array([1.0]))
+        assert a.has_sorted_indices()
+        b = CSRMatrix(
+            (3, 2),
+            np.array([0, 1, 1, 2]),
+            np.array([1, 0]),
+            np.array([1.0, 2.0]),
+        )
+        assert b.has_sorted_indices()
+
+    def test_unsorted_indices_detected(self):
+        a = CSRMatrix((1, 3), np.array([0, 2]), np.array([2, 0]), np.array([1.0, 2.0]))
+        assert not a.has_sorted_indices()
+
+    def test_empty_matrix(self):
+        a = CSRMatrix((3, 3), np.zeros(4), np.zeros(0), np.zeros(0))
+        assert a.nnz == 0
+        assert a.density == 0.0
+        np.testing.assert_array_equal(a.to_dense(), np.zeros((3, 3)))
+
+    def test_zero_by_zero(self):
+        a = CSRMatrix((0, 0), np.zeros(1), np.zeros(0), np.zeros(0))
+        assert a.nnz == 0 and a.density == 0.0
+
+
+class TestCSRValidation:
+    def test_bad_row_ptr_length(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_row_ptr_must_end_at_nnz(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 3]), np.array([0]), np.array([1.0]))
+
+    def test_row_ptr_monotone(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 2, 1]), np.array([0]), np.array([1.0]))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 1]), np.array([5]), np.array([1.0]))
+
+    def test_len_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 1]), np.array([0]), np.array([1.0, 2.0]))
+
+    def test_negative_shape(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((-1, 2), np.array([0]), np.zeros(0), np.zeros(0))
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_dense(np.ones(4))
+
+
+class TestCOO:
+    def test_to_csr_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 20, size=100)
+        cols = rng.integers(0, 30, size=100)
+        vals = rng.normal(size=100)
+        ours = COOMatrix((20, 30), rows, cols, vals).to_csr()
+        ref = sp.coo_matrix((vals, (rows, cols)), shape=(20, 30)).tocsr()
+        ref.sum_duplicates()
+        np.testing.assert_allclose(ours.to_dense(), ref.toarray())
+
+    def test_duplicates_summed(self):
+        coo = COOMatrix((2, 2), [0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0])
+        csr = coo.to_csr()
+        assert csr.nnz == 2
+        assert csr.to_dense()[0, 1] == 5.0
+
+    def test_cancellation_dropped(self):
+        coo = COOMatrix((1, 1), [0, 0], [0, 0], [2.0, -2.0])
+        assert coo.to_csr().nnz == 0
+
+    def test_empty(self):
+        coo = COOMatrix((4, 4), [], [], [])
+        csr = coo.to_csr()
+        assert csr.nnz == 0
+        assert csr.shape == (4, 4)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), [2], [0], [1.0])
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), [0], [-1], [1.0])
+
+    def test_from_csr_round_trip(self):
+        a = paper_example()
+        back = COOMatrix.from_csr(a).to_csr()
+        np.testing.assert_array_equal(back.to_dense(), a.to_dense())
+
+
+@st.composite
+def random_coo(draw, max_dim=24, max_nnz=80):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    k = draw(st.integers(0, max_nnz))
+    rows = draw(st.lists(st.integers(0, m - 1), min_size=k, max_size=k))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    vals = draw(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return COOMatrix((m, n), np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64), np.array(vals))
+
+
+class TestCSRProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_coo())
+    def test_coo_csr_agrees_with_scipy(self, coo):
+        ours = coo.to_csr().to_dense()
+        ref = sp.coo_matrix(
+            (coo.vals, (coo.rows, coo.cols)), shape=coo.shape
+        ).toarray()
+        np.testing.assert_allclose(ours, ref, rtol=1e-12, atol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_coo())
+    def test_csr_invariants(self, coo):
+        csr = coo.to_csr()
+        assert csr.row_ptr[0] == 0
+        assert csr.row_ptr[-1] == csr.nnz
+        assert np.all(np.diff(csr.row_ptr) >= 0)
+        assert csr.has_sorted_indices()

@@ -1,0 +1,188 @@
+"""Tests for SpMV kernels and the blocked partitioner."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import (
+    CSRMatrix,
+    partition_csr,
+    spmv,
+    spmv_blocked,
+    spmv_reference,
+)
+from repro.sparse.blocked import CPU_BLOCK_BYTES, UDP_BLOCK_BYTES
+
+
+def random_csr(m, n, density, seed) -> CSRMatrix:
+    mat = sp.random(m, n, density=density, format="csr", random_state=seed)
+    mat.sort_indices()
+    return CSRMatrix.from_scipy(mat)
+
+
+class TestSpMV:
+    def test_paper_fig2_example(self):
+        dense = np.array(
+            [[1, 0, 2, 0], [0, 0, 0, 0], [3, 0, 4, 5], [0, 6, 0, 7]], dtype=float
+        )
+        a = CSRMatrix.from_dense(dense)
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        expected = dense @ x
+        np.testing.assert_allclose(spmv_reference(a, x), expected)
+        np.testing.assert_allclose(spmv(a, x), expected)
+
+    def test_vectorized_matches_reference(self):
+        a = random_csr(40, 50, 0.1, 3)
+        x = np.random.default_rng(1).normal(size=50)
+        np.testing.assert_allclose(spmv(a, x), spmv_reference(a, x), rtol=1e-12)
+
+    def test_matches_scipy(self):
+        a = random_csr(64, 64, 0.05, 9)
+        x = np.random.default_rng(2).normal(size=64)
+        np.testing.assert_allclose(spmv(a, x), a.to_scipy() @ x, rtol=1e-12)
+
+    def test_accumulates_into_y(self):
+        a = random_csr(10, 10, 0.3, 5)
+        x = np.ones(10)
+        y0 = np.full(10, 7.0)
+        out = spmv(a, x, y=y0)
+        np.testing.assert_allclose(out, 7.0 + a.to_scipy() @ x, rtol=1e-12)
+        # y0 not mutated
+        np.testing.assert_array_equal(y0, np.full(10, 7.0))
+
+    def test_empty_matrix(self):
+        a = CSRMatrix((5, 4), np.zeros(6), np.zeros(0), np.zeros(0))
+        np.testing.assert_array_equal(spmv(a, np.ones(4)), np.zeros(5))
+
+    def test_empty_rows_and_trailing_empty_rows(self):
+        dense = np.zeros((6, 3))
+        dense[0, 1] = 2.0
+        dense[2, 0] = 3.0
+        a = CSRMatrix.from_dense(dense)
+        x = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_allclose(spmv(a, x), dense @ x)
+
+    def test_wrong_x_shape_raises(self):
+        a = random_csr(4, 6, 0.5, 0)
+        with pytest.raises(ValueError):
+            spmv(a, np.ones(5))
+
+    def test_wrong_y_shape_raises(self):
+        a = random_csr(4, 6, 0.5, 0)
+        with pytest.raises(ValueError):
+            spmv(a, np.ones(6), y=np.ones(3))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(1, 30),
+        st.integers(1, 30),
+        st.floats(0.01, 0.6),
+        st.integers(0, 10_000),
+    )
+    def test_property_matches_dense(self, m, n, density, seed):
+        a = random_csr(m, n, density, seed)
+        x = np.random.default_rng(seed).normal(size=n)
+        np.testing.assert_allclose(spmv(a, x), a.to_dense() @ x, rtol=1e-10, atol=1e-10)
+
+
+class TestPartition:
+    def test_block_budget_respected(self):
+        a = random_csr(200, 200, 0.05, 11)
+        blocked = partition_csr(a, block_bytes=256)
+        for b in blocked.blocks:
+            assert b.payload_bytes() <= 256
+
+    def test_every_entry_exactly_once(self):
+        a = random_csr(150, 150, 0.08, 13)
+        blocked = partition_csr(a, block_bytes=512)
+        assert blocked.nnz == a.nnz
+        col_cat = np.concatenate([b.col_idx for b in blocked.blocks])
+        val_cat = np.concatenate([b.val for b in blocked.blocks])
+        np.testing.assert_array_equal(col_cat, a.col_idx)
+        np.testing.assert_array_equal(val_cat, a.val)
+
+    def test_dense_row_split_across_blocks(self):
+        # One row with 100 entries, budget of 10 entries per block.
+        dense = np.zeros((3, 100))
+        dense[1, :] = np.arange(1, 101)
+        a = CSRMatrix.from_dense(dense)
+        blocked = partition_csr(a, block_bytes=10 * 12)
+        assert blocked.nblocks >= 10
+        partials = [b for b in blocked.blocks if b.leading_partial]
+        assert len(partials) >= 9
+        assert blocked.nnz == 100
+
+    def test_default_block_sizes(self):
+        assert UDP_BLOCK_BYTES == 8 * 1024
+        assert CPU_BLOCK_BYTES == 32 * 1024
+
+    def test_too_small_budget_raises(self):
+        a = random_csr(4, 4, 0.5, 1)
+        with pytest.raises(ValueError):
+            partition_csr(a, block_bytes=4)
+
+    def test_empty_matrix_partition(self):
+        a = CSRMatrix((4, 4), np.zeros(5), np.zeros(0), np.zeros(0))
+        blocked = partition_csr(a, block_bytes=1024)
+        assert blocked.nnz == 0
+
+    def test_byte_streams(self):
+        a = random_csr(10, 10, 0.4, 2)
+        blocked = partition_csr(a, block_bytes=1024)
+        b = blocked.blocks[0]
+        assert len(b.index_bytes()) == 4 * b.nnz
+        assert len(b.value_bytes()) == 8 * b.nnz
+        np.testing.assert_array_equal(
+            np.frombuffer(b.index_bytes(), dtype="<i4"), b.col_idx
+        )
+        np.testing.assert_array_equal(
+            np.frombuffer(b.value_bytes(), dtype="<f8"), b.val
+        )
+
+
+class TestBlockedSpMV:
+    def test_matches_flat_spmv(self):
+        a = random_csr(120, 120, 0.06, 17)
+        x = np.random.default_rng(17).normal(size=120)
+        blocked = partition_csr(a, block_bytes=600)
+        np.testing.assert_allclose(spmv_blocked(blocked, x), spmv(a, x), rtol=1e-12)
+
+    def test_with_split_rows(self):
+        dense = np.zeros((4, 64))
+        dense[0, :] = 1.0
+        dense[2, ::2] = 2.0
+        a = CSRMatrix.from_dense(dense)
+        x = np.random.default_rng(0).normal(size=64)
+        blocked = partition_csr(a, block_bytes=8 * 12)
+        np.testing.assert_allclose(spmv_blocked(blocked, x), dense @ x, rtol=1e-12)
+
+    def test_recode_hook_called_per_block(self):
+        a = random_csr(60, 60, 0.1, 23)
+        x = np.ones(60)
+        blocked = partition_csr(a, block_bytes=480)
+        seen = []
+
+        def hook(block):
+            seen.append(block.row_start)
+            return block
+
+        spmv_blocked(blocked, x, recode=hook)
+        assert len(seen) == blocked.nblocks
+
+    def test_identity_recode_preserves_result(self):
+        a = random_csr(50, 50, 0.1, 29)
+        x = np.random.default_rng(4).normal(size=50)
+        blocked = partition_csr(a, block_bytes=256)
+        got = spmv_blocked(blocked, x, recode=lambda b: b)
+        np.testing.assert_allclose(got, spmv(a, x), rtol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(5, 40), st.floats(0.02, 0.5), st.integers(0, 999), st.integers(2, 20))
+    def test_property_partition_invariance(self, n, density, seed, entries):
+        a = random_csr(n, n, density, seed)
+        x = np.random.default_rng(seed + 1).normal(size=n)
+        blocked = partition_csr(a, block_bytes=entries * 12)
+        np.testing.assert_allclose(
+            spmv_blocked(blocked, x), spmv(a, x), rtol=1e-10, atol=1e-12
+        )

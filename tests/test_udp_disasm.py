@@ -1,0 +1,97 @@
+"""Tests for the UDP disassembler."""
+
+import pytest
+
+from repro.codecs.huffman import HuffmanTable
+from repro.udp import assemble
+from repro.udp.disasm import disassemble, format_action, format_block, format_transition
+from repro.udp.isa import (
+    AluI,
+    Block,
+    Br,
+    CopyBack,
+    Dispatch,
+    EmitI,
+    Halt,
+    Jmp,
+    MovI,
+    ReadSym,
+)
+from repro.udp.programs import build_huffman_decode, build_snappy_decode
+
+
+class TestFormatters:
+    def test_actions(self):
+        assert format_action(MovI(1, 255)) == "movi  r1, 0xff"
+        assert "add" in format_action(AluI("add", 0, 1, 2))
+        assert "rdsym r3, 4b, eof=16" == format_action(ReadSym(3, 4, eof_value=16))
+        assert "emiti 0x41" == format_action(EmitI(0x41))
+        assert "cpybk off=r4, len=r3" == format_action(CopyBack(4, 3))
+
+    def test_transitions(self):
+        assert format_transition(Jmp("loop")) == "jmp   loop"
+        assert "br.gtz r0 ? a : b" == format_transition(Br("gtz", 0, "a", "b"))
+        assert "disp  tag[r3]" == format_transition(Dispatch("tag", 3))
+        assert "halt  0" == format_transition(Halt(0))
+
+    def test_block_with_pin(self):
+        block = Block("k1", (EmitI(1),), Halt(0), dispatch_key=("f", 1))
+        out = format_block(block, addr=7)
+        assert out.startswith("    7: k1:  ; f+1")
+        assert "emiti" in out and "halt" in out
+
+
+class TestDisassemble:
+    def test_snappy_program_listing(self):
+        asm = assemble(build_snappy_decode())
+        out = disassemble(asm)
+        assert "program snappy-decode" in out
+        assert "family tag: base" in out
+        assert "start:" in out
+        assert "disp  tag[r3]" in out
+        # Every placed block appears.
+        assert out.count(":") >= asm.nblocks
+
+    def test_truncation(self):
+        table = HuffmanTable.from_samples([b"abc" * 50])
+        asm = assemble(build_huffman_decode(table))
+        out = disassemble(asm, max_blocks=10)
+        assert "more blocks elided" in out
+        assert len(out.splitlines()) < 500
+
+    def test_round_trips_all_isa_forms(self):
+        # A block exercising every action/transition formatter.
+        from repro.udp.isa import (
+            AluR,
+            CopyIn,
+            EmitB,
+            EmitWLE,
+            MovR,
+            Program,
+            ReadBytesLE,
+        )
+
+        blocks = (
+            Block(
+                "start",
+                (
+                    MovI(0, 4),
+                    MovR(1, 0),
+                    AluR("xor", 2, 0, 1),
+                    AluI("shl", 2, 2, 1),
+                    ReadSym(3, 8),
+                    ReadBytesLE(4, 2),
+                    EmitB(0),
+                    EmitI(9),
+                    EmitWLE(4, 2),
+                    CopyIn(0),
+                ),
+                Br("z", 2, "start", "end"),
+            ),
+            Block("end", (), Halt(1)),
+        )
+        asm = assemble(Program("all-forms", blocks, entry="start"))
+        out = disassemble(asm)
+        for token in ["movi", "mov ", "xor", "shli", "rdsym", "rdle", "emitb",
+                      "emiti", "emitw", "cpyin", "br.z", "halt  1"]:
+            assert token in out, token

@@ -1,0 +1,207 @@
+"""Tests for the UDP ISA, EffCLiP packing, and the assembler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.udp.effclip import pack
+from repro.udp.isa import (
+    AluI,
+    Block,
+    Br,
+    Dispatch,
+    EmitI,
+    Halt,
+    Jmp,
+    MovI,
+    Program,
+    ReadSym,
+)
+from repro.udp.assembler import assemble
+
+
+class TestISAValidation:
+    def test_bad_register_rejected(self):
+        with pytest.raises(ValueError):
+            MovI(dst=16, imm=0)
+        with pytest.raises(ValueError):
+            AluI("add", dst=0, a=-1, imm=0)
+
+    def test_bad_alu_op_rejected(self):
+        with pytest.raises(ValueError):
+            AluI("mul", dst=0, a=0, imm=1)
+
+    def test_bad_branch_cond_rejected(self):
+        with pytest.raises(ValueError):
+            Br("eq", 0, "a", "b")
+
+    def test_readsym_bounds(self):
+        with pytest.raises(ValueError):
+            ReadSym(0, 0)
+        with pytest.raises(ValueError):
+            ReadSym(0, 65)
+        with pytest.raises(ValueError):
+            ReadSym(0, 4, eof_value=-1)
+
+    def test_emit_i_byte_only(self):
+        with pytest.raises(ValueError):
+            EmitI(256)
+
+    def test_duplicate_labels_rejected(self):
+        b = Block("x", (), Halt())
+        with pytest.raises(ValueError):
+            Program("p", (b, b), entry="x")
+
+    def test_missing_entry_rejected(self):
+        b = Block("x", (), Halt())
+        with pytest.raises(ValueError):
+            Program("p", (b,), entry="y")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            Block("", (), Halt())
+
+
+class TestEffCLiP:
+    def test_single_family_dense(self):
+        families = {"f": {0: "a", 1: "b", 2: "c"}}
+        placement = pack(families, [])
+        base = placement.family_base["f"]
+        assert placement.addr_of["a"] == base
+        assert placement.addr_of["b"] == base + 1
+        assert placement.addr_of["c"] == base + 2
+        assert placement.density == 1.0
+
+    def test_coupling_constraint_always_holds(self):
+        families = {
+            "f": {0: "f0", 3: "f3", 7: "f7"},
+            "g": {0: "g0", 1: "g1"},
+            "h": {2: "h2", 5: "h5"},
+        }
+        placement = pack(families, ["s1", "s2", "s3"])
+        for fam, keyed in families.items():
+            base = placement.family_base[fam]
+            for k, label in keyed.items():
+                assert placement.addr_of[label] == base + k
+
+    def test_no_collisions(self):
+        families = {f"f{i}": {k: f"f{i}_{k}" for k in range(4)} for i in range(10)}
+        placement = pack(families, [f"s{i}" for i in range(7)])
+        addrs = list(placement.addr_of.values())
+        assert len(addrs) == len(set(addrs))
+
+    def test_singles_fill_family_holes(self):
+        # Family with keys {0, 5} leaves a hole singles should reuse.
+        placement = pack({"f": {0: "a", 5: "b"}}, ["s1", "s2", "s3", "s4"])
+        assert placement.density == pytest.approx(1.0)
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            pack({"f": {}}, [])
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ValueError):
+            pack({"f": {0: "x"}}, ["x"])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(st.characters(categories=("Ll",)), min_size=1, max_size=4),
+            st.sets(st.integers(0, 30), min_size=1, max_size=8),
+            max_size=6,
+        ),
+        st.integers(0, 10),
+    )
+    def test_property_perfect_hash(self, fam_keys, nsingles):
+        families = {
+            fam: {k: f"{fam}#{k}" for k in keys} for fam, keys in fam_keys.items()
+        }
+        singles = [f"single{i}" for i in range(nsingles)]
+        placement = pack(families, singles)
+        # Perfect-hash property & no collisions.
+        addrs = list(placement.addr_of.values())
+        assert len(addrs) == len(set(addrs))
+        for fam, keyed in families.items():
+            base = placement.family_base[fam]
+            for k, label in keyed.items():
+                assert placement.addr_of[label] == base + k
+
+
+class TestAssembler:
+    def _simple_program(self):
+        return Program(
+            "p",
+            (
+                Block("start", (MovI(0, 1),), Jmp("end")),
+                Block("end", (), Halt(0)),
+            ),
+            entry="start",
+        )
+
+    def test_assemble_simple(self):
+        asm = assemble(self._simple_program())
+        assert asm.nblocks == 2
+        assert asm.entry_addr == asm.addr_of["start"]
+        assert asm.block_at(asm.addr_of["end"]).label == "end"
+
+    def test_undefined_target_rejected(self):
+        prog = Program(
+            "p", (Block("start", (), Jmp("nowhere")),), entry="start"
+        )
+        with pytest.raises(ValueError, match="nowhere"):
+            assemble(prog)
+
+    def test_unknown_family_rejected(self):
+        prog = Program(
+            "p", (Block("start", (), Dispatch("ghost", 0)),), entry="start"
+        )
+        with pytest.raises(ValueError, match="ghost"):
+            assemble(prog)
+
+    def test_duplicate_family_key_rejected(self):
+        prog = Program(
+            "p",
+            (
+                Block("start", (), Halt()),
+                Block("a", (), Halt(), dispatch_key=("f", 0)),
+                Block("b", (), Halt(), dispatch_key=("f", 0)),
+            ),
+            entry="start",
+        )
+        with pytest.raises(ValueError, match="pinned twice"):
+            assemble(prog)
+
+    def test_dispatch_addresses_satisfy_base_plus_key(self):
+        prog = Program(
+            "p",
+            (
+                Block("start", (MovI(1, 2),), Dispatch("f", 1)),
+                Block("k0", (), Halt(0), dispatch_key=("f", 0)),
+                Block("k1", (), Halt(1), dispatch_key=("f", 1)),
+                Block("k2", (), Halt(2), dispatch_key=("f", 2)),
+            ),
+            entry="start",
+        )
+        asm = assemble(prog)
+        base = asm.family_base["f"]
+        for k, label in ((0, "k0"), (1, "k1"), (2, "k2")):
+            assert asm.addr_of[label] == base + k
+        assert asm.family_sizes["f"] == 3
+
+    def test_block_at_empty_address_faults(self):
+        # Family {0, 2} with no other blocks leaves address base+1 empty.
+        prog = Program(
+            "p",
+            (
+                Block("k0", (), Halt(), dispatch_key=("f", 0)),
+                Block("k2", (), Halt(), dispatch_key=("f", 2)),
+            ),
+            entry="k0",
+        )
+        asm = assemble(prog)
+        base = asm.family_base["f"]
+        with pytest.raises(ValueError):
+            asm.block_at(base + 1)
+
+    def test_density_reported(self):
+        asm = assemble(self._simple_program())
+        assert asm.density == 1.0

@@ -1,0 +1,270 @@
+"""Tests for the UDP lane interpreter and its cycle model."""
+
+import pytest
+
+from repro.udp import (
+    AluI,
+    AluR,
+    Block,
+    Br,
+    CopyBack,
+    CopyIn,
+    Dispatch,
+    EmitB,
+    EmitI,
+    EmitWLE,
+    Halt,
+    Jmp,
+    Lane,
+    MovI,
+    MovR,
+    Program,
+    ReadBytesLE,
+    ReadSym,
+    UDPFault,
+    assemble,
+)
+
+
+def run(blocks, entry="start", stream=b"", **kw):
+    asm = assemble(Program("t", tuple(blocks), entry=entry))
+    return Lane().run(asm, stream, **kw)
+
+
+class TestActions:
+    def test_mov_and_emit(self):
+        res = run(
+            [Block("start", (MovI(0, 0x41), EmitB(0), EmitI(0x42)), Halt(0))]
+        )
+        assert res.output == b"AB"
+        assert res.status == 0
+
+    def test_mov_reg(self):
+        res = run(
+            [Block("start", (MovI(1, 7), MovR(2, 1), EmitB(2)), Halt(0))]
+        )
+        assert res.output == bytes([7])
+
+    def test_alu_ops(self):
+        blocks = [
+            Block(
+                "start",
+                (
+                    MovI(0, 12),
+                    MovI(1, 5),
+                    AluR("sub", 2, 0, 1),  # 7
+                    AluI("shl", 2, 2, 4),  # 112
+                    AluI("or", 2, 2, 1),  # 113
+                    EmitB(2),
+                ),
+                Halt(0),
+            )
+        ]
+        assert run(blocks).output == bytes([113])
+
+    def test_alu_wraps_64_bits(self):
+        blocks = [
+            Block(
+                "start",
+                (MovI(0, (1 << 64) - 1), AluI("add", 0, 0, 2), EmitB(0)),
+                Halt(0),
+            )
+        ]
+        assert run(blocks).output == bytes([1])
+
+    def test_read_sym_msb_first(self):
+        blocks = [
+            Block("start", (ReadSym(0, 4), EmitB(0), ReadSym(0, 4), EmitB(0)), Halt(0))
+        ]
+        res = run(blocks, stream=bytes([0xAB]))
+        assert res.output == bytes([0xA, 0xB])
+
+    def test_read_sym_across_bytes(self):
+        blocks = [Block("start", (ReadSym(0, 12), EmitWLE(0, 2)), Halt(0))]
+        res = run(blocks, stream=bytes([0xAB, 0xCD]))
+        assert res.output == (0xABC).to_bytes(2, "little")
+
+    def test_read_sym_zero_fills_past_end(self):
+        blocks = [Block("start", (ReadSym(0, 8), EmitB(0)), Halt(0))]
+        res = run(blocks, stream=bytes([0b10000000])[:1])
+        assert res.output == bytes([0b10000000])
+        res2 = run(
+            [Block("start", (ReadSym(0, 4), ReadSym(1, 8), EmitB(1)), Halt(0))],
+            stream=bytes([0xF0]),
+        )
+        assert res2.output == bytes([0x00])
+        assert res2.counters.eof_fill_bits == 4
+
+    def test_read_sym_eof_value(self):
+        blocks = [
+            Block("start", (ReadSym(0, 4, eof_value=16), ReadSym(1, 4, eof_value=16)), Halt(0))
+        ]
+        asm = assemble(Program("t", tuple(blocks), entry="start"))
+        res = Lane().run(asm, bytes([0x50])[:0])  # empty stream
+        # both reads hit EOF immediately
+        assert res.counters.eof_fill_bits == 0
+
+    def test_read_bytes_le(self):
+        blocks = [Block("start", (ReadBytesLE(0, 4), EmitWLE(0, 4)), Halt(0))]
+        res = run(blocks, stream=(0xDEADBEEF).to_bytes(4, "little"))
+        assert res.output == (0xDEADBEEF).to_bytes(4, "little")
+
+    def test_read_bytes_le_unaligned_faults(self):
+        blocks = [
+            Block("start", (ReadSym(0, 4), ReadBytesLE(1, 1)), Halt(0))
+        ]
+        with pytest.raises(UDPFault, match="unaligned"):
+            run(blocks, stream=bytes([1, 2]))
+
+    def test_read_bytes_le_past_end_faults(self):
+        blocks = [Block("start", (ReadBytesLE(0, 4),), Halt(0))]
+        with pytest.raises(UDPFault, match="past end"):
+            run(blocks, stream=b"ab")
+
+    def test_copy_in(self):
+        blocks = [Block("start", (MovI(0, 3), CopyIn(0)), Halt(0))]
+        assert run(blocks, stream=b"xyz").output == b"xyz"
+
+    def test_copy_back_non_overlapping(self):
+        blocks = [
+            Block(
+                "start",
+                (MovI(0, 4), CopyIn(0), MovI(1, 4), MovI(2, 4), CopyBack(1, 2)),
+                Halt(0),
+            )
+        ]
+        assert run(blocks, stream=b"abcd").output == b"abcdabcd"
+
+    def test_copy_back_overlapping_rle(self):
+        blocks = [
+            Block(
+                "start",
+                (MovI(0, 1), CopyIn(0), MovI(1, 1), MovI(2, 7), CopyBack(1, 2)),
+                Halt(0),
+            )
+        ]
+        assert run(blocks, stream=b"a").output == b"aaaaaaaa"
+
+    def test_copy_back_bad_offset_faults(self):
+        blocks = [
+            Block("start", (MovI(1, 5), MovI(2, 1), CopyBack(1, 2)), Halt(0))
+        ]
+        with pytest.raises(UDPFault, match="CopyBack"):
+            run(blocks, stream=b"")
+
+
+class TestTransitions:
+    def test_branch_conditions(self):
+        for cond, value, expect in [
+            ("z", 0, b"T"),
+            ("z", 1, b"F"),
+            ("nz", 1, b"T"),
+            ("lez", (1 << 64) - 5, b"T"),  # -5 signed
+            ("lez", 3, b"F"),
+            ("gtz", 3, b"T"),
+            ("gtz", 0, b"F"),
+        ]:
+            blocks = [
+                Block("start", (MovI(0, value),), Br(cond, 0, "t", "f")),
+                Block("t", (EmitI(ord("T")),), Halt(0)),
+                Block("f", (EmitI(ord("F")),), Halt(0)),
+            ]
+            assert run(blocks).output == expect, (cond, value)
+
+    def test_dispatch_selects_by_key(self):
+        blocks = [
+            Block("start", (ReadSym(0, 8),), Dispatch("f", 0)),
+            Block("k0", (EmitI(10),), Halt(0), dispatch_key=("f", 0)),
+            Block("k1", (EmitI(11),), Halt(0), dispatch_key=("f", 1)),
+            Block("k2", (EmitI(12),), Halt(0), dispatch_key=("f", 2)),
+        ]
+        for key, out in [(0, 10), (1, 11), (2, 12)]:
+            assert run(blocks, stream=bytes([key])).output == bytes([out])
+
+    def test_dispatch_outside_family_faults(self):
+        blocks = [
+            Block("start", (ReadSym(0, 8),), Dispatch("f", 0)),
+            Block("k0", (), Halt(0), dispatch_key=("f", 0)),
+        ]
+        with pytest.raises(UDPFault, match="unoccupied|address"):
+            run(blocks, stream=bytes([200]))
+
+    def test_halt_status(self):
+        assert run([Block("start", (), Halt(3))]).status == 3
+
+    def test_loop_with_counter(self):
+        blocks = [
+            Block("start", (MovI(0, 5),), Jmp("loop")),
+            Block(
+                "loop",
+                (EmitI(ord(".")), AluI("sub", 0, 0, 1)),
+                Br("gtz", 0, "loop", "end"),
+            ),
+            Block("end", (), Halt(0)),
+        ]
+        assert run(blocks).output == b"....."
+
+    def test_infinite_loop_guarded(self):
+        blocks = [Block("start", (), Jmp("start"))]
+        asm = assemble(Program("t", tuple(blocks), entry="start"))
+        with pytest.raises(UDPFault, match="cycle guard"):
+            Lane(max_cycles=1000).run(asm, b"")
+
+    def test_max_output_guard(self):
+        blocks = [
+            Block("start", (EmitI(0),), Jmp("start")),
+        ]
+        asm = assemble(Program("t", tuple(blocks), entry="start"))
+        with pytest.raises(UDPFault, match="output exceeded"):
+            Lane().run(asm, b"", max_output=10)
+
+    def test_init_regs(self):
+        blocks = [Block("start", (EmitB(5),), Halt(0))]
+        asm = assemble(Program("t", tuple(blocks), entry="start"))
+        res = Lane().run(asm, b"", init_regs={5: 99})
+        assert res.output == bytes([99])
+        with pytest.raises(ValueError):
+            Lane().run(asm, b"", init_regs={16: 1})
+
+
+class TestCycleModel:
+    def test_one_cycle_per_small_block(self):
+        res = run([Block("start", (MovI(0, 1), EmitB(0)), Halt(0))])
+        assert res.cycles == 1
+
+    def test_extra_actions_cost_extra_cycles(self):
+        actions = (MovI(0, 1), MovI(1, 1), MovI(2, 1), MovI(3, 1))
+        res = run([Block("start", actions, Halt(0))])
+        assert res.cycles == 1 + 2
+
+    def test_copy_costs_ceil_len_over_8(self):
+        blocks = [Block("start", (MovI(0, 20), CopyIn(0)), Halt(0))]
+        res = run(blocks, stream=bytes(20))
+        # 1 base cycle + ceil(20/8)=3 copy cycles
+        assert res.cycles == 1 + 3
+
+    def test_counters(self):
+        blocks = [
+            Block("start", (MovI(0, 2),), Jmp("loop")),
+            Block(
+                "loop",
+                (EmitI(0), AluI("sub", 0, 0, 1)),
+                Br("gtz", 0, "loop", "end"),
+            ),
+            Block("end", (), Halt(0)),
+        ]
+        res = run(blocks)
+        assert res.counters.blocks == 4  # start, loop, loop, end
+        assert res.counters.branches == 2
+        assert res.counters.bytes_out == 2
+
+    def test_trace_collection(self):
+        blocks = [
+            Block("start", (ReadSym(0, 8),), Dispatch("f", 0)),
+            Block("k0", (EmitI(1),), Halt(0), dispatch_key=("f", 0)),
+            Block("k1", (EmitI(2),), Halt(0), dispatch_key=("f", 1)),
+        ]
+        res = run(blocks, stream=bytes([1]), collect_trace=True)
+        assert res.trace is not None
+        assert [e.kind for e in res.trace] == ["dispatch", "halt"]
+        assert res.trace[0].ntargets == 2

@@ -1,0 +1,170 @@
+"""Tests for the 64-lane machine scheduler and the plan-level runtime."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.codecs.pipeline import compress_matrix
+from repro.codecs.stats import dsh_plan
+from repro.sparse import CSRMatrix
+from repro.udp.machine import (
+    LaneTask,
+    UDP_CLOCK_HZ,
+    UDP_LANES,
+    UDP_POWER_W,
+    UDPMachine,
+)
+from repro.udp.runtime import DecoderToolchain, simulate_plan
+
+
+def banded_matrix(n=400, band=4, seed=0) -> CSRMatrix:
+    rng = np.random.default_rng(seed)
+    diags = [rng.normal(size=n - abs(k)) for k in range(-band, band + 1)]
+    return CSRMatrix.from_scipy(
+        sp.diags(diags, offsets=range(-band, band + 1), format="csr")
+    )
+
+
+class TestMachine:
+    def test_paper_constants(self):
+        assert UDP_LANES == 64
+        assert UDP_CLOCK_HZ == 1.6e9
+        assert UDP_POWER_W == pytest.approx(0.160)
+
+    def test_single_task(self):
+        m = UDPMachine(nlanes=4, clock_hz=1e9)
+        s = m.schedule([LaneTask("t", cycles=1000, output_bytes=8192)])
+        assert s.makespan_cycles == 1000
+        assert s.seconds == pytest.approx(1e-6)
+        assert s.throughput_bytes_per_s == pytest.approx(8192 / 1e-6)
+
+    def test_parallel_tasks_overlap(self):
+        m = UDPMachine(nlanes=4)
+        tasks = [LaneTask(f"t{i}", 100, 10) for i in range(4)]
+        s = m.schedule(tasks)
+        assert s.makespan_cycles == 100
+        assert s.utilization == pytest.approx(1.0)
+
+    def test_more_tasks_than_lanes(self):
+        m = UDPMachine(nlanes=2)
+        tasks = [LaneTask(f"t{i}", 10, 1) for i in range(10)]
+        s = m.schedule(tasks)
+        assert s.makespan_cycles == 50
+        assert s.total_cycles == 100
+
+    def test_least_loaded_assignment(self):
+        m = UDPMachine(nlanes=2)
+        s = m.schedule(
+            [LaneTask("big", 100, 1), LaneTask("a", 10, 1), LaneTask("b", 10, 1)]
+        )
+        # Both small tasks go to the second lane.
+        assert s.makespan_cycles == 100
+
+    def test_empty(self):
+        s = UDPMachine().schedule([])
+        assert s.makespan_cycles == 0
+        assert s.throughput_bytes_per_s == 0.0
+        assert s.utilization == 1.0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            UDPMachine().schedule([LaneTask("bad", -1, 0)])
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            UDPMachine(nlanes=0)
+        with pytest.raises(ValueError):
+            UDPMachine(clock_hz=0)
+
+    def test_power_scales_with_lanes(self):
+        assert UDPMachine(nlanes=64).power_watts() == pytest.approx(0.160)
+        assert UDPMachine(nlanes=32).power_watts() == pytest.approx(0.080)
+
+
+class TestRuntime:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return dsh_plan(banded_matrix(n=600, band=5))
+
+    def test_chain_verifies_every_block(self, plan):
+        toolchain = DecoderToolchain(plan)
+        for i in range(plan.nblocks):
+            for stream in ("index", "value"):
+                res = toolchain.run_chain(i, stream)
+                assert res.verified, (i, stream)
+
+    def test_chain_stage_breakdown(self, plan):
+        res = DecoderToolchain(plan).run_chain(0, "index")
+        assert set(res.stage_cycles) == {"huffman", "snappy", "delta"}
+        assert all(c > 0 for c in res.stage_cycles.values())
+
+    def test_value_stream_skips_delta(self, plan):
+        res = DecoderToolchain(plan).run_chain(0, "value")
+        assert "delta" not in res.stage_cycles
+
+    def test_unknown_stream_rejected(self, plan):
+        with pytest.raises(ValueError):
+            DecoderToolchain(plan).run_chain(0, "bogus")
+
+    def test_simulate_full(self, plan):
+        report = simulate_plan(plan)
+        assert report.all_verified
+        assert report.matrix_blocks == plan.nblocks
+        assert len(report.tasks) == 2 * plan.nblocks
+        assert report.schedule.makespan_cycles > 0
+        assert report.throughput_bytes_per_s > 0
+
+    def test_simulate_sampled_extrapolates(self, plan):
+        full = simulate_plan(plan)
+        sampled = simulate_plan(plan, sample=2)
+        assert len(sampled.simulated) == 4  # 2 blocks x 2 streams
+        assert len(sampled.tasks) == len(full.tasks)
+        # Extrapolated makespan within a reasonable band of the full run.
+        ratio = sampled.schedule.makespan_cycles / full.schedule.makespan_cycles
+        assert 0.5 < ratio < 2.0
+
+    def test_simulate_deterministic(self, plan):
+        a = simulate_plan(plan, sample=2, seed=3)
+        b = simulate_plan(plan, sample=2, seed=3)
+        assert a.schedule.makespan_cycles == b.schedule.makespan_cycles
+
+    def test_block_latencies(self, plan):
+        report = simulate_plan(plan)
+        lat = report.block_latencies_s
+        assert len(lat) == plan.nblocks
+        assert np.all(lat > 0)
+
+    def test_snappy_only_plan(self):
+        plan = compress_matrix(
+            banded_matrix(n=300), use_delta=False, use_huffman=False
+        )
+        report = simulate_plan(plan)
+        assert report.all_verified
+        res = DecoderToolchain(plan).run_chain(0, "index")
+        assert set(res.stage_cycles) == {"snappy"}
+
+    def test_empty_matrix_plan(self):
+        m = CSRMatrix((5, 5), np.zeros(6), np.zeros(0), np.zeros(0))
+        plan = dsh_plan(m)
+        report = simulate_plan(plan)
+        # The partitioner emits one block covering the all-empty rows; its
+        # payload is zero bytes and must still round-trip.
+        assert report.matrix_blocks == plan.nblocks
+        assert report.all_verified
+
+    def test_trace_collection(self, plan):
+        res = DecoderToolchain(plan).run_chain(0, "index", collect_trace=True)
+        assert res.traces is not None
+        assert set(res.traces) == {"huffman", "snappy", "delta"}
+        assert all(len(t) > 0 for t in res.traces.values())
+
+    def test_latency_magnitude_plausible(self, plan):
+        # The paper reports ~21.7us geomean to decode one 8 KB block on one
+        # lane; our cycle model should land within the same decade.
+        report = simulate_plan(plan)
+        full_blocks = [
+            b for b in plan.blocked.blocks if b.payload_bytes() > 6000
+        ]
+        if full_blocks:
+            lat = report.block_latencies_s
+            assert 1e-6 < np.median(lat) < 100e-6

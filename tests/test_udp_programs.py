@@ -1,0 +1,185 @@
+"""Tests: UDP decode programs agree bit-exactly with the functional codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs.delta import delta_encode
+from repro.codecs.huffman import HuffmanTable
+from repro.codecs.snappy import snappy_compress
+from repro.udp import Lane, UDPFault, assemble
+from repro.udp.programs.delta_prog import REG_COUNT, build_delta_decode
+from repro.udp.programs.huffman_prog import build_huffman_decode, eof_key
+from repro.udp.programs.snappy_prog import build_snappy_decode
+
+
+@pytest.fixture(scope="module")
+def snappy_asm():
+    return assemble(build_snappy_decode())
+
+
+@pytest.fixture(scope="module")
+def delta_asm():
+    return assemble(build_delta_decode())
+
+
+class TestDeltaProgram:
+    def test_round_trip(self, delta_asm):
+        arr = np.array([5, 7, 7, 100, 3, -2, 50], dtype=np.int32)
+        deltas = delta_encode(arr).astype("<i4").tobytes()
+        res = Lane().run(delta_asm, deltas, init_regs={REG_COUNT: len(arr)})
+        np.testing.assert_array_equal(np.frombuffer(res.output, dtype="<i4"), arr)
+
+    def test_empty(self, delta_asm):
+        res = Lane().run(delta_asm, b"", init_regs={REG_COUNT: 0})
+        assert res.output == b""
+        assert res.cycles == 2  # check + done blocks
+
+    def test_cycle_cost_linear(self, delta_asm):
+        arr = np.arange(1000, dtype=np.int32)
+        deltas = delta_encode(arr).astype("<i4").tobytes()
+        res = Lane().run(delta_asm, deltas, init_regs={REG_COUNT: 1000})
+        # 1 check + 3 cycles per element (4 actions in the body block).
+        assert res.cycles == pytest.approx(3 * 1000, abs=5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-(1 << 31), (1 << 31) - 1), max_size=300))
+    def test_property_matches_functional(self, delta_asm, values):
+        arr = np.array(values, dtype=np.int32)
+        deltas = delta_encode(arr).astype("<i4").tobytes()
+        res = Lane().run(delta_asm, deltas, init_regs={REG_COUNT: len(arr)})
+        np.testing.assert_array_equal(
+            np.frombuffer(res.output, dtype="<i4"), arr
+        )
+
+
+class TestSnappyProgram:
+    def run_decode(self, asm, data: bytes) -> bytes:
+        compressed = snappy_compress(data)
+        res = Lane().run(asm, compressed)
+        return res.output
+
+    def test_simple(self, snappy_asm):
+        data = b"hello hello hello hello"
+        assert self.run_decode(snappy_asm, data) == data
+
+    def test_empty(self, snappy_asm):
+        assert self.run_decode(snappy_asm, b"") == b""
+
+    def test_all_tag_kinds(self, snappy_asm):
+        # literal + copy1 (short offset) + copy2 paths.
+        data = b"abcd" * 4 + bytes(np.random.default_rng(0).bytes(100)) + b"abcd" * 4
+        assert self.run_decode(snappy_asm, data) == data
+
+    def test_long_literal_ext_lengths(self, snappy_asm):
+        for n in [61, 200, 300, 5000]:
+            data = np.random.default_rng(n).bytes(n)
+            assert self.run_decode(snappy_asm, data) == data
+
+    def test_rle_overlapping_copy(self, snappy_asm):
+        data = b"\x07" * 5000
+        assert self.run_decode(snappy_asm, data) == data
+
+    def test_csr_delta_stream(self, snappy_asm):
+        idx = np.ones(2048, dtype="<i4").tobytes()
+        assert self.run_decode(snappy_asm, idx) == idx
+
+    def test_hand_built_copy4(self, snappy_asm):
+        stream = bytes([8, (4 - 1) << 2]) + b"abcd" + bytes(
+            [3 | ((4 - 1) << 2), 4, 0, 0, 0]
+        )
+        res = Lane().run(snappy_asm, stream)
+        assert res.output == b"abcdabcd"
+
+    def test_malformed_stream_faults(self, snappy_asm):
+        # Preamble says 100 bytes but stream ends.
+        with pytest.raises(UDPFault):
+            Lane().run(snappy_asm, bytes([100]))
+
+    def test_dispatch_not_branch_dominated(self, snappy_asm):
+        data = (b"abcdefgh" * 64) + np.random.default_rng(1).bytes(256)
+        res = Lane().run(snappy_asm, snappy_compress(data), collect_trace=True)
+        kinds = [e.kind for e in res.trace]
+        assert "dispatch" in kinds
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=2000))
+    def test_property_matches_functional(self, snappy_asm, data):
+        assert self.run_decode(snappy_asm, data) == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=1, max_size=50), st.integers(1, 300))
+    def test_property_repetitive(self, snappy_asm, unit, reps):
+        data = unit * reps
+        assert self.run_decode(snappy_asm, data) == data
+
+
+class TestHuffmanProgram:
+    def decode_via_udp(self, table: HuffmanTable, data: bytes, stride=4) -> bytes:
+        payload, _bits = table.encode_bits(data)
+        asm = assemble(build_huffman_decode(table, stride=stride))
+        res = Lane().run(asm, payload)
+        # Padding bits may add spurious tail symbols; truncate like the
+        # runtime does.
+        assert len(res.output) >= len(data)
+        return res.output[: len(data)]
+
+    def test_round_trip_text(self):
+        data = b"programmable acceleration for sparse matrices" * 5
+        table = HuffmanTable.from_samples([data])
+        assert self.decode_via_udp(table, data) == data
+
+    def test_round_trip_binary(self):
+        data = np.random.default_rng(5).bytes(1500)
+        table = HuffmanTable.from_samples([data])
+        assert self.decode_via_udp(table, data) == data
+
+    def test_empty_payload(self):
+        table = HuffmanTable.from_samples([b"x"])
+        asm = assemble(build_huffman_decode(table))
+        res = Lane().run(asm, b"")
+        assert res.output == b""
+        assert res.status == 0
+
+    def test_table_from_different_sample(self):
+        table = HuffmanTable.from_samples([b"completely unrelated sample"])
+        data = bytes(range(256))
+        assert self.decode_via_udp(table, data) == data
+
+    @pytest.mark.parametrize("stride", [1, 2, 4, 8])
+    def test_strides(self, stride):
+        data = b"stride test data, stride test data!" * 3
+        table = HuffmanTable.from_samples([data])
+        assert self.decode_via_udp(table, data, stride=stride) == data
+
+    def test_bad_stride_rejected(self):
+        table = HuffmanTable.from_samples([b"x"])
+        with pytest.raises(ValueError):
+            build_huffman_decode(table, stride=3)
+
+    def test_eof_key_value(self):
+        assert eof_key(4) == 16
+        assert eof_key(8) == 256
+
+    def test_hot_loop_is_one_block_per_chunk(self):
+        # The cycle count must be ~#chunks, not 2x (no fetch/branch blocks).
+        data = b"a" * 4000
+        table = HuffmanTable.from_samples([data])
+        payload, bits = table.encode_bits(data)
+        asm = assemble(build_huffman_decode(table, stride=4))
+        res = Lane().run(asm, payload)
+        nchunks = (len(payload) * 8) // 4
+        assert res.counters.blocks <= nchunks + 3
+
+    def test_effclip_density_high(self):
+        table = HuffmanTable.from_samples([b"density check " * 10])
+        asm = assemble(build_huffman_decode(table, stride=4))
+        assert asm.density > 0.95
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(min_size=1, max_size=400))
+    def test_property_matches_functional(self, data):
+        table = HuffmanTable.from_samples([data])
+        payload, _ = table.encode_bits(data)
+        expected = table.decode_bits(payload, len(data))
+        assert self.decode_via_udp(table, data) == expected

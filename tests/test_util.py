@@ -1,0 +1,152 @@
+"""Tests for repro.util helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    Table,
+    derive_seed,
+    fmt_bytes,
+    fmt_power,
+    fmt_rate,
+    fmt_seconds,
+    geomean,
+    geomean_ratio,
+    seeded_rng,
+)
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_known_pair(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_matches_paper_style_aggregate(self):
+        vals = [2.0, 8.0]
+        assert geomean(vals) == pytest.approx(4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
+
+    def test_no_underflow_on_long_small_inputs(self):
+        vals = [1e-12] * 10_000
+        assert geomean(vals) == pytest.approx(1e-12, rel=1e-9)
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e6), min_size=1, max_size=64))
+    def test_between_min_and_max(self, vals):
+        g = geomean(vals)
+        assert min(vals) * (1 - 1e-9) <= g <= max(vals) * (1 + 1e-9)
+
+    @given(
+        st.lists(st.floats(min_value=1e-3, max_value=1e3), min_size=1, max_size=32),
+        st.floats(min_value=1e-3, max_value=1e3),
+    )
+    def test_scale_equivariance(self, vals, k):
+        assert geomean([k * v for v in vals]) == pytest.approx(k * geomean(vals), rel=1e-9)
+
+
+class TestGeomeanRatio:
+    def test_basic(self):
+        assert geomean_ratio([2.0, 8.0], [1.0, 2.0]) == pytest.approx(math.sqrt(8.0))
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            geomean_ratio([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean_ratio([], [])
+
+    def test_equals_ratio_of_geomeans(self):
+        num = [1.5, 2.5, 9.0]
+        den = [0.5, 5.0, 3.0]
+        assert geomean_ratio(num, den) == pytest.approx(geomean(num) / geomean(den))
+
+
+class TestRng:
+    def test_deterministic(self):
+        a = seeded_rng(123).integers(0, 1 << 30, size=16)
+        b = seeded_rng(123).integers(0, 1 << 30, size=16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = seeded_rng(1).integers(0, 1 << 30, size=16)
+        b = seeded_rng(2).integers(0, 1 << 30, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_negative_seed_raises(self):
+        with pytest.raises(ValueError):
+            seeded_rng(-1)
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(42, "suite", 7) == derive_seed(42, "suite", 7)
+
+    def test_derive_seed_label_sensitivity(self):
+        assert derive_seed(42, "suite", 7) != derive_seed(42, "suite", 8)
+        assert derive_seed(42, "a", "b") != derive_seed(42, "ab")
+
+    def test_derive_seed_no_concat_collision(self):
+        # "1" + "23" must differ from "12" + "3".
+        assert derive_seed(0, "1", "23") != derive_seed(0, "12", "3")
+
+
+class TestUnits:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(8192) == "8.00 KiB"
+        assert fmt_bytes(3 * 1024 * 1024) == "3.00 MiB"
+
+    def test_fmt_rate_paper_conventions(self):
+        assert fmt_rate(100e9) == "100.00 GB/s"
+        assert fmt_rate(1e12) == "1.00 TB/s"
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(21.7e-6) == "21.70 us"
+        assert fmt_seconds(1.5) == "1.500 s"
+        assert fmt_seconds(2e-3) == "2.00 ms"
+
+    def test_fmt_power(self):
+        assert fmt_power(0.160) == "160.0 mW"
+        assert fmt_power(80) == "80.00 W"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["matrix", "B/nnz"], formats=["{}", "{:.2f}"])
+        t.add_row("copter2", 5.125)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("matrix")
+        assert "5.12" in lines[2]
+
+    def test_markdown(self):
+        t = Table(["a", "b"])
+        t.add_row("x", "y")
+        md = t.render_markdown()
+        assert md.splitlines()[0] == "| a | b |"
+        assert "| x | y |" in md
+
+    def test_wrong_arity_raises(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.add_row("x", "y")
+
+    def test_empty_columns_raises(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_bad_formats_length_raises(self):
+        with pytest.raises(ValueError):
+            Table(["a", "b"], formats=["{}"])
