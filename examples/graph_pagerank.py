@@ -13,6 +13,7 @@ Run:  python examples/graph_pagerank.py
 
 import numpy as np
 
+from repro.codecs.engine import DecodedBlockCache, RecodeEngine
 from repro.codecs.stats import dsh_plan
 from repro.collection import generators
 from repro.core import recoded_spmv
@@ -32,12 +33,17 @@ def row_normalize(adj: CSRMatrix) -> CSRMatrix:
     ).to_csr()
 
 
-def pagerank(plan, n, damping=0.85, tol=1e-10, max_iter=200):
-    """Power iteration where each P^T x streams the compressed matrix."""
+def pagerank(plan, n, damping=0.85, tol=1e-10, max_iter=200, engine=None):
+    """Power iteration where each P^T x streams the compressed matrix.
+
+    With an ``engine`` attached, iterations after the first hit its
+    decoded-block cache — the steady-state reuse the paper's UDP loop
+    exploits — so only iteration 1 pays decompression.
+    """
     x = np.full(n, 1.0 / n)
     spmv_traffic = 0
     for iteration in range(1, max_iter + 1):
-        y, stats = recoded_spmv(plan, x)
+        y, stats = recoded_spmv(plan, x, engine=engine, matrix_id="pagerank")
         spmv_traffic += stats.dram_bytes
         y = damping * y + (1 - damping) / n
         # Redistribute dangling-node mass uniformly so total rank stays 1.
@@ -64,10 +70,15 @@ def main() -> None:
           f"structure)\n  value stream: {val_bytes / plan.nnz:.2f} B/nnz "
           f"(1/out-degree values repeat heavily)")
 
-    ranks, iters, traffic = pagerank(plan, n)
+    engine = RecodeEngine(cache=DecodedBlockCache())
+    ranks, iters, traffic = pagerank(plan, n, engine=engine)
     top = np.argsort(ranks)[::-1][:5]
     print(f"PageRank converged in {iters} iterations "
           f"({traffic / 1e6:.1f} MB of compressed A-traffic)")
+    es, cs = engine.stats, engine.cache.stats
+    print(f"recode engine: {es.blocks_decoded} blocks decompressed once, "
+          f"{cs.hits} cache hits ({cs.hit_rate:.0%}) across iterations — "
+          f"steady-state iterations skip decode entirely")
     print("top-5 hubs:", ", ".join(f"node {i} ({ranks[i]:.4f})" for i in top))
 
     # Sanity: identical to the uncompressed computation.

@@ -5,7 +5,9 @@ Usage::
     python -m repro info   MATRIX
     python -m repro compress MATRIX [--scheme dsh|delta-snappy|snappy|auto]
                                      [--block-bytes N] [--verify] [--simulate]
-    python -m repro spmv   MATRIX [--memory ddr4|hbm2]
+                                     [--workers N]
+    python -m repro spmv   MATRIX [--memory ddr4|hbm2] [--workers N]
+                                   [--iterations N]
     python -m repro suite  [--count N] [--scale F]
 
 ``MATRIX`` is either a MatrixMarket path (``*.mtx``) or a synthetic spec
@@ -106,7 +108,9 @@ def cmd_compress(args) -> int:
         }
         if args.scheme not in flags:
             raise ValueError(f"unknown scheme {args.scheme!r}")
-        plan = compress_matrix(m, block_bytes=args.block_bytes, **flags[args.scheme])
+        plan = compress_matrix(
+            m, block_bytes=args.block_bytes, workers=args.workers, **flags[args.scheme]
+        )
     idx = sum(r.stored_bytes for r in plan.index_records)
     val = sum(r.stored_bytes for r in plan.value_records)
     print(f"blocks:      {plan.nblocks} x {plan.block_bytes} B budget")
@@ -131,7 +135,7 @@ def cmd_compress(args) -> int:
 def cmd_spmv(args) -> int:
     m = load_matrix(args.matrix)
     memory = _MEMORIES[args.memory]
-    plan = compress_matrix(m)
+    plan = compress_matrix(m, workers=args.workers)
     udp = simulate_plan(plan, sample=args.sample_blocks)
     cpu = CPURecoder().simulate_plan(plan, sample=args.sample_blocks)
     cmp_ = HeterogeneousSystem(memory).compare("cli", plan, udp, cpu)
@@ -143,6 +147,25 @@ def cmd_spmv(args) -> int:
     print(table.render())
     print(f"speedup {cmp_.udp_speedup:.2f}x at {plan.bytes_per_nnz:.2f} B/nnz "
           f"with {cmp_.udp_cpu.n_udp} UDP(s)")
+    if args.iterations:
+        import numpy as np
+
+        from repro.codecs.engine import DecodedBlockCache, RecodeEngine
+        from repro.core import recoded_spmv
+
+        engine = RecodeEngine(workers=args.workers, cache=DecodedBlockCache())
+        x = np.ones(m.ncols)
+        for _ in range(args.iterations):
+            y, stats = recoded_spmv(plan, x, memory=memory, engine=engine,
+                                    matrix_id=args.matrix)
+            scale = float(np.abs(y).max())
+            x = y / scale if scale else y
+        s = stats.engine_stats
+        cache = engine.cache.stats
+        print(f"engine ({args.iterations} iterations): workers={s['workers']:.0f}, "
+              f"{s['blocks_decoded']:.0f} blocks decoded, "
+              f"{cache.hits} cache hits ({cache.hit_rate:.0%}), "
+              f"{s['decode_mb_per_s']:.1f} MB/s")
     return 0
 
 
@@ -204,12 +227,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true")
     p.add_argument("--simulate", action="store_true")
     p.add_argument("--sample-blocks", type=int, default=2)
+    p.add_argument("--workers", type=int, default=0,
+                   help="recode-engine pool width (0 = serial)")
     p.set_defaults(fn=cmd_compress)
 
     p = sub.add_parser("spmv", help="model the three SpMV scenarios")
     p.add_argument("matrix")
     p.add_argument("--memory", default="ddr4", choices=sorted(_MEMORIES))
     p.add_argument("--sample-blocks", type=int, default=2)
+    p.add_argument("--workers", type=int, default=0,
+                   help="recode-engine pool width (0 = serial)")
+    p.add_argument("--iterations", type=int, default=0, metavar="N",
+                   help="also run N functional SpMV iterations through the "
+                        "engine's decoded-block cache and report its stats")
     p.set_defaults(fn=cmd_spmv)
 
     p = sub.add_parser("pack", help="compress a matrix into a .dsh container")

@@ -14,6 +14,9 @@ implemented here from scratch:
   per-matrix table built by sampling up to 40% of the 8 KB blocks.
 * :mod:`~repro.codecs.pipeline` — block-oriented DSH composition +
   whole-matrix compression plans and bytes-per-nnz statistics.
+* :mod:`~repro.codecs.engine` — the parallel block recode engine (worker
+  pools over per-block codec work) and the decoded-block LRU cache that
+  models the paper's steady-state block reuse.
 """
 
 from repro.codecs.base import Codec, IdentityCodec
@@ -28,6 +31,13 @@ from repro.codecs.pipeline import (
     compress_matrix,
 )
 from repro.codecs.autotune import AutotuneResult, CandidateSpec, autotune
+from repro.codecs.engine import (
+    CacheStats,
+    DecodedBlockCache,
+    EngineStats,
+    RecodeEngine,
+    plan_fingerprint,
+)
 from repro.codecs.container import load_csr, load_plan, save_plan
 from repro.codecs.rle import RLECodec, rle_decode, rle_encode
 from repro.codecs.shuffle import ShuffleCodec, shuffle_bytes, unshuffle_bytes
@@ -62,6 +72,11 @@ __all__ = [
     "autotune",
     "AutotuneResult",
     "CandidateSpec",
+    "RecodeEngine",
+    "DecodedBlockCache",
+    "EngineStats",
+    "CacheStats",
+    "plan_fingerprint",
     "save_plan",
     "load_plan",
     "load_csr",

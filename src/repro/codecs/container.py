@@ -5,21 +5,35 @@ compressed form; this container makes that durable. Layout (little-endian):
 
 .. code-block:: text
 
-    magic   8s   b"RPRODSH1"
+    magic   8s   b"RPRODSH2"
     flags   u8   bit0 = delta, bit1 = huffman
     u32     block_bytes
     u32     nrows, u32 ncols, u32 nblocks
     u64     nnz
     [tables]  if huffman: 256 B index lengths, 256 B value lengths
+    u32     crc32 of everything from magic through the tables (header CRC)
     per block:
       u32 row_start, u32 row_end, u8 leading_partial, u64 nnz_start
       u32 x (row_end - row_start + 1)   local row_ptr
+      u32 crc32 of the block meta above (meta CRC)
       2 records (index, value):
         u32 orig_len, u32 snappy_len, u32 bit_len, u32 payload_len,
-        u32 crc32(payload), payload bytes
+        u32 crc32(record header + payload), payload bytes
+    u32     crc32 of every preceding byte (stream trailer)
 
-Every payload carries a CRC so corruption is detected at load time, before
-a bad stream ever reaches a decoder.
+Corruption is detected in layers, every layer raising :class:`ValueError`:
+
+* the stream trailer CRC rejects any byte flip or truncation up front;
+* every region carries a local CRC — the header (flags, shape, tables),
+  each block's row metadata, and each record (header *and* payload) — so a
+  single flipped byte is caught even if the trailer were recomputed to
+  match, and a bad stream never reaches a decoder;
+* the parser validates structure independently of every CRC — block row
+  ranges must chain contiguously and cover ``nrows``, local ``row_ptr``
+  must be monotone and fit the block's byte budget, record ``orig_len``
+  must match the row_ptr entry count, and decoded column indices must fall
+  inside ``ncols`` — so even a wholly forged stream cannot make the
+  loader allocate unbounded memory or return silently wrong data.
 """
 
 from __future__ import annotations
@@ -36,66 +50,76 @@ from repro.codecs.pipeline import BlockRecord, MatrixCompression
 from repro.sparse.blocked import BlockedCSR, CSRBlock
 from repro.sparse.csr import CSRMatrix
 
-MAGIC = b"RPRODSH1"
+MAGIC = b"RPRODSH2"
 
 _FLAG_DELTA = 1
 _FLAG_HUFFMAN = 2
 
+#: Upper bound accepted for the per-block byte budget: real plans use 8 KB
+#: (UDP) or 32 KB (CPU); anything above this is a corrupt header, and the
+#: cap keeps a forged budget from licensing huge per-block allocations.
+MAX_BLOCK_BYTES = 1 << 30
+
 
 def _write_record(out: io.BufferedIOBase, record: BlockRecord) -> None:
-    out.write(
-        struct.pack(
-            "<IIIII",
-            record.orig_len,
-            record.snappy_len,
-            record.bit_len,
-            len(record.payload),
-            zlib.crc32(record.payload),
-        )
+    header = struct.pack(
+        "<IIII",
+        record.orig_len,
+        record.snappy_len,
+        record.bit_len,
+        len(record.payload),
     )
+    out.write(header)
+    out.write(struct.pack("<I", zlib.crc32(record.payload, zlib.crc32(header))))
     out.write(record.payload)
 
 
 def _read_record(data: memoryview, pos: int) -> tuple[BlockRecord, int]:
-    orig_len, snappy_len, bit_len, payload_len, crc = struct.unpack_from("<IIIII", data, pos)
+    header = bytes(data[pos : pos + 16])
+    orig_len, snappy_len, bit_len, payload_len = struct.unpack_from("<IIII", data, pos)
+    (crc,) = struct.unpack_from("<I", data, pos + 16)
     pos += 20
     payload = bytes(data[pos : pos + payload_len])
     if len(payload) != payload_len:
         raise ValueError("truncated container: record payload")
-    if zlib.crc32(payload) != crc:
+    if zlib.crc32(payload, zlib.crc32(header)) != crc:
         raise ValueError("container corruption: record CRC mismatch")
     pos += payload_len
     return BlockRecord(orig_len, snappy_len, bit_len, payload), pos
 
 
 def save_plan(plan: MatrixCompression, dest: str | PathLike | io.BufferedIOBase) -> None:
-    """Serialize a plan to a ``.dsh`` container."""
+    """Serialize a plan to a ``.dsh`` container (stream-CRC trailed)."""
     if isinstance(dest, (str, PathLike)):
         with open(dest, "wb") as fh:
             save_plan(plan, fh)
             return
-    dest.write(MAGIC)
+    buf = io.BytesIO()
+    buf.write(MAGIC)
     flags = (_FLAG_DELTA if plan.use_delta else 0) | (
         _FLAG_HUFFMAN if plan.use_huffman else 0
     )
     m, n = plan.blocked.shape
-    dest.write(struct.pack("<BIIIIQ", flags, plan.block_bytes, m, n, plan.nblocks, plan.nnz))
+    buf.write(struct.pack("<BIIIIQ", flags, plan.block_bytes, m, n, plan.nblocks, plan.nnz))
     if plan.use_huffman:
         assert plan.index_table is not None and plan.value_table is not None
-        dest.write(plan.index_table.serialize())
-        dest.write(plan.value_table.serialize())
+        buf.write(plan.index_table.serialize())
+        buf.write(plan.value_table.serialize())
+    buf.write(struct.pack("<I", zlib.crc32(buf.getvalue())))
     for block, irec, vrec in zip(
         plan.blocked.blocks, plan.index_records, plan.value_records
     ):
-        dest.write(
-            struct.pack(
-                "<IIBQ", block.row_start, block.row_end, int(block.leading_partial),
-                block.nnz_start,
-            )
-        )
-        dest.write(block.row_ptr.astype("<u4").tobytes())
-        _write_record(dest, irec)
-        _write_record(dest, vrec)
+        meta = struct.pack(
+            "<IIBQ", block.row_start, block.row_end, int(block.leading_partial),
+            block.nnz_start,
+        ) + block.row_ptr.astype("<u4").tobytes()
+        buf.write(meta)
+        buf.write(struct.pack("<I", zlib.crc32(meta)))
+        _write_record(buf, irec)
+        _write_record(buf, vrec)
+    body = buf.getvalue()
+    dest.write(body)
+    dest.write(struct.pack("<I", zlib.crc32(body)))
 
 
 def load_plan(source: str | PathLike | io.BufferedIOBase | bytes) -> MatrixCompression:
@@ -114,40 +138,98 @@ def load_plan(source: str | PathLike | io.BufferedIOBase | bytes) -> MatrixCompr
             return load_plan(fh.read())
     if not isinstance(source, bytes):
         source = source.read()
-    data = memoryview(source)
+    try:
+        return _parse_plan(memoryview(source))
+    except struct.error as exc:
+        # struct.unpack_from past the end of a truncated stream.
+        raise ValueError(f"truncated container: {exc}") from exc
+
+
+def _parse_plan(data: memoryview) -> MatrixCompression:
+    if len(data) < len(MAGIC) + 4:
+        raise ValueError("truncated container: shorter than magic + trailer")
     if bytes(data[:8]) != MAGIC:
         raise ValueError("not a repro DSH container (bad magic)")
+    (trailer,) = struct.unpack_from("<I", data, len(data) - 4)
+    if zlib.crc32(data[:-4]) != trailer:
+        raise ValueError("container corruption: stream CRC mismatch")
+    end = len(data) - 4
     pos = 8
     flags, block_bytes, m, n, nblocks, nnz = struct.unpack_from("<BIIIIQ", data, pos)
     pos += struct.calcsize("<BIIIIQ")
     use_delta = bool(flags & _FLAG_DELTA)
     use_huffman = bool(flags & _FLAG_HUFFMAN)
+    if not 12 <= block_bytes <= MAX_BLOCK_BYTES:
+        raise ValueError(f"container corruption: implausible block_bytes {block_bytes}")
+    if nblocks == 0 and (m or nnz):
+        raise ValueError("container corruption: blockless container with rows/nnz")
+    entries_cap = block_bytes // 12
+    table_pos = pos
+    if use_huffman:
+        if pos + 512 + 4 > end:
+            raise ValueError("truncated container: huffman tables")
+        pos += 512
+    # Header CRC is verified before the tables are even deserialized, so a
+    # corrupt length byte can never reach the table constructor.
+    (header_crc,) = struct.unpack_from("<I", data, pos)
+    if zlib.crc32(data[:pos]) != header_crc:
+        raise ValueError("container corruption: header CRC mismatch")
+    pos += 4
     index_table = value_table = None
     if use_huffman:
-        index_table = HuffmanTable.deserialize(bytes(data[pos : pos + 256]))
-        pos += 256
-        value_table = HuffmanTable.deserialize(bytes(data[pos : pos + 256]))
-        pos += 256
+        index_table = HuffmanTable.deserialize(bytes(data[table_pos : table_pos + 256]))
+        value_table = HuffmanTable.deserialize(
+            bytes(data[table_pos + 256 : table_pos + 512])
+        )
 
     index_records: list[BlockRecord] = []
     value_records: list[BlockRecord] = []
     block_meta: list[tuple[int, int, bool, int, np.ndarray]] = []
+    prev_row_end = 0
+    running_nnz = 0
     for _ in range(nblocks):
+        meta_start = pos
         row_start, row_end, leading, nnz_start = struct.unpack_from("<IIBQ", data, pos)
         pos += struct.calcsize("<IIBQ")
         nrows_local = row_end - row_start
         if nrows_local < 1:
             raise ValueError("container corruption: empty block row range")
+        if row_end > m:
+            raise ValueError("container corruption: block rows beyond nrows")
+        # Blocks must chain contiguously: a continuation block re-opens the
+        # previous block's last row, anything else starts right after it.
+        expected_start = prev_row_end - 1 if leading else prev_row_end
+        if row_start != max(expected_start, 0) or (leading and prev_row_end == 0):
+            raise ValueError("container corruption: block row ranges do not chain")
+        prev_row_end = row_end
         ptr_bytes = 4 * (nrows_local + 1)
-        row_ptr = np.frombuffer(data[pos : pos + ptr_bytes], dtype="<u4").astype(np.int64)
-        if len(row_ptr) != nrows_local + 1:
+        if pos + ptr_bytes + 4 > end:
             raise ValueError("truncated container: row_ptr")
+        row_ptr = np.frombuffer(data[pos : pos + ptr_bytes], dtype="<u4").astype(np.int64)
         pos += ptr_bytes
+        (meta_crc,) = struct.unpack_from("<I", data, pos)
+        if zlib.crc32(data[meta_start:pos]) != meta_crc:
+            raise ValueError("container corruption: block meta CRC mismatch")
+        pos += 4
+        if row_ptr[0] != 0 or np.any(np.diff(row_ptr) < 0):
+            raise ValueError("container corruption: row_ptr not monotone from 0")
+        block_nnz = int(row_ptr[-1])
+        if block_nnz > entries_cap:
+            raise ValueError("container corruption: block exceeds its byte budget")
+        if nnz_start != running_nnz:
+            raise ValueError("container corruption: nnz_start does not chain")
+        running_nnz += block_nnz
         irec, pos = _read_record(data, pos)
         vrec, pos = _read_record(data, pos)
+        if irec.orig_len != 4 * block_nnz or vrec.orig_len != 8 * block_nnz:
+            raise ValueError("container corruption: record lengths disagree with row_ptr")
         index_records.append(irec)
         value_records.append(vrec)
         block_meta.append((row_start, row_end, bool(leading), nnz_start, row_ptr))
+    if nblocks and prev_row_end != m:
+        raise ValueError("container corruption: blocks do not cover all rows")
+    if pos != end:
+        raise ValueError("container corruption: trailing bytes after last block")
 
     # Rebuild the blocked structure by decoding each block once.
     shell_blocks = [
@@ -173,6 +255,9 @@ def load_plan(source: str | PathLike | io.BufferedIOBase | bytes) -> MatrixCompr
         block_bytes=block_bytes,
     )
     real_blocks = tuple(shell.decompress_block(i) for i in range(nblocks))
+    for block in real_blocks:
+        if block.nnz and (block.col_idx.min() < 0 or block.col_idx.max() >= n):
+            raise ValueError("container corruption: column index outside ncols")
     plan = MatrixCompression(
         blocked=BlockedCSR((m, n), real_blocks, block_bytes),
         index_records=tuple(index_records),

@@ -145,20 +145,12 @@ class MatrixCompression:
     def _decode_record(
         self, record: BlockRecord, table: HuffmanTable | None, is_index: bool
     ) -> bytes:
-        data = record.payload
-        if self.use_huffman:
-            if table is None:
-                raise ValueError("huffman record without table")
-            data = table.decode_bits(data, record.snappy_len)
-        data = snappy_decompress(data)
-        if len(data) != record.orig_len:
-            raise ValueError(
-                f"decompressed {len(data)} bytes, expected {record.orig_len}"
-            )
-        if is_index and self.use_delta:
-            arr = delta_decode(np.frombuffer(data, dtype="<i4"))
-            data = arr.astype("<i4").tobytes()
-        return data
+        return decode_record(
+            record,
+            table,
+            use_huffman=self.use_huffman,
+            apply_delta=is_index and self.use_delta,
+        )
 
     def decompress_block(self, i: int) -> CSRBlock:
         """Reconstruct block *i* (the functional model of the UDP's
@@ -189,6 +181,82 @@ class MatrixCompression:
         return True
 
 
+def decode_record(
+    record: BlockRecord,
+    table: HuffmanTable | None,
+    *,
+    use_huffman: bool,
+    apply_delta: bool,
+) -> bytes:
+    """Decode one stream record back to its raw bytes.
+
+    This is the single functional model of the UDP's per-record
+    ``recode(DSH_unpack, ...)`` call; both the serial
+    :meth:`MatrixCompression.decompress_block` path and the parallel
+    :mod:`repro.codecs.engine` workers run exactly this function.
+
+    Raises:
+        ValueError: on any malformed stream (truncation, bad codes, or a
+            decoded length that disagrees with ``record.orig_len``).
+    """
+    data = record.payload
+    if use_huffman:
+        if table is None:
+            raise ValueError("huffman record without table")
+        data = table.decode_bits(data, record.snappy_len)
+    # The record header bounds the output: a corrupt Snappy preamble can
+    # never allocate beyond what the header promised.
+    data = snappy_decompress(data, max_output=record.orig_len)
+    if len(data) != record.orig_len:
+        raise ValueError(
+            f"decompressed {len(data)} bytes, expected {record.orig_len}"
+        )
+    if apply_delta:
+        arr = delta_decode(np.frombuffer(data, dtype="<i4"))
+        data = arr.astype("<i4").tobytes()
+    return data
+
+
+def block_streams(
+    blocked: BlockedCSR, use_delta: bool
+) -> tuple[list[bytes], list[bytes]]:
+    """Raw per-block codec inputs: (index streams, value streams).
+
+    Delta is applied here (cheap numpy) so the expensive Snappy/Huffman
+    stages see exactly the bytes they compress.
+    """
+    delta_codec = DeltaCodec()
+    idx_streams: list[bytes] = []
+    val_streams: list[bytes] = []
+    for block in blocked.blocks:
+        raw_idx = block.index_bytes()
+        if use_delta:
+            raw_idx = delta_codec.encode(raw_idx)
+        idx_streams.append(raw_idx)
+        val_streams.append(block.value_bytes())
+    return idx_streams, val_streams
+
+
+def sampled_tables(
+    idx_snapped: list[bytes],
+    val_snapped: list[bytes],
+    nblocks: int,
+    sample_frac: float,
+    seed: int,
+    use_huffman: bool,
+) -> tuple[HuffmanTable | None, HuffmanTable | None]:
+    """Per-stream Huffman tables from a deterministic block sample."""
+    if not (use_huffman and nblocks):
+        return None, None
+    nsample = max(1, int(round(sample_frac * nblocks)))
+    rng = seeded_rng(derive_seed(seed, "huffman-sample"))
+    picks = rng.choice(nblocks, size=min(nsample, nblocks), replace=False)
+    # Tables are built over what Huffman actually sees: Snappy output.
+    index_table = HuffmanTable.from_samples(idx_snapped[i] for i in picks)
+    value_table = HuffmanTable.from_samples(val_snapped[i] for i in picks)
+    return index_table, value_table
+
+
 def _finish_record(
     raw_len: int, snapped: bytes, table: HuffmanTable | None, use_huffman: bool
 ) -> BlockRecord:
@@ -213,6 +281,7 @@ def compress_matrix(
     use_huffman: bool = True,
     sample_frac: float = 0.4,
     seed: int = 0,
+    workers: int = 0,
 ) -> MatrixCompression:
     """Compress a CSR matrix into a DSH (or Snappy-only) block plan.
 
@@ -225,35 +294,35 @@ def compress_matrix(
         sample_frac: fraction of blocks sampled to build Huffman tables
             (paper: "up to 40%").
         seed: RNG seed for the block sample.
+        workers: 0 encodes serially in-process; N > 0 fans block work over
+            an N-worker :class:`repro.codecs.engine.RecodeEngine` pool.
+            Output is byte-identical either way.
 
     Returns:
         A :class:`MatrixCompression` plan.
     """
+    if workers:
+        from repro.codecs.engine import RecodeEngine
+
+        return RecodeEngine(workers=workers).encode_blocked(
+            matrix,
+            block_bytes=block_bytes,
+            use_delta=use_delta,
+            use_huffman=use_huffman,
+            sample_frac=sample_frac,
+            seed=seed,
+        )
     if not 0.0 < sample_frac <= 1.0:
         raise ValueError(f"sample_frac must be in (0, 1], got {sample_frac}")
     blocked = partition_csr(matrix, block_bytes=block_bytes)
-    delta_codec = DeltaCodec()
-
-    idx_streams: list[bytes] = []
-    val_streams: list[bytes] = []
-    for block in blocked.blocks:
-        raw_idx = block.index_bytes()
-        if use_delta:
-            raw_idx = delta_codec.encode(raw_idx)
-        idx_streams.append(raw_idx)
-        val_streams.append(block.value_bytes())
+    idx_streams, val_streams = block_streams(blocked, use_delta)
 
     idx_snapped = [snappy_compress(s) for s in idx_streams]
     val_snapped = [snappy_compress(s) for s in val_streams]
 
-    index_table = value_table = None
-    if use_huffman and blocked.nblocks:
-        nsample = max(1, int(round(sample_frac * blocked.nblocks)))
-        rng = seeded_rng(derive_seed(seed, "huffman-sample"))
-        picks = rng.choice(blocked.nblocks, size=min(nsample, blocked.nblocks), replace=False)
-        # Tables are built over what Huffman actually sees: Snappy output.
-        index_table = HuffmanTable.from_samples(idx_snapped[i] for i in picks)
-        value_table = HuffmanTable.from_samples(val_snapped[i] for i in picks)
+    index_table, value_table = sampled_tables(
+        idx_snapped, val_snapped, blocked.nblocks, sample_frac, seed, use_huffman
+    )
 
     index_records = tuple(
         _finish_record(len(raw), snapped, index_table, use_huffman)

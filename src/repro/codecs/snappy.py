@@ -136,14 +136,27 @@ def snappy_compress(data: bytes) -> bytes:
     return bytes(out)
 
 
-def snappy_decompress(data: bytes) -> bytes:
+def snappy_decompress(data: bytes, max_output: int | None = None) -> bytes:
     """Decompress a Snappy block-format stream.
+
+    Args:
+        data: the compressed stream.
+        max_output: optional cap on the uncompressed size. A stream whose
+            varint preamble promises more than this is rejected *before*
+            any output is produced, so a corrupt preamble (up to 4 GiB)
+            can never drive unbounded allocation. Container readers pass
+            the record header's ``orig_len`` here.
 
     Raises:
         ValueError: on malformed streams (truncation, bad offsets, length
-            mismatch against the preamble).
+            mismatch against the preamble, or a preamble exceeding
+            ``max_output``).
     """
     expected, pos = read_varint(data, 0)
+    if max_output is not None and expected > max_output:
+        raise ValueError(
+            f"snappy preamble promises {expected} bytes, caller allows {max_output}"
+        )
     out = bytearray()
     n = len(data)
     while pos < n:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.codecs.engine import RecodeEngine
 from repro.codecs.pipeline import MatrixCompression
 from repro.memsys.dma import DMAEngine
 from repro.memsys.dram import DDR4_100GBS, MemorySystem
@@ -38,6 +39,9 @@ class PipelineStats:
     dram_bytes: int
     baseline_dram_bytes: int
     dma_seconds: float
+    #: Snapshot of the recode engine's cumulative counters (blocks decoded,
+    #: cache hits, workers, MB/s, ...) when one drove the decode; else None.
+    engine_stats: dict | None = None
 
     @property
     def traffic_ratio(self) -> float:
@@ -52,6 +56,8 @@ def recoded_spmv(
     x: np.ndarray,
     memory: MemorySystem = DDR4_100GBS,
     use_udp_simulator: bool = False,
+    engine: RecodeEngine | None = None,
+    matrix_id: str = "",
 ) -> tuple[np.ndarray, PipelineStats]:
     """Execute ``y = A @ x`` over the compressed plan.
 
@@ -61,6 +67,14 @@ def recoded_spmv(
         memory: memory system for DMA timing/energy.
         use_udp_simulator: decode blocks with the cycle-level UDP programs
             (slow, bit-exact) instead of the functional decoders.
+        engine: route block decodes through a
+            :class:`~repro.codecs.engine.RecodeEngine`. With a cache
+            attached, iterative solvers (PageRank, heat stepping) hit
+            already-decoded blocks — the software analogue of the paper's
+            steady-state UDP loop — and the returned stats carry the
+            engine's counters. Ignored when ``use_udp_simulator`` is set.
+        matrix_id: cache namespace for this matrix (pass a stable name when
+            re-running SpMV over the same plan).
 
     Returns:
         ``(y, stats)``.
@@ -96,6 +110,8 @@ def recoded_spmv(
                 nnz_start=ref.nnz_start,
                 leading_partial=ref.leading_partial,
             )
+        elif engine is not None:
+            block = engine.decode_block(plan, i, matrix_id=matrix_id)
         else:
             block = plan.decompress_block(i)
         log.record("udp", "cpu", 12 * block.nnz)
@@ -107,5 +123,6 @@ def recoded_spmv(
         dram_bytes=log.bytes_on("dram", "udp"),
         baseline_dram_bytes=12 * plan.nnz,
         dma_seconds=dma_seconds,
+        engine_stats=engine.stats.as_dict() if engine is not None else None,
     )
     return y, stats

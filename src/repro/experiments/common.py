@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.codecs.pipeline import MatrixCompression, compress_matrix
+from repro.codecs.engine import DecodedBlockCache, RecodeEngine
+from repro.codecs.pipeline import MatrixCompression
 from repro.collection.representative import RepresentativeEntry, representative_suite
 from repro.collection.suite import SuiteConfig, SuiteEntry, build_suite
 from repro.cpu.recoder import CPURecodeReport, CPURecoder
@@ -29,6 +30,8 @@ class ExperimentContext:
     rep_nnz: int = 40_000
     sample_blocks: int = 2
     seed: int = 2019
+    #: Recode-engine pool width for software encode/decode (0 = serial).
+    workers: int = 0
 
     @classmethod
     def quick(cls) -> "ExperimentContext":
@@ -82,6 +85,9 @@ class MatrixLab:
         self._udp_reports: dict[str, UDPDecodeReport] = {}
         self._cpu_reports: dict[tuple[str, str], CPURecodeReport] = {}
         self._recoder = CPURecoder()
+        #: Shared software recode engine: plans encode through its pool
+        #: (ctx.workers wide) and functional decodes hit its block cache.
+        self.engine = RecodeEngine(workers=ctx.workers, cache=DecodedBlockCache())
 
     # -- population ----------------------------------------------------------
 
@@ -113,25 +119,34 @@ class MatrixLab:
         """
         key = (name, scheme)
         if key not in self._plans:
-            if scheme == "dsh":
-                plan = compress_matrix(
-                    matrix, block_bytes=UDP_BLOCK_BYTES, use_delta=True,
-                    use_huffman=True, seed=self.ctx.seed,
-                )
-            elif scheme == "delta-snappy":
-                plan = compress_matrix(
-                    matrix, block_bytes=UDP_BLOCK_BYTES, use_delta=True,
-                    use_huffman=False, seed=self.ctx.seed,
-                )
-            elif scheme == "cpu-snappy":
-                plan = compress_matrix(
-                    matrix, block_bytes=CPU_BLOCK_BYTES, use_delta=False,
-                    use_huffman=False, seed=self.ctx.seed,
-                )
-            else:
+            schemes = {
+                "dsh": dict(block_bytes=UDP_BLOCK_BYTES, use_delta=True, use_huffman=True),
+                "delta-snappy": dict(block_bytes=UDP_BLOCK_BYTES, use_delta=True, use_huffman=False),
+                "cpu-snappy": dict(block_bytes=CPU_BLOCK_BYTES, use_delta=False, use_huffman=False),
+            }
+            if scheme not in schemes:
                 raise ValueError(f"unknown scheme {scheme!r}")
-            self._plans[key] = plan
+            # Through the shared engine: byte-identical to compress_matrix,
+            # parallel across ctx.workers when configured.
+            self._plans[key] = self.engine.encode_blocked(
+                matrix, seed=self.ctx.seed, **schemes[scheme]
+            )
         return self._plans[key]
+
+    def engine_summary(self) -> str:
+        """One-line engine report for runner output / EXPERIMENTS.md."""
+        s = self.engine.stats
+        cache = self.engine.cache.stats if self.engine.cache is not None else None
+        parts = [
+            f"workers={s.workers}",
+            f"blocks_encoded={s.blocks_encoded}",
+            f"blocks_decoded={s.blocks_decoded}",
+        ]
+        if cache is not None:
+            parts.append(f"cache_hits={cache.hits} ({cache.hit_rate:.0%})")
+        if s.decode_seconds > 0:
+            parts.append(f"decode={s.decode_mb_per_s:.1f} MB/s")
+        return "engine: " + ", ".join(parts)
 
     # -- simulator reports -----------------------------------------------------
 

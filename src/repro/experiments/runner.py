@@ -57,10 +57,10 @@ ABLATIONS = {
 
 
 def run_experiments(
-    names: list[str], ctx: ExperimentContext
+    names: list[str], ctx: ExperimentContext, lab: MatrixLab | None = None
 ) -> list[tuple[ExperimentResult, float]]:
     """Run the named experiments over one shared :class:`MatrixLab`."""
-    lab = MatrixLab(ctx)
+    lab = lab or MatrixLab(ctx)
     results = []
     for name in names:
         if name in ALL_EXPERIMENTS:
@@ -86,7 +86,8 @@ def render_markdown(results: list[tuple[ExperimentResult, float]], ctx: Experime
         + "`.",
         "",
         f"Profile: suite_count={ctx.suite_count}, suite_scale={ctx.suite_scale}, "
-        f"rep_nnz={ctx.rep_nnz}, sample_blocks={ctx.sample_blocks}, seed={ctx.seed}.",
+        f"rep_nnz={ctx.rep_nnz}, sample_blocks={ctx.sample_blocks}, seed={ctx.seed}, "
+        f"workers={ctx.workers}.",
         "",
         "Absolute numbers come from a Python model of the authors' testbed "
         "(see DESIGN.md §3 for substitutions); the *shape* — who wins, by "
@@ -130,6 +131,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--suite-scale", type=float, help="override suite nnz scale")
     parser.add_argument("--rep-nnz", type=int, help="override representative nnz")
     parser.add_argument("--samples", type=int, help="override cycle-simulated blocks/matrix")
+    parser.add_argument(
+        "--workers", type=int,
+        help="recode-engine pool width for software encode/decode (0 = serial)",
+    )
     args = parser.parse_args(argv)
 
     names = list(ALL_EXPERIMENTS) if args.all else list(args.exp)
@@ -144,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
         "suite_scale": args.suite_scale,
         "rep_nnz": args.rep_nnz,
         "sample_blocks": args.samples,
+        "workers": args.workers,
     }
     overrides = {k: v for k, v in overrides.items() if v is not None}
     if overrides:
@@ -151,10 +157,12 @@ def main(argv: list[str] | None = None) -> int:
 
         ctx = replace(ctx, **overrides)
 
-    results = run_experiments(names, ctx)
+    lab = MatrixLab(ctx)
+    results = run_experiments(names, ctx, lab)
     for result, elapsed in results:
         print(result.render())
         print(f"  ({elapsed:.1f}s)\n")
+    print(lab.engine_summary())
 
     if args.write_md:
         with open(args.write_md, "w", encoding="utf-8") as fh:

@@ -1,0 +1,15 @@
+"""Shared test configuration: fixed Hypothesis profiles.
+
+The ``ci`` profile derandomizes example generation so a property-test
+failure in CI reproduces exactly from the log (``print_blob`` emits the
+``@reproduce_failure`` decorator to paste locally). Select it with
+``--hypothesis-profile=ci`` or ``HYPOTHESIS_PROFILE=ci``.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", derandomize=True, print_blob=True, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,309 @@
+"""Differential corruption fuzzing for the DSH codec stack.
+
+Contract under test: a corrupted Snappy stream or ``.dsh`` container must
+make ``decode``/``load_plan`` raise :class:`ValueError` — never hang, never
+allocate unboundedly, and never return silently wrong data. All fuzzing is
+seeded, so failures reproduce exactly.
+"""
+
+import dataclasses
+import io
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.codecs.container import MAGIC, load_csr, load_plan, save_plan
+from repro.codecs.pipeline import BlockRecord, compress_matrix
+from repro.codecs.snappy import snappy_compress, snappy_decompress
+from repro.codecs.varint import write_varint
+from repro.collection import generators
+from repro.sparse.csr import CSRMatrix
+
+SEED = 20260806
+
+
+# ---------------------------------------------------------------------------
+# Snappy stream fuzzing
+# ---------------------------------------------------------------------------
+
+def _snappy_corpus():
+    rng = np.random.default_rng(SEED)
+    payloads = {
+        "delta-indices": np.cumsum(rng.integers(0, 6, 800)).astype("<i4").tobytes(),
+        "random-bytes": rng.integers(0, 256, 700, dtype=np.uint8).tobytes(),
+        "zeros": bytes(1200),
+        "text": b"the quick brown matrix streams compressed blocks " * 20,
+        "single": b"x",
+    }
+    return {name: (data, snappy_compress(data)) for name, data in payloads.items()}
+
+
+SNAPPY_CORPUS = _snappy_corpus()
+
+
+@pytest.mark.parametrize("name", sorted(SNAPPY_CORPUS))
+def test_snappy_every_truncation_raises(name):
+    data, stream = SNAPPY_CORPUS[name]
+    for cut in range(len(stream)):
+        with pytest.raises(ValueError):
+            snappy_decompress(stream[:cut], max_output=len(data))
+
+
+@pytest.mark.parametrize("name", sorted(SNAPPY_CORPUS))
+def test_snappy_mutations_never_silently_lengthen(name):
+    # Snappy carries no checksum, so a flipped literal byte can legally
+    # surface in the output — but the preamble pins the *length*, and
+    # max_output bounds allocation. Differential contract: ValueError or an
+    # output of exactly the promised length.
+    data, stream = SNAPPY_CORPUS[name]
+    rng = np.random.default_rng(SEED + 1)
+    for _ in range(120):
+        pos = int(rng.integers(0, len(stream)))
+        flip = int(rng.integers(1, 256))
+        mutated = bytearray(stream)
+        mutated[pos] ^= flip
+        try:
+            out = snappy_decompress(bytes(mutated), max_output=len(data))
+        except ValueError:
+            continue
+        assert len(out) == len(data)
+
+
+@pytest.mark.parametrize("name", sorted(SNAPPY_CORPUS))
+def test_snappy_round_trip_baseline(name):
+    data, stream = SNAPPY_CORPUS[name]
+    assert snappy_decompress(stream, max_output=len(data)) == data
+
+
+def test_snappy_preamble_over_cap_rejected():
+    stream = snappy_compress(b"a" * 1000)
+    with pytest.raises(ValueError, match="preamble|allows"):
+        snappy_decompress(stream, max_output=999)
+    assert snappy_decompress(stream, max_output=1000) == b"a" * 1000
+
+
+@pytest.mark.parametrize("promised", [1 << 20, 1 << 31, (1 << 32) - 1])
+def test_snappy_huge_preamble_rejected_before_allocation(promised):
+    forged = write_varint(promised) + b"\x00" * 16
+    with pytest.raises(ValueError):
+        snappy_decompress(forged, max_output=1024)
+
+
+def test_snappy_truncated_varint_raises():
+    with pytest.raises(ValueError):
+        snappy_decompress(b"\xff\xff\xff")
+    with pytest.raises(ValueError):
+        snappy_decompress(b"")
+
+
+# ---------------------------------------------------------------------------
+# Container fuzzing
+# ---------------------------------------------------------------------------
+
+def _split_row_matrix() -> CSRMatrix:
+    # One 400-entry row forces the partitioner to split it across blocks
+    # (leading_partial continuation) at the 8 KB budget? 400*12 < 8 KB, so
+    # shrink the budget at compress time instead — see _PLANS below.
+    rng = np.random.default_rng(SEED + 2)
+    nnz = 400
+    row_ptr = np.array([0, nnz, nnz, nnz + 1], dtype=np.int64)
+    col = np.concatenate([
+        np.sort(rng.choice(500, nnz, replace=False)), [7],
+    ]).astype(np.int32)
+    val = rng.standard_normal(nnz + 1)
+    return CSRMatrix((3, 500), row_ptr, col, val)
+
+
+def _plans():
+    banded = generators.banded(n=400, bandwidth=3, seed=SEED % 97)
+    return {
+        "dsh": compress_matrix(banded),
+        "snappy-only": compress_matrix(banded, use_delta=False, use_huffman=False),
+        "split-row": compress_matrix(_split_row_matrix(), block_bytes=1024),
+    }
+
+
+PLANS = _plans()
+
+
+def _blob(plan) -> bytes:
+    buf = io.BytesIO()
+    save_plan(plan, buf)
+    return buf.getvalue()
+
+
+BLOBS = {name: _blob(plan) for name, plan in PLANS.items()}
+
+
+def _payload(plan):
+    """Decoded content that must never silently change."""
+    return [
+        (b.row_ptr.tobytes(), b.col_idx.tobytes(), b.val.tobytes())
+        for b in (plan.decompress_block(i) for i in range(plan.nblocks))
+    ]
+
+
+def _with_fixed_trailer(body: bytes) -> bytes:
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def test_split_row_plan_actually_splits():
+    assert any(b.leading_partial for b in PLANS["split-row"].blocked.blocks)
+
+
+@pytest.mark.parametrize("name", sorted(BLOBS))
+def test_container_every_truncation_raises(name):
+    blob = BLOBS[name]
+    for cut in range(len(blob)):
+        with pytest.raises(ValueError):
+            load_plan(blob[:cut])
+
+
+@pytest.mark.parametrize("name", sorted(BLOBS))
+def test_container_mutation_raises_trailer_intact(name):
+    # Any single byte flip (trailer included) trips the stream CRC or, for
+    # flips inside the trailer itself, the trailer comparison.
+    blob = BLOBS[name]
+    rng = np.random.default_rng(SEED + 3)
+    for _ in range(200):
+        pos = int(rng.integers(0, len(blob)))
+        flip = int(rng.integers(1, 256))
+        mutated = bytearray(blob)
+        mutated[pos] ^= flip
+        with pytest.raises(ValueError):
+            load_plan(bytes(mutated))
+
+
+@pytest.mark.parametrize("name", sorted(BLOBS))
+def test_container_mutation_caught_even_with_forged_trailer(name):
+    # The adversarial case: flip a body byte AND recompute the stream
+    # trailer. The layered header/meta/record CRCs must still catch every
+    # single-byte flip (CRC32 detects all single-byte errors); if a flip
+    # ever slipped through, the decoded payload must be identical.
+    blob, original = BLOBS[name], _payload(PLANS[name])
+    body = blob[:-4]
+    rng = np.random.default_rng(SEED + 4)
+    for _ in range(200):
+        pos = int(rng.integers(0, len(body)))
+        flip = int(rng.integers(1, 256))
+        mutated = bytearray(body)
+        mutated[pos] ^= flip
+        try:
+            plan = load_plan(_with_fixed_trailer(bytes(mutated)))
+        except ValueError:
+            continue
+        pytest.fail(f"byte {pos} ^ {flip:#x} slipped past every CRC") \
+            if _payload(plan) != original else None
+
+
+def test_container_exhaustive_flip_dsh_forged_trailer():
+    # Exhaustive single-position sweep (two flip patterns per byte) on the
+    # smallest plan: every body byte is covered by some local CRC.
+    blob = BLOBS["split-row"]
+    body = blob[:-4]
+    for pos in range(len(body)):
+        for flip in (0x01, 0xFF):
+            mutated = bytearray(body)
+            mutated[pos] ^= flip
+            with pytest.raises(ValueError):
+                load_plan(_with_fixed_trailer(bytes(mutated)))
+
+
+# -- structural forgery: all CRCs recomputed, parser checks must hold ------
+
+
+def _forge_header(blob: bytes, plan, offset: int, fmt: str, value) -> bytes:
+    """Rewrite a fixed-header field and fix up the header CRC + trailer."""
+    body = bytearray(blob[:-4])
+    struct.pack_into(fmt, body, offset, value)
+    crc_pos = 33 + (512 if plan.use_huffman else 0)
+    struct.pack_into("<I", body, crc_pos, zlib.crc32(body[:crc_pos]))
+    return _with_fixed_trailer(bytes(body))
+
+
+_HEADER_FIELDS = {  # offset, fmt within the fixed header
+    "block_bytes": (9, "<I"),
+    "m": (13, "<I"),
+    "n": (17, "<I"),
+    "nblocks": (21, "<I"),
+    "nnz": (25, "<Q"),
+}
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("block_bytes", 4),
+        ("block_bytes", 1 << 31),
+        ("m", 10_000),
+        ("n", 1),
+        ("nblocks", 0),
+        ("nnz", 1),
+    ],
+)
+@pytest.mark.parametrize("name", ["dsh", "snappy-only"])
+def test_container_forged_header_fields_rejected(name, field, value):
+    plan = PLANS[name]
+    offset, fmt = _HEADER_FIELDS[field]
+    forged = _forge_header(BLOBS[name], plan, offset, fmt, value)
+    with pytest.raises(ValueError):
+        load_plan(forged)
+
+
+def test_container_forged_record_orig_len_rejected():
+    # A self-consistent container (all CRCs valid) whose record header lies
+    # about the decoded size must fail structural validation, not allocate.
+    plan = PLANS["dsh"]
+    rec = plan.index_records[0]
+    forged = dataclasses.replace(
+        plan,
+        index_records=(BlockRecord(10**9, rec.snappy_len, rec.bit_len, rec.payload),)
+        + plan.index_records[1:],
+    )
+    with pytest.raises(ValueError, match="disagree|budget"):
+        load_plan(_blob(forged))
+
+
+def test_container_forged_snappy_preamble_capped():
+    # Valid structure, but the (uncompressed-scheme) payload promises 1 GB:
+    # the reader's max_output cap must reject it before any allocation.
+    plan = PLANS["snappy-only"]
+    rec = plan.index_records[0]
+    huge = write_varint(1 << 30) + b"\x00" * 8
+    forged = dataclasses.replace(
+        plan,
+        index_records=(BlockRecord(rec.orig_len, len(huge), 0, huge),)
+        + plan.index_records[1:],
+    )
+    with pytest.raises(ValueError):
+        load_plan(_blob(forged))
+
+
+def test_container_trailing_garbage_rejected():
+    body = BLOBS["dsh"][:-4] + b"\x00" * 8
+    with pytest.raises(ValueError, match="trailing|CRC|corruption"):
+        load_plan(_with_fixed_trailer(body))
+
+
+@pytest.mark.parametrize(
+    "blob",
+    [b"", b"RPRO", b"NOTDSH00" + bytes(64), MAGIC, MAGIC + bytes(4)],
+    ids=["empty", "short", "bad-magic", "magic-only", "magic-trailer"],
+)
+def test_container_garbage_prefixes_rejected(blob):
+    with pytest.raises(ValueError):
+        load_plan(blob)
+
+
+def test_load_csr_differential_on_clean_stream():
+    # Sanity for the differential baseline itself: a clean save/load cycle
+    # reproduces the matrix exactly through load_csr.
+    m = generators.banded(n=200, bandwidth=4, seed=5)
+    buf = io.BytesIO()
+    save_plan(compress_matrix(m), buf)
+    got = load_csr(buf.getvalue())
+    assert np.array_equal(got.row_ptr, m.row_ptr)
+    assert np.array_equal(got.col_idx, m.col_idx)
+    assert got.val.tobytes() == m.val.tobytes()
