@@ -46,3 +46,46 @@ def test_engine_workers4_beats_cold_serial(ctx, lab):
         engine.stats.as_dict(),
         serial.stats.as_dict(),
     )
+
+
+def test_obs_overhead_within_budget():
+    """Metrics + (disabled) tracing must cost <=5% on the fig12 steady-state
+    regime: cache-hit decode passes, the hottest loop the instrumentation
+    touches. Compares min-of-repeats wall time with the registry recording
+    normally vs globally disabled via ``obs.set_enabled(False)``. The matrix
+    is sized so one pass covers a few hundred blocks — the regime the 5%
+    budget is about — rather than per-call fixed costs."""
+    import time
+
+    from repro import obs
+    from repro.codecs.engine import DecodedBlockCache, RecodeEngine
+    from repro.collection import generators
+
+    matrix = generators.banded(40_000, bandwidth=8, seed=12)
+    engine = RecodeEngine(workers=0, cache=DecodedBlockCache())
+    plan = engine.encode_blocked(matrix)
+    engine.decode_blocked(plan, matrix_id="overhead")  # warm the cache
+
+    passes = 40
+
+    def steady_state() -> float:
+        start = time.perf_counter()
+        for _ in range(passes):
+            engine.decode_blocked(plan, matrix_id="overhead")
+        return time.perf_counter() - start
+
+    steady_state()  # JIT-free but warms allocator/branch caches
+    timings = {True: [], False: []}
+    try:
+        for _ in range(7):
+            for enabled in (True, False):
+                obs.set_enabled(enabled)
+                timings[enabled].append(steady_state())
+    finally:
+        obs.set_enabled(True)
+
+    instrumented, bare = min(timings[True]), min(timings[False])
+    assert instrumented <= 1.05 * bare, (
+        f"instrumentation overhead {instrumented / bare - 1:.1%} exceeds 5% "
+        f"({instrumented:.4f}s vs {bare:.4f}s over {passes} passes)"
+    )

@@ -2,11 +2,14 @@
 """Quickstart: compress a sparse matrix, verify the UDP decode path, and
 model what the heterogeneous CPU-UDP system buys you.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--metrics-out m.json] [--trace-out t.json]
 """
+
+import argparse
 
 import numpy as np
 
+from repro import obs
 from repro.codecs.stats import compare_schemes, dsh_plan
 from repro.collection import generators
 from repro.core import HeterogeneousSystem, iso_performance_power, recoded_spmv
@@ -17,7 +20,17 @@ from repro.udp.runtime import simulate_plan
 from repro.util import fmt_power, fmt_rate
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a metrics JSON snapshot here")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome-trace JSON timeline here")
+    # Called as main() from the test suite: don't pick up pytest's argv.
+    args = parser.parse_args([] if argv is None else argv)
+    if args.trace_out:
+        obs.enable_tracing()
+
     # 1. A sparse matrix. Any CSRMatrix works; here, a banded system like
     #    the paper's structural-engineering class. (Load real SuiteSparse
     #    downloads with repro.sparse.read_matrix_market.)
@@ -63,6 +76,17 @@ def main() -> None:
           f"{fmt_power(power.baseline_power_w)} memory power "
           f"({100 * power.saving_fraction:.0f}%) using {power.n_udp} UDP(s)")
 
+    # 6. Every step above left counters in the process-wide registry; dump
+    #    them (and the span timeline) for inspection with `repro metrics`.
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    if args.trace_out:
+        obs.write_trace(args.trace_out)
+        print(f"wrote {args.trace_out}")
+
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(sys.argv[1:])

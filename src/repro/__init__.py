@@ -17,6 +17,7 @@ Subpackages
 - ``repro.core``       — the heterogeneous system model (performance/power)
 - ``repro.collection`` — synthetic TAMU-like matrix suite
 - ``repro.experiments``— per-figure reproduction harness
+- ``repro.obs``        — metrics registry, tracing, and exporters
 """
 
 __version__ = "1.0.0"
@@ -30,5 +31,6 @@ __all__ = [
     "core",
     "collection",
     "experiments",
+    "obs",
     "util",
 ]

@@ -7,8 +7,10 @@ Usage::
                                      [--block-bytes N] [--verify] [--simulate]
                                      [--workers N]
     python -m repro spmv   MATRIX [--memory ddr4|hbm2] [--workers N]
-                                   [--iterations N]
+                                   [--iterations N] [--metrics-out PATH]
+                                   [--trace-out PATH]
     python -m repro suite  [--count N] [--scale F]
+    python -m repro metrics FILE [--diff OTHER] [--format table|prom|json]
 
 ``MATRIX`` is either a MatrixMarket path (``*.mtx``) or a synthetic spec
 ``synth:<kind>[:key=value,...]`` with kinds from
@@ -20,6 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.codecs.autotune import autotune
 from repro.codecs.pipeline import compress_matrix
 from repro.collection import generators
@@ -133,6 +136,8 @@ def cmd_compress(args) -> int:
 
 
 def cmd_spmv(args) -> int:
+    if args.trace_out:
+        obs.enable_tracing()
     m = load_matrix(args.matrix)
     memory = _MEMORIES[args.memory]
     plan = compress_matrix(m, workers=args.workers)
@@ -147,7 +152,10 @@ def cmd_spmv(args) -> int:
     print(table.render())
     print(f"speedup {cmp_.udp_speedup:.2f}x at {plan.bytes_per_nnz:.2f} B/nnz "
           f"with {cmp_.udp_cpu.n_udp} UDP(s)")
-    if args.iterations:
+    # A metrics snapshot should span all three layers (codecs, spmv,
+    # memsys), which needs at least one functional pipeline iteration.
+    iterations = args.iterations or (1 if args.metrics_out or args.trace_out else 0)
+    if iterations:
         import numpy as np
 
         from repro.codecs.engine import DecodedBlockCache, RecodeEngine
@@ -155,17 +163,23 @@ def cmd_spmv(args) -> int:
 
         engine = RecodeEngine(workers=args.workers, cache=DecodedBlockCache())
         x = np.ones(m.ncols)
-        for _ in range(args.iterations):
+        for _ in range(iterations):
             y, stats = recoded_spmv(plan, x, memory=memory, engine=engine,
                                     matrix_id=args.matrix)
             scale = float(np.abs(y).max())
             x = y / scale if scale else y
         s = stats.engine_stats
         cache = engine.cache.stats
-        print(f"engine ({args.iterations} iterations): workers={s['workers']:.0f}, "
+        print(f"engine ({iterations} iterations): workers={s['workers']:.0f}, "
               f"{s['blocks_decoded']:.0f} blocks decoded, "
               f"{cache.hits} cache hits ({cache.hit_rate:.0%}), "
               f"{s['decode_mb_per_s']:.1f} MB/s")
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    if args.trace_out:
+        obs.write_trace(args.trace_out)
+        print(f"wrote {args.trace_out}")
     return 0
 
 
@@ -193,6 +207,32 @@ def cmd_unpack(args) -> int:
     m = load_csr(args.container)
     write_matrix_market(m, args.output, comment=f"unpacked from {args.container}")
     print(f"unpacked {m.nrows}x{m.ncols}, nnz={m.nnz} -> {args.output}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    snapshot = obs.load_metrics(args.file)
+    if args.diff:
+        other = obs.load_metrics(args.diff)
+        if args.format == "json":
+            import json
+
+            rows = obs.diff_snapshots(snapshot, other)
+            print(json.dumps(
+                [{"metric": k, "a": va, "b": vb, "delta": d} for k, va, vb, d in rows],
+                indent=2,
+            ))
+        else:
+            print(obs.render_diff_table(snapshot, other))
+        return 0
+    if args.format == "json":
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    elif args.format == "prom":
+        print(obs.to_prometheus(snapshot))
+    else:
+        print(obs.render_table(snapshot))
     return 0
 
 
@@ -240,6 +280,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=0, metavar="N",
                    help="also run N functional SpMV iterations through the "
                         "engine's decoded-block cache and report its stats")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write a metrics JSON snapshot here (forces one "
+                        "functional iteration if --iterations is 0)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write a Chrome-trace-format JSON timeline here")
     p.set_defaults(fn=cmd_spmv)
 
     p = sub.add_parser("pack", help="compress a matrix into a .dsh container")
@@ -260,6 +305,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compress", type=int, default=0, metavar="N",
                    help="also DSH-compress the first N entries")
     p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("metrics", help="inspect or diff a metrics JSON snapshot")
+    p.add_argument("file", help="metrics JSON written by --metrics-out")
+    p.add_argument("--diff", metavar="OTHER",
+                   help="show OTHER minus FILE instead of the snapshot itself")
+    p.add_argument("--format", default="table", choices=["table", "prom", "json"])
+    p.set_defaults(fn=cmd_metrics)
     return parser
 
 

@@ -25,6 +25,7 @@ workers run the same pure functions on the same inputs in the same order.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import threading
 import time
 import weakref
@@ -34,16 +35,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.codecs.huffman import HuffmanTable
 from repro.codecs.pipeline import (
     BlockRecord,
     MatrixCompression,
     _finish_record,
+    _record_plan_metrics,
     block_streams,
     decode_record,
     sampled_tables,
+    snappy_encode_streams,
 )
-from repro.codecs.snappy import snappy_compress
 from repro.sparse.blocked import CSRBlock, UDP_BLOCK_BYTES, partition_csr
 from repro.sparse.csr import CSRMatrix
 
@@ -96,7 +99,13 @@ def plan_fingerprint(plan: MatrixCompression) -> str:
 
 @dataclass
 class CacheStats:
-    """Counters for one :class:`DecodedBlockCache`."""
+    """Counters for one :class:`DecodedBlockCache`.
+
+    Plain ints on purpose: cache probes run once per block, so they stay
+    lock-free-cheap here and are published to the metrics registry by a
+    snapshot-time collector (``codecs.cache.*`` gauges) instead of paying
+    a registry op per probe.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -107,6 +116,34 @@ class CacheStats:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+_cache_ids = itertools.count()
+
+
+def _register_cache_collector(reg: obs.MetricsRegistry, cache: "DecodedBlockCache") -> None:
+    """Publish a cache's counters into ``reg`` at every snapshot.
+
+    Holds only a weakref: when the cache is collected the callback
+    deregisters itself (by returning False) and the last published values
+    remain in the registry as the cache's final state.
+    """
+    ref = weakref.ref(cache)
+    label = cache.cache_id
+
+    def collect(registry: obs.MetricsRegistry):
+        c = ref()
+        if c is None:
+            return False
+        st = c.stats
+        registry.gauge("codecs.cache.hits", cache=label).set(st.hits)
+        registry.gauge("codecs.cache.misses", cache=label).set(st.misses)
+        registry.gauge("codecs.cache.evictions", cache=label).set(st.evictions)
+        registry.gauge("codecs.cache.bytes", cache=label).set(st.current_bytes)
+        registry.gauge("codecs.cache.entries", cache=label).set(len(c))
+        return None
+
+    reg.register_collector(collect)
 
 
 class DecodedBlockCache:
@@ -126,8 +163,10 @@ class DecodedBlockCache:
         self.max_bytes = max_bytes
         self.max_blocks = max_blocks
         self.stats = CacheStats()
+        self.cache_id = f"c{next(_cache_ids)}"
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, tuple[CSRBlock, int]] = OrderedDict()
+        _register_cache_collector(obs.registry(), self)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -170,7 +209,7 @@ class DecodedBlockCache:
 
 
 def _snappy_chunk(streams: list[bytes]) -> list[bytes]:
-    return [snappy_compress(s) for s in streams]
+    return snappy_encode_streams(streams)
 
 
 def _finish_chunk(
@@ -193,31 +232,120 @@ def _decode_chunk(
     ]
 
 
+def _pool_warmup(_i: int) -> None:
+    return None
+
+
+def _shutdown_pool(pool) -> None:
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_isolated(args: tuple) -> tuple:
+    """Pool-worker shim: run one chunk under a fresh per-worker registry
+    (and tracer, when the parent is tracing) and ship the captured
+    telemetry back with the result for merge-on-join."""
+    fn, task, tracing = args
+    reg = obs.MetricsRegistry()
+    worker_tracer = obs.Tracer(enabled=tracing)
+    with obs.scoped_registry(reg), obs.scoped_tracer(worker_tracer):
+        result = fn(task)
+    return result, reg.snapshot(), worker_tracer.events()
+
+
 # ---------------------------------------------------------------------------
 # Engine
 # ---------------------------------------------------------------------------
 
 
-@dataclass
-class EngineStats:
-    """Cumulative counters for one :class:`RecodeEngine`."""
+_engine_ids = itertools.count()
 
-    workers: int = 0
-    blocks_encoded: int = 0
-    blocks_decoded: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    bytes_decoded: int = 0
-    encode_seconds: float = 0.0
-    decode_seconds: float = 0.0
+#: Registry counter suffixes backing one :class:`EngineStats` view.
+_ENGINE_COUNTERS = (
+    "blocks_encoded",
+    "blocks_decoded",
+    "cache_hits",
+    "cache_misses",
+    "bytes_decoded",
+    "encode_seconds",
+    "decode_seconds",
+    "pool_startup_seconds",
+)
+
+
+class EngineStats:
+    """Live view over one engine's ``codecs.engine.*`` registry counters.
+
+    The former bespoke dataclass fields survive as read-only properties,
+    so existing callers (``stats.blocks_decoded``, ``as_dict()``) keep
+    working, while the actual numbers live in the metrics registry (one
+    label set per engine) and show up in every exporter.
+
+    ``decode_seconds`` covers the map phase plus cache probing only; pool
+    spin-up (process fork/exec) is accounted separately in
+    ``pool_startup_seconds`` so cold-start MB/s is not understated.
+    """
+
+    def __init__(self, workers: int = 0, engine_label: str = "",
+                 registry: obs.MetricsRegistry | None = None):
+        reg = registry if registry is not None else obs.registry()
+        self.workers = workers
+        self.engine_label = engine_label
+        labels = {"engine": engine_label} if engine_label else {}
+        self._counters = {
+            name: reg.counter(f"codecs.engine.{name}", **labels)
+            for name in _ENGINE_COUNTERS
+        }
+        reg.gauge("codecs.engine.workers", **labels).set(workers)
+
+    def add(self, name: str, amount: float) -> None:
+        if not amount:
+            return  # skip the lock on no-op adds (all-hit decode passes)
+        self._counters[name].inc(amount)
+
+    @property
+    def blocks_encoded(self) -> int:
+        return int(self._counters["blocks_encoded"].value)
+
+    @property
+    def blocks_decoded(self) -> int:
+        return int(self._counters["blocks_decoded"].value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._counters["cache_hits"].value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._counters["cache_misses"].value)
+
+    @property
+    def bytes_decoded(self) -> int:
+        return int(self._counters["bytes_decoded"].value)
+
+    @property
+    def encode_seconds(self) -> float:
+        return self._counters["encode_seconds"].value
+
+    @property
+    def decode_seconds(self) -> float:
+        return self._counters["decode_seconds"].value
+
+    @property
+    def pool_startup_seconds(self) -> float:
+        return self._counters["pool_startup_seconds"].value
 
     @property
     def decode_mb_per_s(self) -> float:
         """Raw (decoded) MB/s over the engine's decode calls, cache
-        included — the software counterpart of Fig. 12's GB/s axis."""
+        included — the software counterpart of Fig. 12's GB/s axis.
+        Excludes one-time pool spin-up (see ``pool_startup_seconds``)."""
         if self.decode_seconds <= 0:
             return 0.0
         return self.bytes_decoded / self.decode_seconds / 1e6
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -229,6 +357,7 @@ class EngineStats:
             "bytes_decoded": self.bytes_decoded,
             "encode_seconds": self.encode_seconds,
             "decode_seconds": self.decode_seconds,
+            "pool_startup_seconds": self.pool_startup_seconds,
             "decode_mb_per_s": self.decode_mb_per_s,
         }
 
@@ -252,7 +381,7 @@ class RecodeEngine:
     executor: str = "process"
     chunk_blocks: int = DEFAULT_CHUNK_BLOCKS
     cache: DecodedBlockCache | None = None
-    stats: EngineStats = field(default_factory=EngineStats)
+    stats: EngineStats = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -261,18 +390,68 @@ class RecodeEngine:
             raise ValueError(f"executor must be 'process' or 'thread', got {self.executor!r}")
         if self.chunk_blocks < 1:
             raise ValueError(f"chunk_blocks must be >= 1, got {self.chunk_blocks}")
-        self.stats.workers = self.workers
+        self.stats = EngineStats(
+            workers=self.workers, engine_label=f"e{next(_engine_ids)}"
+        )
+        self._pool = None
 
     # -- pool plumbing -------------------------------------------------------
 
+    def _ensure_pool(self):
+        """Create (once) and reuse the executor; spin-up cost is timed into
+        ``pool_startup_seconds``, not the encode/decode timers."""
+        if self._pool is None:
+            start = time.perf_counter()
+            pool_cls = ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+            pool = pool_cls(max_workers=self.workers)
+            if self.executor == "process":
+                # Force worker spawn now so the map timers below measure
+                # codec work, not fork/exec.
+                list(pool.map(_pool_warmup, range(self.workers)))
+            self._pool = pool
+            weakref.finalize(self, _shutdown_pool, pool)
+            self.stats.add("pool_startup_seconds", time.perf_counter() - start)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (engines are also cleaned up on GC)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "RecodeEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _run_chunked(self, fn, tasks: list) -> list:
-        """Apply ``fn`` to every task, in order, flattening list results."""
+        """Apply ``fn`` to every task, in order, flattening list results.
+
+        Process-pool tasks run under per-worker metric registries (and
+        tracers, when tracing) whose contents merge back into the
+        parent's on join, so parallel runs report the same counter totals
+        as serial ones.
+        """
         if self.workers == 0 or len(tasks) <= 1:
             chunks = [fn(t) for t in tasks]
+        elif self.executor == "thread":
+            # Threads share the process-wide registry; metrics are
+            # thread-safe, so record directly.
+            chunks = list(self._ensure_pool().map(fn, tasks))
         else:
-            pool_cls = ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
-            with pool_cls(max_workers=self.workers) as pool:
-                chunks = list(pool.map(fn, tasks))
+            pool = self._ensure_pool()
+            tracing = obs.tracing_enabled()
+            reg = obs.registry()
+            parent_tracer = obs.tracer()
+            chunks = []
+            for result, snapshot, events in pool.map(
+                _run_isolated, [(fn, task, tracing) for task in tasks]
+            ):
+                chunks.append(result)
+                reg.merge_snapshot(snapshot)
+                if events:
+                    parent_tracer.add_events(events)
         return [item for chunk in chunks for item in chunk]
 
     @staticmethod
@@ -298,48 +477,54 @@ class RecodeEngine:
         """
         if not 0.0 < sample_frac <= 1.0:
             raise ValueError(f"sample_frac must be in (0, 1], got {sample_frac}")
+        if self.workers:
+            # Spin the pool up (timed separately) before the encode timer.
+            self._ensure_pool()
         start = time.perf_counter()
-        blocked = partition_csr(matrix, block_bytes=block_bytes)
-        idx_streams, val_streams = block_streams(blocked, use_delta)
+        with obs.trace("codecs.engine.encode", workers=self.workers, nnz=matrix.nnz):
+            blocked = partition_csr(matrix, block_bytes=block_bytes)
+            idx_streams, val_streams = block_streams(blocked, use_delta)
 
-        # Stage 1 — Snappy over both streams, one flat task list.
-        snapped = self._run_chunked(
-            _snappy_chunk, self._chunks(idx_streams + val_streams, self.chunk_blocks)
-        )
-        nb = blocked.nblocks
-        idx_snapped, val_snapped = snapped[:nb], snapped[nb:]
+            # Stage 1 — Snappy over both streams, one flat task list.
+            snapped = self._run_chunked(
+                _snappy_chunk, self._chunks(idx_streams + val_streams, self.chunk_blocks)
+            )
+            nb = blocked.nblocks
+            idx_snapped, val_snapped = snapped[:nb], snapped[nb:]
 
-        # Stage 2 — tables need a global sample, so they build in-process.
-        index_table, value_table = sampled_tables(
-            idx_snapped, val_snapped, nb, sample_frac, seed, use_huffman
-        )
+            # Stage 2 — tables need a global sample, so they build in-process.
+            index_table, value_table = sampled_tables(
+                idx_snapped, val_snapped, nb, sample_frac, seed, use_huffman
+            )
 
-        # Stage 3 — Huffman bit-packing (the dominant encode cost).
-        idx_tasks = [
-            ([len(s) for s in idx_streams[i : i + self.chunk_blocks]],
-             idx_snapped[i : i + self.chunk_blocks], index_table, use_huffman)
-            for i in range(0, nb, self.chunk_blocks)
-        ]
-        val_tasks = [
-            ([len(s) for s in val_streams[i : i + self.chunk_blocks]],
-             val_snapped[i : i + self.chunk_blocks], value_table, use_huffman)
-            for i in range(0, nb, self.chunk_blocks)
-        ]
-        finished = self._run_chunked(_finish_chunk, idx_tasks + val_tasks)
-        index_records, value_records = finished[:nb], finished[nb:]
+            # Stage 3 — Huffman bit-packing (the dominant encode cost).
+            idx_tasks = [
+                ([len(s) for s in idx_streams[i : i + self.chunk_blocks]],
+                 idx_snapped[i : i + self.chunk_blocks], index_table, use_huffman)
+                for i in range(0, nb, self.chunk_blocks)
+            ]
+            val_tasks = [
+                ([len(s) for s in val_streams[i : i + self.chunk_blocks]],
+                 val_snapped[i : i + self.chunk_blocks], value_table, use_huffman)
+                for i in range(0, nb, self.chunk_blocks)
+            ]
+            finished = self._run_chunked(_finish_chunk, idx_tasks + val_tasks)
+            index_records, value_records = finished[:nb], finished[nb:]
 
-        self.stats.blocks_encoded += nb
-        self.stats.encode_seconds += time.perf_counter() - start
-        return MatrixCompression(
-            blocked=blocked,
-            index_records=tuple(index_records),
-            value_records=tuple(value_records),
-            index_table=index_table,
-            value_table=value_table,
-            use_delta=use_delta,
-            use_huffman=use_huffman,
-            block_bytes=block_bytes,
-        )
+            plan = MatrixCompression(
+                blocked=blocked,
+                index_records=tuple(index_records),
+                value_records=tuple(value_records),
+                index_table=index_table,
+                value_table=value_table,
+                use_delta=use_delta,
+                use_huffman=use_huffman,
+                block_bytes=block_bytes,
+            )
+        self.stats.add("blocks_encoded", nb)
+        self.stats.add("encode_seconds", time.perf_counter() - start)
+        _record_plan_metrics(plan)
+        return plan
 
     # -- decode --------------------------------------------------------------
 
@@ -358,53 +543,66 @@ class RecodeEngine:
         for i in ids:
             if not 0 <= i < plan.nblocks:
                 raise ValueError(f"block id {i} out of range (nblocks={plan.nblocks})")
+        busy_seconds = 0.0
         start = time.perf_counter()
         out: dict[int, CSRBlock] = {}
         missing: list[int] = []
+        hits = misses = 0
         fingerprint = plan_fingerprint(plan) if self.cache is not None else ""
         for i in ids:
             if self.cache is not None:
                 hit = self.cache.get((matrix_id, i, fingerprint))
                 if hit is not None:
                     out[i] = hit
-                    self.stats.cache_hits += 1
+                    hits += 1
                     continue
-                self.stats.cache_misses += 1
+                misses += 1
             if i not in out:
                 missing.append(i)
         missing = sorted(set(missing))
 
         if missing:
-            idx_tasks = [
-                ([plan.index_records[i] for i in missing[j : j + self.chunk_blocks]],
-                 plan.index_table, plan.use_huffman, plan.use_delta)
-                for j in range(0, len(missing), self.chunk_blocks)
-            ]
-            val_tasks = [
-                ([plan.value_records[i] for i in missing[j : j + self.chunk_blocks]],
-                 plan.value_table, plan.use_huffman, False)
-                for j in range(0, len(missing), self.chunk_blocks)
-            ]
-            decoded = self._run_chunked(_decode_chunk, idx_tasks + val_tasks)
-            nm = len(missing)
-            for i, idx_bytes, val_bytes in zip(missing, decoded[:nm], decoded[nm:]):
-                ref = plan.blocked.blocks[i]
-                block = CSRBlock(
-                    row_start=ref.row_start,
-                    row_end=ref.row_end,
-                    row_ptr=ref.row_ptr,
-                    col_idx=np.frombuffer(idx_bytes, dtype="<i4"),
-                    val=np.frombuffer(val_bytes, dtype="<f8"),
-                    nnz_start=ref.nnz_start,
-                    leading_partial=ref.leading_partial,
-                )
-                out[i] = block
-                if self.cache is not None:
-                    self.cache.put((matrix_id, i, fingerprint), block)
+            if self.workers:
+                # Pause the decode timer around pool spin-up: fork/exec is
+                # a one-time cost, accounted in pool_startup_seconds.
+                busy_seconds += time.perf_counter() - start
+                self._ensure_pool()
+                start = time.perf_counter()
+            with obs.trace("codecs.engine.decode", blocks=len(missing)):
+                idx_tasks = [
+                    ([plan.index_records[i] for i in missing[j : j + self.chunk_blocks]],
+                     plan.index_table, plan.use_huffman, plan.use_delta)
+                    for j in range(0, len(missing), self.chunk_blocks)
+                ]
+                val_tasks = [
+                    ([plan.value_records[i] for i in missing[j : j + self.chunk_blocks]],
+                     plan.value_table, plan.use_huffman, False)
+                    for j in range(0, len(missing), self.chunk_blocks)
+                ]
+                decoded = self._run_chunked(_decode_chunk, idx_tasks + val_tasks)
+                nm = len(missing)
+                for i, idx_bytes, val_bytes in zip(missing, decoded[:nm], decoded[nm:]):
+                    ref = plan.blocked.blocks[i]
+                    block = CSRBlock(
+                        row_start=ref.row_start,
+                        row_end=ref.row_end,
+                        row_ptr=ref.row_ptr,
+                        col_idx=np.frombuffer(idx_bytes, dtype="<i4"),
+                        val=np.frombuffer(val_bytes, dtype="<f8"),
+                        nnz_start=ref.nnz_start,
+                        leading_partial=ref.leading_partial,
+                    )
+                    out[i] = block
+                    if self.cache is not None:
+                        self.cache.put((matrix_id, i, fingerprint), block)
 
-        self.stats.blocks_decoded += len(missing)
-        self.stats.bytes_decoded += sum(12 * out[i].nnz for i in ids)
-        self.stats.decode_seconds += time.perf_counter() - start
+        if hits:
+            self.stats.add("cache_hits", hits)
+        if misses:
+            self.stats.add("cache_misses", misses)
+        self.stats.add("blocks_decoded", len(missing))
+        self.stats.add("bytes_decoded", sum(12 * out[i].nnz for i in ids))
+        self.stats.add("decode_seconds", busy_seconds + time.perf_counter() - start)
         return [out[i] for i in ids]
 
     def decode_block(
@@ -414,4 +612,4 @@ class RecodeEngine:
         return self.decode_blocked(plan, [i], matrix_id=matrix_id)[0]
 
     def reset_stats(self) -> None:
-        self.stats = EngineStats(workers=self.workers)
+        self.stats.reset()

@@ -13,10 +13,12 @@ machinery with ``use_delta=False, use_huffman=False, block_bytes=32768``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.codecs.base import Codec
 from repro.codecs.delta import DeltaCodec, delta_decode
 from repro.codecs.huffman import HuffmanCodec, HuffmanTable
@@ -199,21 +201,32 @@ def decode_record(
         ValueError: on any malformed stream (truncation, bad codes, or a
             decoded length that disagrees with ``record.orig_len``).
     """
-    data = record.payload
+    start = time.perf_counter()
+    with obs.trace("codecs.decode_record", bytes_in=len(record.payload)):
+        data = record.payload
+        if use_huffman:
+            if table is None:
+                raise ValueError("huffman record without table")
+            data = table.decode_bits(data, record.snappy_len)
+        # The record header bounds the output: a corrupt Snappy preamble can
+        # never allocate beyond what the header promised.
+        data = snappy_decompress(data, max_output=record.orig_len)
+        if len(data) != record.orig_len:
+            raise ValueError(
+                f"decompressed {len(data)} bytes, expected {record.orig_len}"
+            )
+        if apply_delta:
+            arr = delta_decode(np.frombuffer(data, dtype="<i4"))
+            data = arr.astype("<i4").tobytes()
+    reg = obs.registry()
+    reg.counter("codecs.decode.records").inc()
+    reg.counter("codecs.decode.bytes_in").inc(len(record.payload))
+    reg.counter("codecs.decode.bytes_out").inc(len(data))
     if use_huffman:
-        if table is None:
-            raise ValueError("huffman record without table")
-        data = table.decode_bits(data, record.snappy_len)
-    # The record header bounds the output: a corrupt Snappy preamble can
-    # never allocate beyond what the header promised.
-    data = snappy_decompress(data, max_output=record.orig_len)
-    if len(data) != record.orig_len:
-        raise ValueError(
-            f"decompressed {len(data)} bytes, expected {record.orig_len}"
-        )
+        reg.counter("codecs.huffman.decode_records").inc()
     if apply_delta:
-        arr = delta_decode(np.frombuffer(data, dtype="<i4"))
-        data = arr.astype("<i4").tobytes()
+        reg.counter("codecs.delta.decode_records").inc()
+    reg.histogram("codecs.decode.record_seconds").observe(time.perf_counter() - start)
     return data
 
 
@@ -237,6 +250,25 @@ def block_streams(
     return idx_streams, val_streams
 
 
+def snappy_encode_streams(streams: list[bytes]) -> list[bytes]:
+    """Snappy-compress a batch of raw streams, with counters.
+
+    The single Snappy entry point for both the serial
+    :func:`compress_matrix` path and the parallel engine's chunk workers,
+    so process-pool runs report the same ``codecs.snappy.*`` totals as
+    serial runs.
+    """
+    start = time.perf_counter()
+    with obs.trace("codecs.snappy.compress", streams=len(streams)):
+        snapped = [snappy_compress(s) for s in streams]
+    reg = obs.registry()
+    reg.counter("codecs.snappy.compress_streams").inc(len(streams))
+    reg.counter("codecs.snappy.bytes_in").inc(sum(len(s) for s in streams))
+    reg.counter("codecs.snappy.bytes_out").inc(sum(len(s) for s in snapped))
+    reg.counter("codecs.snappy.compress_seconds").inc(time.perf_counter() - start)
+    return snapped
+
+
 def sampled_tables(
     idx_snapped: list[bytes],
     val_snapped: list[bytes],
@@ -252,26 +284,50 @@ def sampled_tables(
     rng = seeded_rng(derive_seed(seed, "huffman-sample"))
     picks = rng.choice(nblocks, size=min(nsample, nblocks), replace=False)
     # Tables are built over what Huffman actually sees: Snappy output.
-    index_table = HuffmanTable.from_samples(idx_snapped[i] for i in picks)
-    value_table = HuffmanTable.from_samples(val_snapped[i] for i in picks)
+    with obs.trace("codecs.huffman.build_tables", sampled=len(picks)):
+        index_table = HuffmanTable.from_samples(idx_snapped[i] for i in picks)
+        value_table = HuffmanTable.from_samples(val_snapped[i] for i in picks)
+    obs.registry().counter("codecs.huffman.tables_built").inc(2)
     return index_table, value_table
 
 
 def _finish_record(
     raw_len: int, snapped: bytes, table: HuffmanTable | None, use_huffman: bool
 ) -> BlockRecord:
+    start = time.perf_counter()
     if use_huffman:
         assert table is not None
-        payload, bit_len = table.encode_bits(snapped)
-        return BlockRecord(
+        with obs.trace("codecs.huffman.encode", bytes_in=len(snapped)):
+            payload, bit_len = table.encode_bits(snapped)
+        record = BlockRecord(
             orig_len=raw_len,
             snappy_len=len(snapped),
             bit_len=bit_len,
             payload=payload,
         )
-    return BlockRecord(
-        orig_len=raw_len, snappy_len=len(snapped), bit_len=0, payload=snapped
-    )
+        obs.registry().counter("codecs.huffman.encode_records").inc()
+    else:
+        record = BlockRecord(
+            orig_len=raw_len, snappy_len=len(snapped), bit_len=0, payload=snapped
+        )
+    reg = obs.registry()
+    reg.counter("codecs.encode.records").inc()
+    reg.counter("codecs.encode.bytes_raw").inc(raw_len)
+    reg.counter("codecs.encode.bytes_snappy").inc(len(snapped))
+    reg.counter("codecs.encode.bytes_payload").inc(len(record.payload))
+    reg.histogram("codecs.encode.record_seconds").observe(time.perf_counter() - start)
+    return record
+
+
+def _record_plan_metrics(plan: MatrixCompression) -> None:
+    """Plan-level accounting shared by the serial and engine encoders."""
+    reg = obs.registry()
+    reg.counter("codecs.pipeline.compress_calls").inc()
+    reg.counter("codecs.pipeline.blocks").inc(plan.nblocks)
+    reg.counter("codecs.pipeline.nnz").inc(plan.nnz)
+    reg.counter("codecs.pipeline.compressed_bytes").inc(plan.compressed_bytes)
+    reg.counter("codecs.pipeline.uncompressed_bytes").inc(plan.uncompressed_bytes)
+    reg.gauge("codecs.pipeline.bytes_per_nnz").set(plan.bytes_per_nnz)
 
 
 def compress_matrix(
@@ -314,31 +370,34 @@ def compress_matrix(
         )
     if not 0.0 < sample_frac <= 1.0:
         raise ValueError(f"sample_frac must be in (0, 1], got {sample_frac}")
-    blocked = partition_csr(matrix, block_bytes=block_bytes)
-    idx_streams, val_streams = block_streams(blocked, use_delta)
+    with obs.trace("codecs.compress_matrix", nnz=matrix.nnz):
+        blocked = partition_csr(matrix, block_bytes=block_bytes)
+        idx_streams, val_streams = block_streams(blocked, use_delta)
 
-    idx_snapped = [snappy_compress(s) for s in idx_streams]
-    val_snapped = [snappy_compress(s) for s in val_streams]
+        idx_snapped = snappy_encode_streams(idx_streams)
+        val_snapped = snappy_encode_streams(val_streams)
 
-    index_table, value_table = sampled_tables(
-        idx_snapped, val_snapped, blocked.nblocks, sample_frac, seed, use_huffman
-    )
+        index_table, value_table = sampled_tables(
+            idx_snapped, val_snapped, blocked.nblocks, sample_frac, seed, use_huffman
+        )
 
-    index_records = tuple(
-        _finish_record(len(raw), snapped, index_table, use_huffman)
-        for raw, snapped in zip(idx_streams, idx_snapped)
-    )
-    value_records = tuple(
-        _finish_record(len(raw), snapped, value_table, use_huffman)
-        for raw, snapped in zip(val_streams, val_snapped)
-    )
-    return MatrixCompression(
-        blocked=blocked,
-        index_records=index_records,
-        value_records=value_records,
-        index_table=index_table,
-        value_table=value_table,
-        use_delta=use_delta,
-        use_huffman=use_huffman,
-        block_bytes=block_bytes,
-    )
+        index_records = tuple(
+            _finish_record(len(raw), snapped, index_table, use_huffman)
+            for raw, snapped in zip(idx_streams, idx_snapped)
+        )
+        value_records = tuple(
+            _finish_record(len(raw), snapped, value_table, use_huffman)
+            for raw, snapped in zip(val_streams, val_snapped)
+        )
+        plan = MatrixCompression(
+            blocked=blocked,
+            index_records=index_records,
+            value_records=value_records,
+            index_table=index_table,
+            value_table=value_table,
+            use_delta=use_delta,
+            use_huffman=use_huffman,
+            block_bytes=block_bytes,
+        )
+    _record_plan_metrics(plan)
+    return plan

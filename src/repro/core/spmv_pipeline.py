@@ -16,10 +16,12 @@ DRAM traffic for A shrinks by the compression ratio.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.codecs.engine import RecodeEngine
 from repro.codecs.pipeline import MatrixCompression
 from repro.memsys.dma import DMAEngine
@@ -82,6 +84,7 @@ def recoded_spmv(
     log = TrafficLog()
     dma = DMAEngine(memory, log=log)
     dma_seconds = 0.0
+    start = time.perf_counter()
 
     toolchain = DecoderToolchain(plan) if use_udp_simulator else None
     lane = Lane() if use_udp_simulator else None
@@ -93,31 +96,33 @@ def recoded_spmv(
         idx_rec = plan.index_records[i]
         val_rec = plan.value_records[i]
         nonlocal dma_seconds
-        dma_seconds += dma.transfer(idx_rec.stored_bytes, "dram", "udp").seconds
-        dma_seconds += dma.transfer(val_rec.stored_bytes, "dram", "udp").seconds
-        if toolchain is not None:
-            idx_chain = toolchain.run_chain(i, "index", lane=lane)
-            val_chain = toolchain.run_chain(i, "value", lane=lane)
-            if not (idx_chain.verified and val_chain.verified):
-                raise ValueError(f"UDP decode failed verification at block {i}")
-            ref = plan.blocked.blocks[i]
-            block = CSRBlock(
-                row_start=ref.row_start,
-                row_end=ref.row_end,
-                row_ptr=ref.row_ptr,
-                col_idx=np.frombuffer(idx_chain.output, dtype="<i4"),
-                val=np.frombuffer(val_chain.output, dtype="<f8"),
-                nnz_start=ref.nnz_start,
-                leading_partial=ref.leading_partial,
-            )
-        elif engine is not None:
-            block = engine.decode_block(plan, i, matrix_id=matrix_id)
-        else:
-            block = plan.decompress_block(i)
-        log.record("udp", "cpu", 12 * block.nnz)
+        with obs.trace("spmv.block", block=i):
+            dma_seconds += dma.transfer(idx_rec.stored_bytes, "dram", "udp").seconds
+            dma_seconds += dma.transfer(val_rec.stored_bytes, "dram", "udp").seconds
+            if toolchain is not None:
+                idx_chain = toolchain.run_chain(i, "index", lane=lane)
+                val_chain = toolchain.run_chain(i, "value", lane=lane)
+                if not (idx_chain.verified and val_chain.verified):
+                    raise ValueError(f"UDP decode failed verification at block {i}")
+                ref = plan.blocked.blocks[i]
+                block = CSRBlock(
+                    row_start=ref.row_start,
+                    row_end=ref.row_end,
+                    row_ptr=ref.row_ptr,
+                    col_idx=np.frombuffer(idx_chain.output, dtype="<i4"),
+                    val=np.frombuffer(val_chain.output, dtype="<f8"),
+                    nnz_start=ref.nnz_start,
+                    leading_partial=ref.leading_partial,
+                )
+            elif engine is not None:
+                block = engine.decode_block(plan, i, matrix_id=matrix_id)
+            else:
+                block = plan.decompress_block(i)
+            log.record("udp", "cpu", 12 * block.nnz)
         return block
 
-    y = spmv_blocked(plan.blocked, x, recode=recode)
+    with obs.trace("spmv.recoded", nblocks=plan.nblocks, matrix=matrix_id):
+        y = spmv_blocked(plan.blocked, x, recode=recode)
     stats = PipelineStats(
         traffic=log,
         dram_bytes=log.bytes_on("dram", "udp"),
@@ -125,4 +130,15 @@ def recoded_spmv(
         dma_seconds=dma_seconds,
         engine_stats=engine.stats.as_dict() if engine is not None else None,
     )
+    reg = obs.registry()
+    reg.counter("spmv.iterations").inc()
+    reg.counter("spmv.blocks").inc(plan.nblocks)
+    reg.counter("spmv.nnz").inc(plan.nnz)
+    reg.counter("spmv.flops").inc(2 * plan.nnz)
+    reg.counter("spmv.bytes.dram_to_udp").inc(stats.dram_bytes)
+    reg.counter("spmv.bytes.udp_to_cpu").inc(log.bytes_on("udp", "cpu"))
+    reg.counter("spmv.bytes.baseline").inc(stats.baseline_dram_bytes)
+    reg.counter("spmv.dma_seconds").inc(dma_seconds)
+    reg.gauge("spmv.traffic_ratio").set(stats.traffic_ratio)
+    reg.histogram("spmv.seconds").observe(time.perf_counter() - start)
     return y, stats

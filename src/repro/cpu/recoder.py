@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.codecs.pipeline import MatrixCompression
 from repro.cpu.pipeline import CPUPipelineModel, ReplayResult
 from repro.cpu.specs import CPUSpec, RIVER_FE
@@ -131,11 +132,17 @@ class CPURecoder:
 
         simulated: list[CPUChainCost] = []
         by_stream: dict[str, list[CPUChainCost]] = {INDEX: [], VALUE: []}
-        for i in picked:
-            for stream in (INDEX, VALUE):
-                cost = self._chain_cost(toolchain, int(i), stream)
-                simulated.append(cost)
-                by_stream[stream].append(cost)
+        with obs.trace("cpu.simulate_plan", blocks=nblocks, sampled=len(picked)):
+            for i in picked:
+                for stream in (INDEX, VALUE):
+                    cost = self._chain_cost(toolchain, int(i), stream)
+                    simulated.append(cost)
+                    by_stream[stream].append(cost)
+        reg = obs.registry()
+        reg.counter("cpu.simulations").inc()
+        reg.counter("cpu.blocks_simulated").inc(len(picked))
+        reg.counter("cpu.chain_cycles").inc(sum(c.cycles for c in simulated))
+        reg.counter("cpu.flush_cycles").inc(sum(c.flush_cycles for c in simulated))
 
         cpb = {
             stream: sum(c.cycles for c in costs)

@@ -14,6 +14,7 @@ import argparse
 import sys
 import time
 
+from repro import obs
 from repro.experiments import (
     ablations,
     fig03_cpu_spmv,
@@ -71,8 +72,13 @@ def run_experiments(
             known = sorted(ALL_EXPERIMENTS) + sorted(ABLATIONS)
             raise ValueError(f"unknown experiment {name!r}; know {known}")
         start = time.perf_counter()
-        result = fn(ctx, lab)
-        results.append((result, time.perf_counter() - start))
+        with obs.trace("experiments.run", exp=name):
+            result = fn(ctx, lab)
+        elapsed = time.perf_counter() - start
+        reg = obs.registry()
+        reg.counter("experiments.runs").inc()
+        reg.counter("experiments.seconds", exp=name).inc(elapsed)
+        results.append((result, elapsed))
     return results
 
 
@@ -135,6 +141,13 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int,
         help="recode-engine pool width for software encode/decode (0 = serial)",
     )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", help="write a metrics JSON snapshot here"
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a Chrome-trace-format JSON timeline here",
+    )
     args = parser.parse_args(argv)
 
     names = list(ALL_EXPERIMENTS) if args.all else list(args.exp)
@@ -157,6 +170,9 @@ def main(argv: list[str] | None = None) -> int:
 
         ctx = replace(ctx, **overrides)
 
+    if args.trace_out:
+        obs.enable_tracing()
+
     lab = MatrixLab(ctx)
     results = run_experiments(names, ctx, lab)
     for result, elapsed in results:
@@ -168,6 +184,12 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.write_md, "w", encoding="utf-8") as fh:
             fh.write(render_markdown(results, ctx))
         print(f"wrote {args.write_md}")
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    if args.trace_out:
+        obs.write_trace(args.trace_out)
+        print(f"wrote {args.trace_out}")
     return 0
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.memsys.dram import MemorySystem
 from repro.memsys.traffic import TrafficLog
 
@@ -56,6 +57,12 @@ class DMAEngine:
         seconds = self.startup_s + self.memory.transfer_seconds(nbytes)
         energy = self.memory.transfer_energy_j(nbytes)
         self.log.record(src, dst, nbytes)
+        reg = obs.registry()
+        reg.counter("memsys.dma.transfers").inc()
+        reg.counter("memsys.dma.startup_seconds").inc(self.startup_s)
+        reg.counter("memsys.dram.bytes_read").inc(nbytes)
+        reg.counter("memsys.dram.seconds").inc(seconds)
+        reg.counter("memsys.dram.energy_j").inc(energy)
         return DMATransfer(src=src, dst=dst, nbytes=nbytes, seconds=seconds, energy_j=energy)
 
     def effective_bandwidth(self, block_bytes: int) -> float:

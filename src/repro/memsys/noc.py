@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
+
 #: Typical server-class mesh parameters (14 nm).
 DEFAULT_HOP_LATENCY_S = 1.25e-9  # 2 cycles @1.6 GHz per router+link
 DEFAULT_LINK_BYTES_PER_S = 64e9  # 512-bit links at mesh clock
@@ -88,6 +90,12 @@ class MeshNoC:
         nhops = self.hops(src, dst)
         seconds = nhops * self.hop_latency_s + nbytes / self.link_bytes_per_s
         energy = nbytes * 8.0 * self.energy_per_bit_hop * max(1, nhops)
+        reg = obs.registry()
+        reg.counter("memsys.noc.transfers").inc()
+        reg.counter("memsys.noc.bytes").inc(nbytes)
+        reg.counter("memsys.noc.hops").inc(nhops)
+        reg.counter("memsys.noc.seconds").inc(seconds)
+        reg.counter("memsys.noc.energy_j").inc(energy)
         return NoCTransfer(src, dst, nbytes, nhops, seconds, energy)
 
     def _tile(self, name: str) -> Tile:

@@ -9,9 +9,17 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro import obs
+
 
 class TrafficLog:
-    """Accumulates byte counts on (src, dst) edges."""
+    """Accumulates byte counts on (src, dst) edges.
+
+    Every record also lands on the process-wide
+    ``memsys.traffic.bytes{src=...,dst=...}`` counters, so the registry
+    carries cross-run edge totals even though each pipeline run gets its
+    own log instance.
+    """
 
     def __init__(self) -> None:
         self._edges: dict[tuple[str, str], int] = defaultdict(int)
@@ -20,6 +28,7 @@ class TrafficLog:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         self._edges[(src, dst)] += nbytes
+        obs.registry().counter("memsys.traffic.bytes", src=src, dst=dst).inc(nbytes)
 
     def bytes_on(self, src: str, dst: str) -> int:
         """Total bytes moved on one edge."""

@@ -1,0 +1,231 @@
+"""Exporters for :class:`~repro.obs.metrics.MetricsRegistry` snapshots.
+
+Three formats:
+
+* **JSON** — the snapshot verbatim under a versioned envelope; the
+  interchange format for ``--metrics-out`` and for diffing two runs.
+* **Prometheus text exposition** — counters/gauges/histograms with names
+  sanitized to ``repro_<name>`` and labels preserved, scrape-ready.
+* **Human table** — the ``repro metrics`` CLI view.
+
+All functions take the plain snapshot dict (``{metric_id: record}``), so
+they work identically on a live registry's ``snapshot()`` and on a loaded
+``metrics.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_id
+from repro.util.tables import Table
+
+#: Schema tag written into every metrics.json.
+SCHEMA_VERSION = 1
+
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+
+def to_json(snapshot: dict[str, dict], indent: int | None = 2) -> str:
+    """Serialize a snapshot under the versioned envelope."""
+    envelope = {"version": SCHEMA_VERSION, "metrics": snapshot}
+    return json.dumps(envelope, indent=indent, sort_keys=True)
+
+
+def write_metrics(path: str, registry: MetricsRegistry | None = None) -> dict[str, dict]:
+    """Snapshot ``registry`` (default: the current one) to a JSON file."""
+    if registry is None:
+        from repro.obs.metrics import registry as current
+
+        registry = current()
+    snapshot = registry.snapshot()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_json(snapshot))
+    return snapshot
+
+
+def load_metrics(path: str) -> dict[str, dict]:
+    """Load a metrics.json written by :func:`write_metrics`.
+
+    Raises:
+        ValueError: on a missing/foreign envelope or unsupported version.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        envelope = json.load(fh)
+    if not isinstance(envelope, dict) or "metrics" not in envelope:
+        raise ValueError(f"{path}: not a repro metrics file")
+    version = envelope.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported metrics schema version {version!r}")
+    return envelope["metrics"]
+
+
+# ---------------------------------------------------------------------------
+# Aggregation / diffing
+# ---------------------------------------------------------------------------
+
+
+def aggregate_by_name(snapshot: dict[str, dict]) -> dict[str, dict]:
+    """Collapse label sets: one record per metric *name*.
+
+    Counter and gauge values sum across their label sets (per-engine /
+    per-cache series fold into process totals); histograms bucket-add.
+    Used by the golden-snapshot tests so fixtures are independent of
+    instance-id labels.
+    """
+    out: dict[str, dict] = {}
+    for record in snapshot.values():
+        name = record["name"]
+        prior = out.get(name)
+        if prior is None:
+            merged = dict(record)
+            merged["labels"] = {}
+            out[name] = merged
+            continue
+        if prior["type"] != record["type"]:
+            raise ValueError(f"metric {name!r} has mixed types across labels")
+        if record["type"] == Histogram.kind:
+            if prior["buckets"] != record["buckets"]:
+                raise ValueError(f"metric {name!r} has mixed buckets across labels")
+            prior["count"] += record["count"]
+            prior["sum"] += record["sum"]
+            prior["counts"] = [a + b for a, b in zip(prior["counts"], record["counts"])]
+            for key, pick in (("min", min), ("max", max)):
+                vals = [v for v in (prior[key], record[key]) if v is not None]
+                prior[key] = pick(vals) if vals else None
+        else:
+            prior["value"] += record["value"]
+    return out
+
+
+def diff_snapshots(a: dict[str, dict], b: dict[str, dict]) -> list[tuple[str, float, float, float]]:
+    """Per-metric ``(id, a, b, b - a)`` rows over the union of both runs.
+
+    Histograms compare by observation count. Missing metrics count as 0.
+    """
+
+    def _value(record: dict | None) -> float:
+        if record is None:
+            return 0.0
+        if record["type"] == Histogram.kind:
+            return float(record["count"])
+        return float(record["value"])
+
+    rows = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = _value(a.get(key)), _value(b.get(key))
+        rows.append((key, va, vb, vb - va))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_SANITIZE.sub("_", name)
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    items = {**labels, **(extra or {})}
+    if not items:
+        return ""
+    inner = ",".join(f'{_PROM_SANITIZE.sub("_", k)}="{v}"' for k, v in sorted(items.items()))
+    return "{" + inner + "}"
+
+
+def _prom_float(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: dict[str, dict]) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    by_name: dict[str, list[dict]] = {}
+    for record in snapshot.values():
+        by_name.setdefault(record["name"], []).append(record)
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        records = by_name[name]
+        kind = records[0]["type"]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} {kind}")
+        for record in records:
+            labels = record["labels"]
+            if kind == Histogram.kind:
+                cumulative = 0
+                for bound, count in zip(
+                    record["buckets"] + [math.inf], record["counts"]
+                ):
+                    cumulative += count
+                    le = _prom_labels(labels, {"le": _prom_float(bound)})
+                    lines.append(f"{prom}_bucket{le} {cumulative}")
+                lines.append(f"{prom}_sum{_prom_labels(labels)} {record['sum']!r}")
+                lines.append(f"{prom}_count{_prom_labels(labels)} {record['count']}")
+            else:
+                lines.append(f"{prom}{_prom_labels(labels)} {record['value']!r}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Human table
+# ---------------------------------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return f"{int(value)}"
+
+
+def render_table(snapshot: dict[str, dict]) -> str:
+    """The ``repro metrics`` view: one aligned row per metric series."""
+    table = Table(["metric", "type", "value"])
+    for key in sorted(snapshot):
+        record = snapshot[key]
+        if record["type"] == Histogram.kind:
+            value = (
+                f"count={record['count']} sum={record['sum']:.6g}"
+                if record["count"]
+                else "count=0"
+            )
+        else:
+            value = _format_value(record["value"])
+        table.add_row(key, record["type"], value)
+    return table.render()
+
+
+def render_diff_table(a: dict[str, dict], b: dict[str, dict]) -> str:
+    """Aligned before/after/delta rows for two loaded metrics files."""
+    table = Table(["metric", "a", "b", "delta"])
+    for key, va, vb, delta in diff_snapshots(a, b):
+        sign = "+" if delta >= 0 else ""
+        table.add_row(key, _format_value(va), _format_value(vb), sign + _format_value(delta))
+    return table.render()
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "to_json",
+    "write_metrics",
+    "load_metrics",
+    "aggregate_by_name",
+    "diff_snapshots",
+    "to_prometheus",
+    "render_table",
+    "render_diff_table",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "metric_id",
+]

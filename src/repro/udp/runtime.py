@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.codecs.pipeline import MatrixCompression
 from repro.udp.assembler import AssembledProgram, assemble
 from repro.udp.lane import Lane, TraceEvent
@@ -270,11 +271,17 @@ def simulate_plan(
     lane = Lane()
     simulated: list[ChainResult] = []
     sim_by_stream: dict[str, list[ChainResult]] = {INDEX: [], VALUE: []}
-    for i in picked:
-        for stream in (INDEX, VALUE):
-            result = toolchain.run_chain(int(i), stream, lane=lane)
-            simulated.append(result)
-            sim_by_stream[stream].append(result)
+    with obs.trace("udp.simulate_plan", blocks=nblocks, sampled=len(picked)):
+        for i in picked:
+            for stream in (INDEX, VALUE):
+                result = toolchain.run_chain(int(i), stream, lane=lane)
+                simulated.append(result)
+                sim_by_stream[stream].append(result)
+    reg = obs.registry()
+    reg.counter("udp.simulations").inc()
+    reg.counter("udp.blocks_simulated").inc(len(picked))
+    reg.counter("udp.chain_cycles").inc(sum(r.cycles for r in simulated))
+    reg.counter("udp.output_bytes").inc(sum(len(r.output) for r in simulated))
 
     # Cycles-per-output-byte per stream kind, for extrapolation.
     cpb: dict[str, float] = {}

@@ -8,8 +8,24 @@ failure in CI reproduces exactly from the log (``print_blob`` emits the
 
 import os
 
+import pytest
 from hypothesis import settings
 
 settings.register_profile("dev", deadline=None)
 settings.register_profile("ci", derandomize=True, print_blob=True, deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden fixture files (tests/data/*) instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """True when the run should rewrite golden fixtures."""
+    return request.config.getoption("--update-goldens")

@@ -1,0 +1,120 @@
+"""Property tests for the metrics merge algebra.
+
+The process-pool engine relies on merge-on-join being exact: any
+partition of the recorded events across worker registries, merged in any
+order, must equal one registry that saw everything. These properties pin
+that down for counters (associative, commutative addition), histograms
+(bucket-count addition, min/max combine), and whole-registry merges.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import Histogram, MetricsRegistry
+
+# Observations that keep float addition exact-ish; sums compare with approx.
+observations = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+obs_lists = st.lists(observations, max_size=60)
+
+counter_amounts = st.lists(st.integers(min_value=0, max_value=10**9), max_size=40)
+
+
+def _hist_equal(a: Histogram, b: Histogram) -> None:
+    ra, rb = a._snapshot(), b._snapshot()
+    assert ra["counts"] == rb["counts"]
+    assert ra["count"] == rb["count"]
+    assert ra["min"] == rb["min"] and ra["max"] == rb["max"]
+    assert ra["sum"] == pytest.approx(rb["sum"], rel=1e-9, abs=1e-12)
+
+
+@given(obs_lists, obs_lists)
+def test_histogram_merge_order_independent(xs, ys):
+    ab, ba = Histogram("h"), Histogram("h")
+    hx, hy = Histogram("h"), Histogram("h")
+    for v in xs:
+        hx.observe(v)
+    for v in ys:
+        hy.observe(v)
+    ab.merge(hx)
+    ab.merge(hy)
+    ba.merge(hy)
+    ba.merge(hx)
+    _hist_equal(ab, ba)
+
+
+@given(obs_lists, obs_lists)
+def test_histogram_merge_equals_single_histogram(xs, ys):
+    merged, single = Histogram("h"), Histogram("h")
+    shard = Histogram("h")
+    for v in xs:
+        merged.observe(v)
+    for v in ys:
+        shard.observe(v)
+    merged.merge(shard)
+    for v in xs + ys:
+        single.observe(v)
+    _hist_equal(merged, single)
+
+
+@given(counter_amounts, counter_amounts, counter_amounts)
+def test_registry_counter_merge_associative(xs, ys, zs):
+    def _reg(amounts):
+        reg = MetricsRegistry()
+        for a in amounts:
+            reg.counter("c").inc(a)
+        return reg
+
+    left = _reg(xs)
+    mid = _reg(ys)
+    mid.merge(_reg(zs))
+    left.merge(mid)  # x + (y + z)
+
+    right = _reg(xs)
+    right.merge(_reg(ys))
+    right.merge(_reg(zs))  # (x + y) + z
+
+    assert left.value("c") == right.value("c") == sum(xs) + sum(ys) + sum(zs)
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), observations), max_size=20
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    st.randoms(use_true_random=False),
+)
+def test_sharded_recording_equals_single_registry(shards, rnd):
+    """Partition events across N worker registries, merge snapshots in a
+    shuffled order: counters and histogram counts match one registry that
+    recorded every event itself."""
+    single = MetricsRegistry()
+    workers = []
+    for shard in shards:
+        worker = MetricsRegistry()
+        for name, value in shard:
+            worker.counter(f"count.{name}").inc(1)
+            worker.histogram(f"hist.{name}").observe(value)
+            single.counter(f"count.{name}").inc(1)
+            single.histogram(f"hist.{name}").observe(value)
+        workers.append(worker)
+
+    merged = MetricsRegistry()
+    snapshots = [w.snapshot() for w in workers]
+    rnd.shuffle(snapshots)
+    for snap in snapshots:
+        merged.merge_snapshot(snap)
+
+    assert merged.snapshot().keys() == single.snapshot().keys()
+    for key, record in single.snapshot().items():
+        got = merged.snapshot()[key]
+        if record["type"] == "histogram":
+            assert got["counts"] == record["counts"]
+            assert got["min"] == record["min"] and got["max"] == record["max"]
+        else:
+            assert got["value"] == record["value"]
