@@ -89,3 +89,46 @@ def test_obs_overhead_within_budget():
         f"instrumentation overhead {instrumented / bare - 1:.1%} exceeds 5% "
         f"({instrumented:.4f}s vs {bare:.4f}s over {passes} passes)"
     )
+
+
+def test_fault_hooks_disarmed_within_budget():
+    """Disarmed fault-injection hooks must cost <=1% on the fig12 cold
+    decode regime. With no armed plan, a hook is one ``faults.active()``
+    read (module-global load) plus an empty-set check; bound the measured
+    per-hook cost times a generous count of hook sites per decode pass
+    against the measured pass time."""
+    import time
+
+    from repro import faults
+    from repro.codecs.engine import RecodeEngine
+    from repro.collection import generators
+
+    assert faults.active() is None  # hooks genuinely disarmed
+
+    matrix = generators.banded(8_000, bandwidth=8, seed=12)
+    engine = RecodeEngine(workers=0)
+    plan = engine.encode_blocked(matrix)
+
+    def cold_pass() -> float:
+        start = time.perf_counter()
+        engine.decode_resilient(plan)
+        return time.perf_counter() - start
+
+    cold_pass()  # warm allocator/branch caches
+    pass_s = min(cold_pass() for _ in range(3))
+
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        faults.active()
+    hook_s = (time.perf_counter() - start) / calls
+
+    # The engine makes O(1) hook checks per decode call; the SpMV path
+    # adds two stream_record checks per block. Budget at 4 per block plus
+    # slack and it must still vanish against the codec work.
+    per_pass_hooks = 4 * plan.nblocks + 16
+    assert per_pass_hooks * hook_s <= 0.01 * pass_s, (
+        f"{per_pass_hooks} disarmed hook checks cost "
+        f"{per_pass_hooks * hook_s * 1e6:.1f}us against a "
+        f"{pass_s * 1e3:.1f}ms decode pass"
+    )

@@ -18,6 +18,7 @@ Subpackages
 - ``repro.collection`` — synthetic TAMU-like matrix suite
 - ``repro.experiments``— per-figure reproduction harness
 - ``repro.obs``        — metrics registry, tracing, and exporters
+- ``repro.faults``     — deterministic fault injection + chaos plans
 """
 
 __version__ = "1.0.0"
@@ -31,6 +32,7 @@ __all__ = [
     "core",
     "collection",
     "experiments",
+    "faults",
     "obs",
     "util",
 ]

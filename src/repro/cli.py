@@ -8,7 +8,9 @@ Usage::
                                      [--workers N]
     python -m repro spmv   MATRIX [--memory ddr4|hbm2] [--workers N]
                                    [--iterations N] [--metrics-out PATH]
-                                   [--trace-out PATH]
+                                   [--trace-out PATH] [--policy strict|degrade]
+                                   [--fault-plan SPEC]
+    python -m repro scrub  CONTAINER [--json] [--verbose]
     python -m repro suite  [--count N] [--scale F]
     python -m repro metrics FILE [--diff OTHER] [--format table|prom|json]
 
@@ -152,10 +154,21 @@ def cmd_spmv(args) -> int:
     print(table.render())
     print(f"speedup {cmp_.udp_speedup:.2f}x at {plan.bytes_per_nnz:.2f} B/nnz "
           f"with {cmp_.udp_cpu.n_udp} UDP(s)")
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.parse(args.fault_plan)
+        print(f"fault plan armed: {fault_plan.describe()} (policy={args.policy})")
     # A metrics snapshot should span all three layers (codecs, spmv,
-    # memsys), which needs at least one functional pipeline iteration.
-    iterations = args.iterations or (1 if args.metrics_out or args.trace_out else 0)
+    # memsys), which needs at least one functional pipeline iteration —
+    # as does a chaos run.
+    iterations = args.iterations or (
+        1 if args.metrics_out or args.trace_out or fault_plan else 0
+    )
     if iterations:
+        import contextlib
+
         import numpy as np
 
         from repro.codecs.engine import DecodedBlockCache, RecodeEngine
@@ -163,17 +176,25 @@ def cmd_spmv(args) -> int:
 
         engine = RecodeEngine(workers=args.workers, cache=DecodedBlockCache())
         x = np.ones(m.ncols)
-        for _ in range(iterations):
-            y, stats = recoded_spmv(plan, x, memory=memory, engine=engine,
-                                    matrix_id=args.matrix)
-            scale = float(np.abs(y).max())
-            x = y / scale if scale else y
+        ctx = fault_plan.activate() if fault_plan else contextlib.nullcontext()
+        with ctx:
+            for _ in range(iterations):
+                y, stats = recoded_spmv(plan, x, memory=memory, engine=engine,
+                                        matrix_id=args.matrix, policy=args.policy)
+                scale = float(np.abs(y).max())
+                x = y / scale if scale else y
         s = stats.engine_stats
         cache = engine.cache.stats
         print(f"engine ({iterations} iterations): workers={s['workers']:.0f}, "
               f"{s['blocks_decoded']:.0f} blocks decoded, "
               f"{cache.hits} cache hits ({cache.hit_rate:.0%}), "
               f"{s['decode_mb_per_s']:.1f} MB/s")
+        if fault_plan is not None:
+            reg = obs.registry()
+            print(f"chaos: quarantined={reg.value('faults.blocks_quarantined'):.0f} "
+                  f"retries={reg.value('faults.retries'):.0f} "
+                  f"degraded_blocks={reg.value('spmv.degraded_blocks'):.0f} "
+                  f"pool_rebuilds={reg.value('faults.pool_rebuilds'):.0f}")
     if args.metrics_out:
         obs.write_metrics(args.metrics_out)
         print(f"wrote {args.metrics_out}")
@@ -208,6 +229,42 @@ def cmd_unpack(args) -> int:
     write_matrix_market(m, args.output, comment=f"unpacked from {args.container}")
     print(f"unpacked {m.nrows}x{m.ncols}, nnz={m.nnz} -> {args.output}")
     return 0
+
+
+def cmd_scrub(args) -> int:
+    from repro.codecs.container import scrub_container
+
+    report = scrub_container(args.container)
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0 if report.healthy else 1
+    d = "OK" if report.healthy else "UNHEALTHY"
+    print(f"{args.container}: {d} ({fmt_bytes(report.nbytes)})")
+    print(f"  magic={'ok' if report.magic_ok else 'BAD'} "
+          f"header={'ok' if report.header_ok else 'BAD'} "
+          f"trailer={'ok' if report.trailer_ok else 'BAD'}")
+    print(f"  blocks: {report.blocks_ok}/{report.nblocks} healthy "
+          f"({len(report.blocks)} walkable)")
+    if report.fatal:
+        print(f"  fatal: {report.fatal}")
+    for b in report.blocks:
+        if b.ok and not args.verbose:
+            continue
+        parts = [f"meta={'ok' if b.meta_ok else 'BAD'}"]
+        for rec in (b.index, b.value):
+            if rec is None:
+                continue
+            state = "ok" if rec.ok else (
+                "crc BAD" if not rec.crc_ok else f"decode BAD ({rec.error})"
+            )
+            parts.append(f"{rec.stream}[{rec.payload_bytes}B]={state}")
+        parts.extend(b.errors)
+        marker = " " if b.ok else "!"
+        print(f"  {marker} block {b.block_id:>5d} @0x{b.offset:08x}  "
+              + "  ".join(parts))
+    return 0 if report.healthy else 1
 
 
 def cmd_metrics(args) -> int:
@@ -285,7 +342,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "functional iteration if --iterations is 0)")
     p.add_argument("--trace-out", metavar="PATH",
                    help="write a Chrome-trace-format JSON timeline here")
+    p.add_argument("--policy", default="strict", choices=["strict", "degrade"],
+                   help="block-decode failure policy for the functional "
+                        "iterations (degrade substitutes raw CSR, bit-exact)")
+    p.add_argument("--fault-plan", metavar="SPEC",
+                   help="arm a deterministic chaos plan around the functional "
+                        "iterations, e.g. 'seed=7,bitflip=0.05,kill=3' "
+                        "(forces one iteration if --iterations is 0)")
     p.set_defaults(fn=cmd_spmv)
+
+    p = sub.add_parser("scrub", help="walk a .dsh container and report per-block health")
+    p.add_argument("container")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    p.add_argument("--verbose", action="store_true",
+                   help="list healthy blocks too, not just sick ones")
+    p.set_defaults(fn=cmd_scrub)
 
     p = sub.add_parser("pack", help="compress a matrix into a .dsh container")
     p.add_argument("matrix")

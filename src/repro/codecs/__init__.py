@@ -17,9 +17,19 @@ implemented here from scratch:
 * :mod:`~repro.codecs.engine` — the parallel block recode engine (worker
   pools over per-block codec work) and the decoded-block LRU cache that
   models the paper's steady-state block reuse.
+* :mod:`~repro.codecs.errors` — the unified :class:`CodecError` taxonomy
+  every decode-path failure derives from (see docs/ROBUSTNESS.md).
 """
 
 from repro.codecs.base import Codec, IdentityCodec
+from repro.codecs.errors import (
+    BlockDecodeError,
+    CodecError,
+    ContainerError,
+    CorruptPayloadError,
+    CorruptStreamError,
+    TruncatedContainerError,
+)
 from repro.codecs.delta import DeltaCodec, delta_decode, delta_encode
 from repro.codecs.huffman import HuffmanCodec, HuffmanTable
 from repro.codecs.pipeline import (
@@ -32,13 +42,22 @@ from repro.codecs.pipeline import (
 )
 from repro.codecs.autotune import AutotuneResult, CandidateSpec, autotune
 from repro.codecs.engine import (
+    BlockFailure,
     CacheStats,
     DecodedBlockCache,
     EngineStats,
     RecodeEngine,
     plan_fingerprint,
 )
-from repro.codecs.container import load_csr, load_plan, save_plan
+from repro.codecs.container import (
+    BlockHealth,
+    RecordHealth,
+    ScrubReport,
+    load_csr,
+    load_plan,
+    save_plan,
+    scrub_container,
+)
 from repro.codecs.rle import RLECodec, rle_decode, rle_encode
 from repro.codecs.shuffle import ShuffleCodec, shuffle_bytes, unshuffle_bytes
 from repro.codecs.snappy import SnappyCodec, snappy_compress, snappy_decompress
@@ -73,6 +92,7 @@ __all__ = [
     "AutotuneResult",
     "CandidateSpec",
     "RecodeEngine",
+    "BlockFailure",
     "DecodedBlockCache",
     "EngineStats",
     "CacheStats",
@@ -80,4 +100,14 @@ __all__ = [
     "save_plan",
     "load_plan",
     "load_csr",
+    "scrub_container",
+    "ScrubReport",
+    "BlockHealth",
+    "RecordHealth",
+    "CodecError",
+    "CorruptStreamError",
+    "CorruptPayloadError",
+    "ContainerError",
+    "TruncatedContainerError",
+    "BlockDecodeError",
 ]

@@ -21,7 +21,9 @@ compressed form; this container makes that durable. Layout (little-endian):
         u32 crc32(record header + payload), payload bytes
     u32     crc32 of every preceding byte (stream trailer)
 
-Corruption is detected in layers, every layer raising :class:`ValueError`:
+Corruption is detected in layers, every layer raising a typed
+:class:`~repro.codecs.errors.ContainerError` (a ``CodecError``, which
+subclasses ``ValueError``):
 
 * the stream trailer CRC rejects any byte flip or truncation up front;
 * every region carries a local CRC — the header (flags, shape, tables),
@@ -41,14 +43,21 @@ from __future__ import annotations
 import io
 import struct
 import zlib
+from dataclasses import dataclass
 from os import PathLike
 
 import numpy as np
 
+from repro.codecs.errors import (
+    CodecError,
+    ContainerError,
+    TruncatedContainerError,
+)
 from repro.codecs.huffman import HuffmanTable
 from repro.codecs.pipeline import BlockRecord, MatrixCompression
 from repro.sparse.blocked import BlockedCSR, CSRBlock
 from repro.sparse.csr import CSRMatrix
+from repro import faults
 
 MAGIC = b"RPRODSH2"
 
@@ -81,11 +90,14 @@ def _read_record(data: memoryview, pos: int) -> tuple[BlockRecord, int]:
     pos += 20
     payload = bytes(data[pos : pos + payload_len])
     if len(payload) != payload_len:
-        raise ValueError("truncated container: record payload")
+        raise TruncatedContainerError("truncated container: record payload")
     if zlib.crc32(payload, zlib.crc32(header)) != crc:
-        raise ValueError("container corruption: record CRC mismatch")
+        raise ContainerError("container corruption: record CRC mismatch")
     pos += payload_len
-    return BlockRecord(orig_len, snappy_len, bit_len, payload), pos
+    record = BlockRecord(
+        orig_len, snappy_len, bit_len, payload, payload_crc=zlib.crc32(payload)
+    )
+    return record, pos
 
 
 def save_plan(plan: MatrixCompression, dest: str | PathLike | io.BufferedIOBase) -> None:
@@ -130,29 +142,32 @@ def load_plan(source: str | PathLike | io.BufferedIOBase | bytes) -> MatrixCompr
     work immediately); the records themselves are kept verbatim.
 
     Raises:
-        ValueError: bad magic, truncation, CRC mismatch, or inconsistent
-            structure.
+        ContainerError: bad magic, CRC mismatch, or inconsistent structure
+            (:class:`TruncatedContainerError` when the stream ends early).
     """
     if isinstance(source, (str, PathLike)):
         with open(source, "rb") as fh:
             return load_plan(fh.read())
     if not isinstance(source, bytes):
         source = source.read()
+    fault_plan = faults.active()
+    if fault_plan is not None:
+        source = fault_plan.mutate_container(source)
     try:
         return _parse_plan(memoryview(source))
     except struct.error as exc:
         # struct.unpack_from past the end of a truncated stream.
-        raise ValueError(f"truncated container: {exc}") from exc
+        raise TruncatedContainerError(f"truncated container: {exc}") from exc
 
 
 def _parse_plan(data: memoryview) -> MatrixCompression:
     if len(data) < len(MAGIC) + 4:
-        raise ValueError("truncated container: shorter than magic + trailer")
+        raise TruncatedContainerError("truncated container: shorter than magic + trailer")
     if bytes(data[:8]) != MAGIC:
-        raise ValueError("not a repro DSH container (bad magic)")
+        raise ContainerError("not a repro DSH container (bad magic)")
     (trailer,) = struct.unpack_from("<I", data, len(data) - 4)
     if zlib.crc32(data[:-4]) != trailer:
-        raise ValueError("container corruption: stream CRC mismatch")
+        raise ContainerError("container corruption: stream CRC mismatch")
     end = len(data) - 4
     pos = 8
     flags, block_bytes, m, n, nblocks, nnz = struct.unpack_from("<BIIIIQ", data, pos)
@@ -160,20 +175,20 @@ def _parse_plan(data: memoryview) -> MatrixCompression:
     use_delta = bool(flags & _FLAG_DELTA)
     use_huffman = bool(flags & _FLAG_HUFFMAN)
     if not 12 <= block_bytes <= MAX_BLOCK_BYTES:
-        raise ValueError(f"container corruption: implausible block_bytes {block_bytes}")
+        raise ContainerError(f"container corruption: implausible block_bytes {block_bytes}")
     if nblocks == 0 and (m or nnz):
-        raise ValueError("container corruption: blockless container with rows/nnz")
+        raise ContainerError("container corruption: blockless container with rows/nnz")
     entries_cap = block_bytes // 12
     table_pos = pos
     if use_huffman:
         if pos + 512 + 4 > end:
-            raise ValueError("truncated container: huffman tables")
+            raise TruncatedContainerError("truncated container: huffman tables")
         pos += 512
     # Header CRC is verified before the tables are even deserialized, so a
     # corrupt length byte can never reach the table constructor.
     (header_crc,) = struct.unpack_from("<I", data, pos)
     if zlib.crc32(data[:pos]) != header_crc:
-        raise ValueError("container corruption: header CRC mismatch")
+        raise ContainerError("container corruption: header CRC mismatch")
     pos += 4
     index_table = value_table = None
     if use_huffman:
@@ -193,43 +208,43 @@ def _parse_plan(data: memoryview) -> MatrixCompression:
         pos += struct.calcsize("<IIBQ")
         nrows_local = row_end - row_start
         if nrows_local < 1:
-            raise ValueError("container corruption: empty block row range")
+            raise ContainerError("container corruption: empty block row range")
         if row_end > m:
-            raise ValueError("container corruption: block rows beyond nrows")
+            raise ContainerError("container corruption: block rows beyond nrows")
         # Blocks must chain contiguously: a continuation block re-opens the
         # previous block's last row, anything else starts right after it.
         expected_start = prev_row_end - 1 if leading else prev_row_end
         if row_start != max(expected_start, 0) or (leading and prev_row_end == 0):
-            raise ValueError("container corruption: block row ranges do not chain")
+            raise ContainerError("container corruption: block row ranges do not chain")
         prev_row_end = row_end
         ptr_bytes = 4 * (nrows_local + 1)
         if pos + ptr_bytes + 4 > end:
-            raise ValueError("truncated container: row_ptr")
+            raise TruncatedContainerError("truncated container: row_ptr")
         row_ptr = np.frombuffer(data[pos : pos + ptr_bytes], dtype="<u4").astype(np.int64)
         pos += ptr_bytes
         (meta_crc,) = struct.unpack_from("<I", data, pos)
         if zlib.crc32(data[meta_start:pos]) != meta_crc:
-            raise ValueError("container corruption: block meta CRC mismatch")
+            raise ContainerError("container corruption: block meta CRC mismatch")
         pos += 4
         if row_ptr[0] != 0 or np.any(np.diff(row_ptr) < 0):
-            raise ValueError("container corruption: row_ptr not monotone from 0")
+            raise ContainerError("container corruption: row_ptr not monotone from 0")
         block_nnz = int(row_ptr[-1])
         if block_nnz > entries_cap:
-            raise ValueError("container corruption: block exceeds its byte budget")
+            raise ContainerError("container corruption: block exceeds its byte budget")
         if nnz_start != running_nnz:
-            raise ValueError("container corruption: nnz_start does not chain")
+            raise ContainerError("container corruption: nnz_start does not chain")
         running_nnz += block_nnz
         irec, pos = _read_record(data, pos)
         vrec, pos = _read_record(data, pos)
         if irec.orig_len != 4 * block_nnz or vrec.orig_len != 8 * block_nnz:
-            raise ValueError("container corruption: record lengths disagree with row_ptr")
+            raise ContainerError("container corruption: record lengths disagree with row_ptr")
         index_records.append(irec)
         value_records.append(vrec)
         block_meta.append((row_start, row_end, bool(leading), nnz_start, row_ptr))
     if nblocks and prev_row_end != m:
-        raise ValueError("container corruption: blocks do not cover all rows")
+        raise ContainerError("container corruption: blocks do not cover all rows")
     if pos != end:
-        raise ValueError("container corruption: trailing bytes after last block")
+        raise ContainerError("container corruption: trailing bytes after last block")
 
     # Rebuild the blocked structure by decoding each block once.
     shell_blocks = [
@@ -257,7 +272,7 @@ def _parse_plan(data: memoryview) -> MatrixCompression:
     real_blocks = tuple(shell.decompress_block(i) for i in range(nblocks))
     for block in real_blocks:
         if block.nnz and (block.col_idx.min() < 0 or block.col_idx.max() >= n):
-            raise ValueError("container corruption: column index outside ncols")
+            raise ContainerError("container corruption: column index outside ncols")
     plan = MatrixCompression(
         blocked=BlockedCSR((m, n), real_blocks, block_bytes),
         index_records=tuple(index_records),
@@ -269,7 +284,7 @@ def _parse_plan(data: memoryview) -> MatrixCompression:
         block_bytes=block_bytes,
     )
     if plan.nnz != nnz:
-        raise ValueError(f"container corruption: nnz {plan.nnz} != header {nnz}")
+        raise ContainerError(f"container corruption: nnz {plan.nnz} != header {nnz}")
     return plan
 
 
@@ -290,3 +305,270 @@ def load_csr(source: str | PathLike | io.BufferedIOBase | bytes) -> CSRMatrix:
         row_ptr[block.row_start + 1 : block.row_end + 1] += counts
     row_ptr = np.cumsum(row_ptr)
     return CSRMatrix((m, n), row_ptr, col_idx, val)
+
+
+# ---------------------------------------------------------------------------
+# Scrubbing (tolerant per-block health walk; the ``repro scrub`` command)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecordHealth:
+    """Health of one stream record: CRC layer and decode layer."""
+
+    stream: str
+    crc_ok: bool
+    decode_ok: bool
+    payload_bytes: int
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.crc_ok and self.decode_ok
+
+
+@dataclass(frozen=True)
+class BlockHealth:
+    """Health of one block: row-metadata CRC plus both stream records."""
+
+    block_id: int
+    offset: int
+    meta_ok: bool
+    index: RecordHealth | None
+    value: RecordHealth | None
+    errors: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.meta_ok
+            and not self.errors
+            and self.index is not None
+            and self.index.ok
+            and self.value is not None
+            and self.value.ok
+        )
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Per-block health of a ``.dsh`` container.
+
+    Unlike :func:`load_plan` — which rejects the whole stream on the first
+    CRC or structure failure — the scrubber keeps walking, so one flipped
+    byte reports as one sick block instead of an opaque load error. The
+    same layered CRCs drive both; scrub just refuses to give up early.
+    """
+
+    nbytes: int
+    magic_ok: bool
+    header_ok: bool
+    trailer_ok: bool
+    nblocks: int
+    blocks: tuple[BlockHealth, ...] = ()
+    fatal: str | None = None
+
+    @property
+    def blocks_ok(self) -> int:
+        return sum(1 for b in self.blocks if b.ok)
+
+    @property
+    def blocks_bad(self) -> int:
+        return len(self.blocks) - self.blocks_ok
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            self.magic_ok
+            and self.header_ok
+            and self.trailer_ok
+            and self.fatal is None
+            and len(self.blocks) == self.nblocks
+            and self.blocks_bad == 0
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "nbytes": self.nbytes,
+            "magic_ok": self.magic_ok,
+            "header_ok": self.header_ok,
+            "trailer_ok": self.trailer_ok,
+            "nblocks_declared": self.nblocks,
+            "blocks_walked": len(self.blocks),
+            "blocks_ok": self.blocks_ok,
+            "blocks_bad": self.blocks_bad,
+            "healthy": self.healthy,
+            "fatal": self.fatal,
+            "blocks": [
+                {
+                    "block": b.block_id,
+                    "offset": b.offset,
+                    "meta_ok": b.meta_ok,
+                    "index": None if b.index is None else {
+                        "crc_ok": b.index.crc_ok,
+                        "decode_ok": b.index.decode_ok,
+                        "payload_bytes": b.index.payload_bytes,
+                        "error": b.index.error,
+                    },
+                    "value": None if b.value is None else {
+                        "crc_ok": b.value.crc_ok,
+                        "decode_ok": b.value.decode_ok,
+                        "payload_bytes": b.value.payload_bytes,
+                        "error": b.value.error,
+                    },
+                    "errors": list(b.errors),
+                    "ok": b.ok,
+                }
+                for b in self.blocks
+            ],
+        }
+
+
+def _scrub_record(
+    data: memoryview,
+    pos: int,
+    end: int,
+    stream: str,
+    table: "HuffmanTable | None",
+    use_huffman: bool,
+    apply_delta: bool,
+) -> tuple[RecordHealth | None, int | None]:
+    """Walk one record leniently. Returns (health, next_pos); (None, None)
+    when the stream is too mangled to even skip past the record."""
+    from repro.codecs.pipeline import decode_record
+
+    if pos + 20 > end:
+        return None, None
+    header = bytes(data[pos : pos + 16])
+    orig_len, snappy_len, bit_len, payload_len = struct.unpack_from("<IIII", data, pos)
+    (crc,) = struct.unpack_from("<I", data, pos + 16)
+    pos += 20
+    if pos + payload_len > end:
+        return None, None
+    payload = bytes(data[pos : pos + payload_len])
+    pos += payload_len
+    crc_ok = zlib.crc32(payload, zlib.crc32(header)) == crc
+    record = BlockRecord(
+        orig_len, snappy_len, bit_len, payload, payload_crc=zlib.crc32(payload)
+    )
+    decode_ok, error = True, None
+    if use_huffman and table is None:
+        decode_ok, error = False, "no usable huffman table"
+    else:
+        try:
+            decode_record(record, table, use_huffman=use_huffman, apply_delta=apply_delta)
+        except CodecError as exc:
+            decode_ok, error = False, str(exc)
+    return RecordHealth(stream, crc_ok, decode_ok, payload_len, error), pos
+
+
+def scrub_container(source: "str | PathLike | io.BufferedIOBase | bytes") -> ScrubReport:
+    """Walk a ``.dsh`` container and report per-block health.
+
+    Never raises on corruption: every CRC layer (trailer, header, block
+    meta, record) and every record decode is attempted independently and
+    reported, so an operator can see *which* blocks a damaged file loses
+    before deciding whether ``degrade``-mode SpMV or a re-encode is the
+    right response. Only an unreadable source (OSError) propagates.
+    """
+    if isinstance(source, (str, PathLike)):
+        with open(source, "rb") as fh:
+            return scrub_container(fh.read())
+    if not isinstance(source, bytes):
+        source = source.read()
+    data = memoryview(source)
+    nbytes = len(data)
+    header_fmt = "<BIIIIQ"
+    header_size = struct.calcsize(header_fmt)
+    if nbytes < len(MAGIC) + 4 + header_size:
+        return ScrubReport(
+            nbytes=nbytes, magic_ok=bytes(data[:8]) == MAGIC if nbytes >= 8 else False,
+            header_ok=False, trailer_ok=False, nblocks=0,
+            fatal="container shorter than its fixed header",
+        )
+    magic_ok = bytes(data[:8]) == MAGIC
+    (trailer,) = struct.unpack_from("<I", data, nbytes - 4)
+    trailer_ok = zlib.crc32(data[:-4]) == trailer
+    end = nbytes - 4
+    pos = 8
+    flags, block_bytes, m, n, nblocks, nnz = struct.unpack_from(header_fmt, data, pos)
+    pos += header_size
+    use_delta = bool(flags & _FLAG_DELTA)
+    use_huffman = bool(flags & _FLAG_HUFFMAN)
+    table_pos = pos
+    if use_huffman:
+        if pos + 512 + 4 > end:
+            return ScrubReport(
+                nbytes=nbytes, magic_ok=magic_ok, header_ok=False,
+                trailer_ok=trailer_ok, nblocks=nblocks,
+                fatal="truncated before huffman tables",
+            )
+        pos += 512
+    if pos + 4 > end:
+        return ScrubReport(
+            nbytes=nbytes, magic_ok=magic_ok, header_ok=False,
+            trailer_ok=trailer_ok, nblocks=nblocks,
+            fatal="truncated before header CRC",
+        )
+    (header_crc,) = struct.unpack_from("<I", data, pos)
+    header_ok = magic_ok and zlib.crc32(data[:pos]) == header_crc
+    pos += 4
+    index_table = value_table = None
+    if use_huffman:
+        try:
+            index_table = HuffmanTable.deserialize(bytes(data[table_pos : table_pos + 256]))
+            value_table = HuffmanTable.deserialize(
+                bytes(data[table_pos + 256 : table_pos + 512])
+            )
+        except CodecError:
+            pass  # reported per record as "no usable huffman table"
+
+    blocks: list[BlockHealth] = []
+    fatal = None
+    meta_fmt = "<IIBQ"
+    meta_size = struct.calcsize(meta_fmt)
+    for k in range(nblocks):
+        block_offset = pos
+        if pos + meta_size > end:
+            fatal = f"truncated at block {k} metadata (offset {pos})"
+            break
+        row_start, row_end, leading, nnz_start = struct.unpack_from(meta_fmt, data, pos)
+        nrows_local = row_end - row_start
+        ptr_bytes = 4 * (nrows_local + 1)
+        if nrows_local < 1 or nrows_local > m or pos + meta_size + ptr_bytes + 4 > end:
+            fatal = f"implausible row range at block {k} (offset {pos})"
+            break
+        meta_end = pos + meta_size + ptr_bytes
+        (meta_crc,) = struct.unpack_from("<I", data, meta_end)
+        meta_ok = zlib.crc32(data[pos:meta_end]) == meta_crc
+        pos = meta_end + 4
+        errors: list[str] = []
+        index_health, next_pos = _scrub_record(
+            data, pos, end, "index", index_table, use_huffman, use_delta
+        )
+        if next_pos is None:
+            fatal = f"unwalkable index record at block {k} (offset {pos})"
+            blocks.append(BlockHealth(k, block_offset, meta_ok, None, None,
+                                      ("index record unwalkable",)))
+            break
+        pos = next_pos
+        value_health, next_pos = _scrub_record(
+            data, pos, end, "value", value_table, use_huffman, False
+        )
+        if next_pos is None:
+            fatal = f"unwalkable value record at block {k} (offset {pos})"
+            blocks.append(BlockHealth(k, block_offset, meta_ok, index_health, None,
+                                      ("value record unwalkable",)))
+            break
+        pos = next_pos
+        blocks.append(
+            BlockHealth(k, block_offset, meta_ok, index_health, value_health,
+                        tuple(errors))
+        )
+    else:
+        if pos != end:
+            fatal = f"{end - pos} trailing bytes after last block"
+    return ScrubReport(
+        nbytes=nbytes, magic_ok=magic_ok, header_ok=header_ok,
+        trailer_ok=trailer_ok, nblocks=nblocks, blocks=tuple(blocks), fatal=fatal,
+    )

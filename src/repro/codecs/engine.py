@@ -30,12 +30,13 @@ import threading
 import time
 import weakref
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
+from repro.codecs.errors import BlockDecodeError, CodecError
 from repro.codecs.huffman import HuffmanTable
 from repro.codecs.pipeline import (
     BlockRecord,
@@ -49,6 +50,7 @@ from repro.codecs.pipeline import (
 )
 from repro.sparse.blocked import CSRBlock, UDP_BLOCK_BYTES, partition_csr
 from repro.sparse.csr import CSRMatrix
+from repro.util.rng import derive_seed, seeded_rng
 
 #: Blocks per pool task; one task then carries ~256 KB of 8 KB-block work,
 #: which keeps pickling overhead well under the codec cost.
@@ -232,6 +234,47 @@ def _decode_chunk(
     ]
 
 
+def _decode_chunk_faulted(
+    args: tuple["faults.FaultPlan", list[int], bool, tuple]
+) -> list[bytes]:
+    """Worker shim for chaos runs: fire any armed worker-site faults for
+    the chunk's blocks (latency, injected exception, worker kill), then
+    decode. Only ever dispatched when a :class:`~repro.faults.FaultPlan`
+    with worker faults is active; the normal path pays nothing for it."""
+    fault_plan, block_ids, allow_kill, inner = args
+    for bid in block_ids:
+        fault_plan.fire_worker_faults(bid, allow_kill)
+    return _decode_chunk(inner)
+
+
+def _assemble_block(plan: MatrixCompression, i: int, idx_bytes: bytes,
+                    val_bytes: bytes) -> CSRBlock:
+    ref = plan.blocked.blocks[i]
+    return CSRBlock(
+        row_start=ref.row_start,
+        row_end=ref.row_end,
+        row_ptr=ref.row_ptr,
+        col_idx=np.frombuffer(idx_bytes, dtype="<i4"),
+        val=np.frombuffer(val_bytes, dtype="<f8"),
+        nnz_start=ref.nnz_start,
+        leading_partial=ref.leading_partial,
+    )
+
+
+@dataclass(frozen=True)
+class BlockFailure:
+    """One block the engine could not decode, after retries.
+
+    ``error`` is always a :class:`~repro.codecs.errors.BlockDecodeError`
+    carrying the block id; its ``__cause__`` is the underlying codec
+    failure from the final attempt.
+    """
+
+    block_id: int
+    attempts: int
+    error: BlockDecodeError
+
+
 def _pool_warmup(_i: int) -> None:
     return None
 
@@ -375,12 +418,20 @@ class RecodeEngine:
         chunk_blocks: blocks per pool task.
         cache: a :class:`DecodedBlockCache`, or ``None`` to decode cold
             every time.
+        max_retries: extra serial decode attempts per failing block before
+            it is quarantined (the first attempt is not a retry).
+        retry_base_s: base delay of the exponential backoff between
+            retries; attempt ``k`` sleeps ``retry_base_s * 2**(k-1)``
+            scaled by a deterministic jitter in ``[0.5, 1.5)``. ``0``
+            disables sleeping (tests).
     """
 
     workers: int = 0
     executor: str = "process"
     chunk_blocks: int = DEFAULT_CHUNK_BLOCKS
     cache: DecodedBlockCache | None = None
+    max_retries: int = 2
+    retry_base_s: float = 0.02
     stats: EngineStats = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -390,10 +441,18 @@ class RecodeEngine:
             raise ValueError(f"executor must be 'process' or 'thread', got {self.executor!r}")
         if self.chunk_blocks < 1:
             raise ValueError(f"chunk_blocks must be >= 1, got {self.chunk_blocks}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_base_s < 0:
+            raise ValueError(f"retry_base_s must be >= 0, got {self.retry_base_s}")
         self.stats = EngineStats(
             workers=self.workers, engine_label=f"e{next(_engine_ids)}"
         )
         self._pool = None
+        #: Blocks that exhausted their retries: ``(matrix_id, plan
+        #: fingerprint, block_id)``. Memoized so steady-state loops skip
+        #: known-bad blocks instead of re-failing them every iteration.
+        self.quarantined: set[tuple[str, str, int]] = set()
 
     # -- pool plumbing -------------------------------------------------------
 
@@ -418,6 +477,20 @@ class RecodeEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def _handle_pool_crash(self, fault_plan, missing: list[int]) -> None:
+        """A worker died mid-chunk (BrokenExecutor). Tear the broken pool
+        down so the next parallel call rebuilds it instead of hanging on a
+        dead executor; the current call re-dispatches serially."""
+        obs.registry().counter("faults.pool_rebuilds").inc()
+        if fault_plan is not None and set(fault_plan.worker_kill_blocks) & set(missing):
+            obs.registry().counter("faults.injected.worker_kills").inc()
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
 
     def __enter__(self) -> "RecodeEngine":
         return self
@@ -477,6 +550,25 @@ class RecodeEngine:
         """
         if not 0.0 < sample_frac <= 1.0:
             raise ValueError(f"sample_frac must be in (0, 1], got {sample_frac}")
+        try:
+            return self._encode_blocked(
+                matrix, block_bytes, use_delta, use_huffman, sample_frac, seed
+            )
+        except BaseException:
+            # Never leak the worker pool when an exception escapes outside
+            # the context-manager path (finalizers only run at GC time).
+            self.close()
+            raise
+
+    def _encode_blocked(
+        self,
+        matrix: CSRMatrix,
+        block_bytes: int,
+        use_delta: bool,
+        use_huffman: bool,
+        sample_frac: float,
+        seed: int,
+    ) -> MatrixCompression:
         if self.workers:
             # Spin the pool up (timed separately) before the encode timer.
             self._ensure_pool()
@@ -537,12 +629,50 @@ class RecodeEngine:
         """Decode the given blocks (all, by default), cache-aware.
 
         Returns blocks in the requested order, identical to
-        ``[plan.decompress_block(i) for i in block_ids]``.
+        ``[plan.decompress_block(i) for i in block_ids]``. Strict: the
+        first block that fails (after retries) raises its
+        :class:`~repro.codecs.errors.BlockDecodeError`.
+        """
+        ids = list(range(plan.nblocks)) if block_ids is None else list(block_ids)
+        blocks, failures = self.decode_resilient(plan, ids, matrix_id=matrix_id)
+        if failures:
+            raise failures[0].error
+        return [blocks[i] for i in ids]
+
+    def decode_resilient(
+        self,
+        plan: MatrixCompression,
+        block_ids: list[int] | None = None,
+        matrix_id: str = "",
+    ) -> tuple[dict[int, CSRBlock], tuple[BlockFailure, ...]]:
+        """Decode blocks with per-block error isolation.
+
+        Returns ``(blocks, failures)``: every block that decoded (keyed by
+        id) plus a :class:`BlockFailure` per block that could not, after
+        ``max_retries`` serial retries with exponential backoff. Failed
+        blocks are quarantined (skipped on subsequent calls for the same
+        plan) and surface in the ``faults.*`` counters; the SpMV
+        ``degrade`` policy substitutes them from the raw CSR partition.
+
+        A pool worker dying mid-chunk (BrokenProcessPool) tears the pool
+        down, re-dispatches the whole batch serially, and lets the next
+        parallel call rebuild a fresh executor.
         """
         ids = list(range(plan.nblocks)) if block_ids is None else list(block_ids)
         for i in ids:
             if not 0 <= i < plan.nblocks:
                 raise ValueError(f"block id {i} out of range (nblocks={plan.nblocks})")
+        try:
+            return self._decode_resilient(plan, ids, matrix_id)
+        except BaseException:
+            # Never leak the worker pool when an exception escapes outside
+            # the context-manager path (finalizers only run at GC time).
+            self.close()
+            raise
+
+    def _decode_resilient(
+        self, plan: MatrixCompression, ids: list[int], matrix_id: str
+    ) -> tuple[dict[int, CSRBlock], tuple[BlockFailure, ...]]:
         busy_seconds = 0.0
         start = time.perf_counter()
         out: dict[int, CSRBlock] = {}
@@ -561,6 +691,38 @@ class RecodeEngine:
                 missing.append(i)
         missing = sorted(set(missing))
 
+        failures: list[BlockFailure] = []
+        if self.quarantined and missing:
+            # Steady-state loops skip known-bad blocks instead of
+            # re-failing them (and re-crashing workers) every iteration.
+            fq = plan_fingerprint(plan)
+            alive: list[int] = []
+            for i in missing:
+                if (matrix_id, fq, i) in self.quarantined:
+                    obs.registry().counter("faults.quarantine_hits").inc()
+                    failures.append(BlockFailure(
+                        i, 0,
+                        BlockDecodeError(f"block {i} is quarantined", block_id=i),
+                    ))
+                else:
+                    alive.append(i)
+            missing = alive
+
+        fault_plan = faults.active()
+        if fault_plan is not None and missing:
+            # Corrupt the engine's *view* of the records once, up front;
+            # retries then deterministically re-fail, which is the point.
+            idx_recs = {
+                i: fault_plan.mutate_record(plan.index_records[i], i, "index")
+                for i in missing
+            }
+            val_recs = {
+                i: fault_plan.mutate_record(plan.value_records[i], i, "value")
+                for i in missing
+            }
+        else:
+            idx_recs, val_recs = plan.index_records, plan.value_records
+
         if missing:
             if self.workers:
                 # Pause the decode timer around pool spin-up: fork/exec is
@@ -570,40 +732,133 @@ class RecodeEngine:
                 start = time.perf_counter()
             with obs.trace("codecs.engine.decode", blocks=len(missing)):
                 idx_tasks = [
-                    ([plan.index_records[i] for i in missing[j : j + self.chunk_blocks]],
+                    ([idx_recs[i] for i in missing[j : j + self.chunk_blocks]],
                      plan.index_table, plan.use_huffman, plan.use_delta)
                     for j in range(0, len(missing), self.chunk_blocks)
                 ]
                 val_tasks = [
-                    ([plan.value_records[i] for i in missing[j : j + self.chunk_blocks]],
+                    ([val_recs[i] for i in missing[j : j + self.chunk_blocks]],
                      plan.value_table, plan.use_huffman, False)
                     for j in range(0, len(missing), self.chunk_blocks)
                 ]
-                decoded = self._run_chunked(_decode_chunk, idx_tasks + val_tasks)
-                nm = len(missing)
-                for i, idx_bytes, val_bytes in zip(missing, decoded[:nm], decoded[nm:]):
-                    ref = plan.blocked.blocks[i]
-                    block = CSRBlock(
-                        row_start=ref.row_start,
-                        row_end=ref.row_end,
-                        row_ptr=ref.row_ptr,
-                        col_idx=np.frombuffer(idx_bytes, dtype="<i4"),
-                        val=np.frombuffer(val_bytes, dtype="<f8"),
-                        nnz_start=ref.nnz_start,
-                        leading_partial=ref.leading_partial,
-                    )
-                    out[i] = block
-                    if self.cache is not None:
-                        self.cache.put((matrix_id, i, fingerprint), block)
+                fn = _decode_chunk
+                tasks = idx_tasks + val_tasks
+                if fault_plan is not None and fault_plan.wants_worker_faults:
+                    # Kills are only real in a process pool; everywhere
+                    # else they downgrade to an in-band InjectedFault so
+                    # the main process survives.
+                    allow_kill = self.workers > 0 and self.executor == "process"
+                    block_lists = [
+                        missing[j : j + self.chunk_blocks]
+                        for j in range(0, len(missing), self.chunk_blocks)
+                    ]
+                    fn = _decode_chunk_faulted
+                    tasks = [
+                        (fault_plan, blist, allow_kill, inner)
+                        for blist, inner in zip(block_lists * 2, tasks)
+                    ]
+                try:
+                    decoded = self._run_chunked(fn, tasks)
+                except BrokenExecutor:
+                    self._handle_pool_crash(fault_plan, missing)
+                    failures.extend(self._decode_isolated(
+                        plan, missing, idx_recs, val_recs, fault_plan,
+                        matrix_id, fingerprint, out,
+                    ))
+                except CodecError:
+                    failures.extend(self._decode_isolated(
+                        plan, missing, idx_recs, val_recs, fault_plan,
+                        matrix_id, fingerprint, out,
+                    ))
+                else:
+                    nm = len(missing)
+                    for i, idx_bytes, val_bytes in zip(missing, decoded[:nm], decoded[nm:]):
+                        block = _assemble_block(plan, i, idx_bytes, val_bytes)
+                        out[i] = block
+                        if self.cache is not None:
+                            self.cache.put((matrix_id, i, fingerprint), block)
 
         if hits:
             self.stats.add("cache_hits", hits)
         if misses:
             self.stats.add("cache_misses", misses)
         self.stats.add("blocks_decoded", len(missing))
-        self.stats.add("bytes_decoded", sum(12 * out[i].nnz for i in ids))
+        self.stats.add("bytes_decoded", sum(12 * out[i].nnz for i in ids if i in out))
         self.stats.add("decode_seconds", busy_seconds + time.perf_counter() - start)
-        return [out[i] for i in ids]
+        return out, tuple(failures)
+
+    def _decode_isolated(
+        self,
+        plan: MatrixCompression,
+        missing: list[int],
+        idx_recs,
+        val_recs,
+        fault_plan,
+        matrix_id: str,
+        fingerprint: str,
+        out: dict[int, CSRBlock],
+    ) -> list[BlockFailure]:
+        """Serial per-block re-dispatch after a chunked failure.
+
+        The pool (or a chunk in it) is suspect, so every still-missing
+        block decodes in-process: a block gets ``1 + max_retries``
+        attempts with exponential backoff + deterministic jitter, then is
+        quarantined. Healthy blocks from a failed chunk decode fine here
+        and land in ``out`` as usual.
+        """
+        reg = obs.registry()
+        fq = plan_fingerprint(plan)
+        failures: list[BlockFailure] = []
+        fire_workers = fault_plan is not None and fault_plan.wants_worker_faults
+        jitter_seed = fault_plan.seed if fault_plan is not None else 0
+        for i in missing:
+            if i in out:
+                continue
+            last_exc: CodecError | None = None
+            attempts = 0
+            for attempt in range(1, self.max_retries + 2):
+                attempts = attempt
+                try:
+                    if fire_workers:
+                        fault_plan.fire_worker_faults(i, allow_kill=False)
+                    idx_bytes = decode_record(
+                        idx_recs[i], plan.index_table,
+                        use_huffman=plan.use_huffman, apply_delta=plan.use_delta,
+                    )
+                    val_bytes = decode_record(
+                        val_recs[i], plan.value_table,
+                        use_huffman=plan.use_huffman, apply_delta=False,
+                    )
+                except CodecError as exc:
+                    last_exc = exc
+                    if attempt <= self.max_retries:
+                        reg.counter("faults.retries").inc()
+                        if self.retry_base_s > 0:
+                            jitter = seeded_rng(derive_seed(
+                                jitter_seed, "retry-jitter", matrix_id, str(i),
+                                str(attempt),
+                            )).random()
+                            time.sleep(
+                                self.retry_base_s * (2 ** (attempt - 1))
+                                * (0.5 + jitter)
+                            )
+                else:
+                    block = _assemble_block(plan, i, idx_bytes, val_bytes)
+                    out[i] = block
+                    if self.cache is not None:
+                        self.cache.put((matrix_id, i, fingerprint), block)
+                    break
+            else:
+                self.quarantined.add((matrix_id, fq, i))
+                reg.counter("faults.blocks_quarantined").inc()
+                error = BlockDecodeError(
+                    f"block {i} failed to decode after {attempts} attempts: "
+                    f"{last_exc}",
+                    block_id=i,
+                )
+                error.__cause__ = last_exc
+                failures.append(BlockFailure(i, attempts, error))
+        return failures
 
     def decode_block(
         self, plan: MatrixCompression, i: int, matrix_id: str = ""

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.codecs.errors import CorruptStreamError
+
 from repro.codecs.base import Codec
 
 ALPHABET = 256
@@ -117,12 +119,12 @@ class HuffmanTable:
     @classmethod
     def deserialize(cls, blob: bytes) -> "HuffmanTable":
         if len(blob) != ALPHABET:
-            raise ValueError(f"table blob must be {ALPHABET} bytes")
+            raise CorruptStreamError(f"table blob must be {ALPHABET} bytes")
         lengths = np.frombuffer(blob, dtype=np.uint8)
         # Canonical codes live in uint64; a length past 63 bits can only
         # come from a corrupt stream, so reject it as data (not overflow).
         if lengths.max(initial=0) > 63:
-            raise ValueError("corrupt huffman table: code length exceeds 63 bits")
+            raise CorruptStreamError("corrupt huffman table: code length exceeds 63 bits")
         return cls.from_lengths(lengths)
 
     @property
@@ -202,14 +204,14 @@ class HuffmanTable:
         nbits_total = len(payload) * 8
         while len(out) < out_len:
             if bit_pos >= nbits_total:
-                raise ValueError("bitstream exhausted before out_len symbols")
+                raise CorruptStreamError("bitstream exhausted before out_len symbols")
             byte = payload[bit_pos >> 3]
             bit = (byte >> (7 - (bit_pos & 7))) & 1
             bit_pos += 1
             acc = (acc << 1) | bit
             acc_len += 1
             if acc_len > max_len:
-                raise ValueError("invalid code in bitstream")
+                raise CorruptStreamError("invalid code in bitstream")
             offset = acc - first_code[acc_len]
             if 0 <= offset < count[acc_len]:
                 out.append(int(symbols[sym_index[acc_len] + offset]))
@@ -298,7 +300,7 @@ class HuffmanDFA:
                 if len(out) >= out_len:
                     return bytes(out)
         if len(out) < out_len:
-            raise ValueError("bitstream exhausted before out_len symbols")
+            raise CorruptStreamError("bitstream exhausted before out_len symbols")
         return bytes(out)
 
 
@@ -324,5 +326,5 @@ class HuffmanCodec(Codec):
         bit_len, pos = read_varint(data, pos)
         payload = data[pos:]
         if len(payload) * 8 < bit_len:
-            raise ValueError("truncated huffman payload")
+            raise CorruptStreamError("truncated huffman payload")
         return self.table.decode_bits(payload, out_len)

@@ -14,6 +14,7 @@ machinery with ``use_delta=False, use_huffman=False, block_bytes=32768``.
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +22,7 @@ import numpy as np
 from repro import obs
 from repro.codecs.base import Codec
 from repro.codecs.delta import DeltaCodec, delta_decode
+from repro.codecs.errors import CodecError, CorruptPayloadError, CorruptStreamError
 from repro.codecs.huffman import HuffmanCodec, HuffmanTable
 from repro.codecs.snappy import snappy_compress, snappy_decompress
 from repro.sparse.blocked import BlockedCSR, CSRBlock, UDP_BLOCK_BYTES, partition_csr
@@ -76,12 +78,20 @@ class BlockRecord:
     the intermediate Snappy stream (what Huffman decoding must reproduce);
     with ``use_huffman=False`` the payload *is* the Snappy stream and
     ``bit_len`` is 0.
+
+    ``payload_crc`` is an end-to-end CRC32 of ``payload`` stamped at encode
+    (and recomputed under the container's record CRC at load), so any
+    corruption of the stored bytes — a DRAM bit flip, a torn write, an
+    injected fault — is *detected* at decode instead of probabilistically
+    surfacing as a malformed stream. ``None`` (e.g. hand-built records)
+    skips the check.
     """
 
     orig_len: int
     snappy_len: int
     bit_len: int
     payload: bytes
+    payload_crc: int | None = None
 
     @property
     def stored_bytes(self) -> int:
@@ -154,12 +164,24 @@ class MatrixCompression:
             apply_delta=is_index and self.use_delta,
         )
 
-    def decompress_block(self, i: int) -> CSRBlock:
+    def decompress_block(
+        self,
+        i: int,
+        index_record: BlockRecord | None = None,
+        value_record: BlockRecord | None = None,
+    ) -> CSRBlock:
         """Reconstruct block *i* (the functional model of the UDP's
-        ``recode(DSH_unpack, ...)`` calls)."""
+        ``recode(DSH_unpack, ...)`` calls).
+
+        ``index_record`` / ``value_record`` override the plan's stored
+        records — the SpMV pipeline passes the DMA-streamed copies here so
+        a DRAM-side fault hits exactly the bytes that moved.
+        """
         ref = self.blocked.blocks[i]
-        idx_bytes = self._decode_record(self.index_records[i], self.index_table, True)
-        val_bytes = self._decode_record(self.value_records[i], self.value_table, False)
+        irec = self.index_records[i] if index_record is None else index_record
+        vrec = self.value_records[i] if value_record is None else value_record
+        idx_bytes = self._decode_record(irec, self.index_table, True)
+        val_bytes = self._decode_record(vrec, self.value_table, False)
         col_idx = np.frombuffer(idx_bytes, dtype="<i4")
         val = np.frombuffer(val_bytes, dtype="<f8")
         return CSRBlock(
@@ -198,21 +220,28 @@ def decode_record(
     :mod:`repro.codecs.engine` workers run exactly this function.
 
     Raises:
-        ValueError: on any malformed stream (truncation, bad codes, or a
-            decoded length that disagrees with ``record.orig_len``).
+        CorruptPayloadError: the payload no longer matches its end-to-end
+            CRC (the bytes changed after encode).
+        CodecError: any other malformed stream (truncation, bad codes, or
+            a decoded length that disagrees with ``record.orig_len``).
     """
     start = time.perf_counter()
     with obs.trace("codecs.decode_record", bytes_in=len(record.payload)):
         data = record.payload
+        if record.payload_crc is not None and zlib.crc32(data) != record.payload_crc:
+            raise CorruptPayloadError(
+                f"record payload CRC mismatch (stored {record.payload_crc:#010x}, "
+                f"payload is {len(data)} bytes)"
+            )
         if use_huffman:
             if table is None:
-                raise ValueError("huffman record without table")
+                raise CodecError("huffman record without table")
             data = table.decode_bits(data, record.snappy_len)
         # The record header bounds the output: a corrupt Snappy preamble can
         # never allocate beyond what the header promised.
         data = snappy_decompress(data, max_output=record.orig_len)
         if len(data) != record.orig_len:
-            raise ValueError(
+            raise CorruptStreamError(
                 f"decompressed {len(data)} bytes, expected {record.orig_len}"
             )
         if apply_delta:
@@ -304,11 +333,13 @@ def _finish_record(
             snappy_len=len(snapped),
             bit_len=bit_len,
             payload=payload,
+            payload_crc=zlib.crc32(payload),
         )
         obs.registry().counter("codecs.huffman.encode_records").inc()
     else:
         record = BlockRecord(
-            orig_len=raw_len, snappy_len=len(snapped), bit_len=0, payload=snapped
+            orig_len=raw_len, snappy_len=len(snapped), bit_len=0, payload=snapped,
+            payload_crc=zlib.crc32(snapped),
         )
     reg = obs.registry()
     reg.counter("codecs.encode.records").inc()

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.codecs.errors import CorruptStreamError
+
 from repro.codecs.base import Codec
 from repro.codecs.varint import read_varint, write_varint
 
@@ -60,7 +62,8 @@ def rle_decode(data: bytes, count: int | None = None) -> np.ndarray:
         count: expected element count (validated when given).
 
     Raises:
-        ValueError: truncated stream, zero-length run, or count mismatch.
+        CorruptStreamError: truncated stream, zero-length run, or count
+            mismatch.
     """
     pos = 0
     chunks: list[np.ndarray] = []
@@ -69,14 +72,14 @@ def rle_decode(data: bytes, count: int | None = None) -> np.ndarray:
     while pos < n:
         run, pos = read_varint(data, pos)
         if run == 0:
-            raise ValueError("zero-length run")
+            raise CorruptStreamError("zero-length run")
         zz, pos = read_varint(data, pos)
         value = zigzag_decode(zz)
         chunks.append(np.full(run, value, dtype=np.int32))
         total += run
     out = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int32)
     if count is not None and total != count:
-        raise ValueError(f"decoded {total} elements, expected {count}")
+        raise CorruptStreamError(f"decoded {total} elements, expected {count}")
     return out
 
 

@@ -18,6 +18,7 @@ valid); the decompressor accepts all conformant streams.
 from __future__ import annotations
 
 from repro.codecs.base import Codec
+from repro.codecs.errors import CorruptStreamError
 from repro.codecs.varint import read_varint, write_varint
 
 #: Reference implementation works in 64 KiB input fragments; back-references
@@ -148,13 +149,13 @@ def snappy_decompress(data: bytes, max_output: int | None = None) -> bytes:
             the record header's ``orig_len`` here.
 
     Raises:
-        ValueError: on malformed streams (truncation, bad offsets, length
-            mismatch against the preamble, or a preamble exceeding
+        CorruptStreamError: on malformed streams (truncation, bad offsets,
+            length mismatch against the preamble, or a preamble exceeding
             ``max_output``).
     """
     expected, pos = read_varint(data, 0)
     if max_output is not None and expected > max_output:
-        raise ValueError(
+        raise CorruptStreamError(
             f"snappy preamble promises {expected} bytes, caller allows {max_output}"
         )
     out = bytearray()
@@ -170,34 +171,34 @@ def snappy_decompress(data: bytes, max_output: int | None = None) -> bytes:
             else:
                 extra = code - 59
                 if pos + extra > n:
-                    raise ValueError("truncated literal length")
+                    raise CorruptStreamError("truncated literal length")
                 length = int.from_bytes(data[pos : pos + extra], "little") + 1
                 pos += extra
             if pos + length > n:
-                raise ValueError("truncated literal body")
+                raise CorruptStreamError("truncated literal body")
             out += data[pos : pos + length]
             pos += length
             continue
         if kind == 1:
             if pos >= n:
-                raise ValueError("truncated copy-1")
+                raise CorruptStreamError("truncated copy-1")
             length = 4 + ((tag >> 2) & 0x7)
             offset = ((tag >> 5) << 8) | data[pos]
             pos += 1
         elif kind == 2:
             if pos + 2 > n:
-                raise ValueError("truncated copy-2")
+                raise CorruptStreamError("truncated copy-2")
             length = (tag >> 2) + 1
             offset = int.from_bytes(data[pos : pos + 2], "little")
             pos += 2
         else:
             if pos + 4 > n:
-                raise ValueError("truncated copy-4")
+                raise CorruptStreamError("truncated copy-4")
             length = (tag >> 2) + 1
             offset = int.from_bytes(data[pos : pos + 4], "little")
             pos += 4
         if offset == 0 or offset > len(out):
-            raise ValueError(f"copy offset {offset} out of range at output {len(out)}")
+            raise CorruptStreamError(f"copy offset {offset} out of range at output {len(out)}")
         if offset >= length:
             src = len(out) - offset
             out += out[src : src + length]
@@ -207,9 +208,9 @@ def snappy_decompress(data: bytes, max_output: int | None = None) -> bytes:
             reps = -(-length // offset)  # ceil
             out += (pattern * reps)[:length]
         if len(out) > expected:
-            raise ValueError("output exceeds preamble length")
+            raise CorruptStreamError("output exceeds preamble length")
     if len(out) != expected:
-        raise ValueError(f"expected {expected} bytes, produced {len(out)}")
+        raise CorruptStreamError(f"expected {expected} bytes, produced {len(out)}")
     return bytes(out)
 
 

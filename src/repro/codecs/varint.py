@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.codecs.errors import CorruptStreamError
+
 MAX_UVARINT32 = (1 << 32) - 1
 
 
@@ -29,21 +31,21 @@ def read_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
         ``(value, next_offset)``.
 
     Raises:
-        ValueError: on truncated input or a varint exceeding 32 bits.
+        CorruptStreamError: on truncated input or a varint exceeding 32 bits.
     """
     result = 0
     shift = 0
     pos = offset
     while True:
         if pos >= len(data):
-            raise ValueError("truncated varint")
+            raise CorruptStreamError("truncated varint")
         byte = data[pos]
         pos += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
             if result > MAX_UVARINT32:
-                raise ValueError("varint exceeds 32 bits")
+                raise CorruptStreamError("varint exceeds 32 bits")
             return result, pos
         shift += 7
         if shift > 35:
-            raise ValueError("varint too long")
+            raise CorruptStreamError("varint too long")

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro import obs
 from repro.codecs.engine import RecodeEngine
+from repro.codecs.errors import BlockDecodeError, CodecError
 from repro.codecs.pipeline import MatrixCompression
 from repro.memsys.dma import DMAEngine
 from repro.memsys.dram import DDR4_100GBS, MemorySystem
@@ -44,10 +45,21 @@ class PipelineStats:
     #: Snapshot of the recode engine's cumulative counters (blocks decoded,
     #: cache hits, workers, MB/s, ...) when one drove the decode; else None.
     engine_stats: dict | None = None
+    #: Failure policy the run executed under (``strict`` | ``degrade``).
+    policy: str = "strict"
+    #: Blocks whose decode failed and were substituted from the retained
+    #: raw CSR partition (``degrade`` policy only). The result is still
+    #: bit-exact — the substitution streams raw bytes, costing compression
+    #: benefit, not correctness.
+    degraded_blocks: int = 0
 
     @property
     def traffic_ratio(self) -> float:
-        """Compressed DRAM traffic / baseline (≈ bytes_per_nnz / 12)."""
+        """Compressed DRAM traffic / baseline (≈ bytes_per_nnz / 12).
+
+        Degraded blocks stream their raw CSR bytes and are counted, so a
+        degraded run honestly reports its reduced compression benefit.
+        """
         if self.baseline_dram_bytes == 0:
             return 1.0
         return self.dram_bytes / self.baseline_dram_bytes
@@ -60,6 +72,7 @@ def recoded_spmv(
     use_udp_simulator: bool = False,
     engine: RecodeEngine | None = None,
     matrix_id: str = "",
+    policy: str = "strict",
 ) -> tuple[np.ndarray, PipelineStats]:
     """Execute ``y = A @ x`` over the compressed plan.
 
@@ -77,10 +90,19 @@ def recoded_spmv(
             engine's counters. Ignored when ``use_udp_simulator`` is set.
         matrix_id: cache namespace for this matrix (pass a stable name when
             re-running SpMV over the same plan).
+        policy: what a block decode failure does. ``"strict"`` (default)
+            raises the underlying
+            :class:`~repro.codecs.errors.BlockDecodeError` naming the
+            block. ``"degrade"`` substitutes the failed block from the
+            plan's retained raw CSR partition — the result stays
+            bit-exact; the substituted block just streams uncompressed
+            (counted in ``stats.degraded_blocks`` and the traffic ratio).
 
     Returns:
         ``(y, stats)``.
     """
+    if policy not in ("strict", "degrade"):
+        raise ValueError(f"policy must be 'strict' or 'degrade', got {policy!r}")
     log = TrafficLog()
     dma = DMAEngine(memory, log=log)
     dma_seconds = 0.0
@@ -88,36 +110,62 @@ def recoded_spmv(
 
     toolchain = DecoderToolchain(plan) if use_udp_simulator else None
     lane = Lane() if use_udp_simulator else None
-    counter = {"i": 0}
+    counter = {"i": 0, "degraded": 0}
+
+    def decode_one(i: int, idx_rec, val_rec) -> CSRBlock:
+        """Decode one block from its (DMA-streamed) records; raises
+        CodecError on failure."""
+        if toolchain is not None:
+            idx_chain = toolchain.run_chain(i, "index", lane=lane)
+            val_chain = toolchain.run_chain(i, "value", lane=lane)
+            if not (idx_chain.verified and val_chain.verified):
+                raise BlockDecodeError(
+                    f"UDP decode failed verification at block {i}", block_id=i
+                )
+            ref = plan.blocked.blocks[i]
+            return CSRBlock(
+                row_start=ref.row_start,
+                row_end=ref.row_end,
+                row_ptr=ref.row_ptr,
+                col_idx=np.frombuffer(idx_chain.output, dtype="<i4"),
+                val=np.frombuffer(val_chain.output, dtype="<f8"),
+                nnz_start=ref.nnz_start,
+                leading_partial=ref.leading_partial,
+            )
+        streamed_faulty = (
+            idx_rec is not plan.index_records[i] or val_rec is not plan.value_records[i]
+        )
+        if engine is not None and not streamed_faulty:
+            return engine.decode_block(plan, i, matrix_id=matrix_id)
+        # A DRAM-side fault corrupted the streamed copy: decode exactly
+        # what arrived (never the engine's cached/pristine view).
+        return plan.decompress_block(i, index_record=idx_rec, value_record=val_rec)
 
     def recode(_stored: CSRBlock) -> CSRBlock:
         i = counter["i"]
         counter["i"] += 1
-        idx_rec = plan.index_records[i]
-        val_rec = plan.value_records[i]
+        idx_rec = memory.stream_record(plan.index_records[i], i, "index")
+        val_rec = memory.stream_record(plan.value_records[i], i, "value")
         nonlocal dma_seconds
         with obs.trace("spmv.block", block=i):
             dma_seconds += dma.transfer(idx_rec.stored_bytes, "dram", "udp").seconds
             dma_seconds += dma.transfer(val_rec.stored_bytes, "dram", "udp").seconds
-            if toolchain is not None:
-                idx_chain = toolchain.run_chain(i, "index", lane=lane)
-                val_chain = toolchain.run_chain(i, "value", lane=lane)
-                if not (idx_chain.verified and val_chain.verified):
-                    raise ValueError(f"UDP decode failed verification at block {i}")
-                ref = plan.blocked.blocks[i]
-                block = CSRBlock(
-                    row_start=ref.row_start,
-                    row_end=ref.row_end,
-                    row_ptr=ref.row_ptr,
-                    col_idx=np.frombuffer(idx_chain.output, dtype="<i4"),
-                    val=np.frombuffer(val_chain.output, dtype="<f8"),
-                    nnz_start=ref.nnz_start,
-                    leading_partial=ref.leading_partial,
-                )
-            elif engine is not None:
-                block = engine.decode_block(plan, i, matrix_id=matrix_id)
-            else:
-                block = plan.decompress_block(i)
+            try:
+                block = decode_one(i, idx_rec, val_rec)
+            except CodecError as exc:
+                if policy == "strict":
+                    if isinstance(exc, BlockDecodeError):
+                        raise
+                    raise BlockDecodeError(
+                        f"block {i} failed to decode: {exc}", block_id=i
+                    ) from exc
+                # degrade: substitute the retained raw CSR block — result
+                # stays bit-exact; the block streams uncompressed.
+                counter["degraded"] += 1
+                block = plan.blocked.blocks[i]
+                dma_seconds += dma.transfer(12 * block.nnz, "dram", "cpu").seconds
+                obs.registry().counter("spmv.degraded_blocks").inc()
+                return block
             log.record("udp", "cpu", 12 * block.nnz)
         return block
 
@@ -125,20 +173,24 @@ def recoded_spmv(
         y = spmv_blocked(plan.blocked, x, recode=recode)
     stats = PipelineStats(
         traffic=log,
-        dram_bytes=log.bytes_on("dram", "udp"),
+        dram_bytes=log.bytes_on("dram", "udp") + log.bytes_on("dram", "cpu"),
         baseline_dram_bytes=12 * plan.nnz,
         dma_seconds=dma_seconds,
         engine_stats=engine.stats.as_dict() if engine is not None else None,
+        policy=policy,
+        degraded_blocks=counter["degraded"],
     )
     reg = obs.registry()
     reg.counter("spmv.iterations").inc()
     reg.counter("spmv.blocks").inc(plan.nblocks)
     reg.counter("spmv.nnz").inc(plan.nnz)
     reg.counter("spmv.flops").inc(2 * plan.nnz)
-    reg.counter("spmv.bytes.dram_to_udp").inc(stats.dram_bytes)
+    reg.counter("spmv.bytes.dram_to_udp").inc(log.bytes_on("dram", "udp"))
     reg.counter("spmv.bytes.udp_to_cpu").inc(log.bytes_on("udp", "cpu"))
     reg.counter("spmv.bytes.baseline").inc(stats.baseline_dram_bytes)
     reg.counter("spmv.dma_seconds").inc(dma_seconds)
     reg.gauge("spmv.traffic_ratio").set(stats.traffic_ratio)
+    if counter["degraded"]:
+        reg.counter("spmv.degraded_iterations").inc()
     reg.histogram("spmv.seconds").observe(time.perf_counter() - start)
     return y, stats

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import faults
 from repro.util.units import GB, TB
 
 
@@ -51,6 +52,20 @@ class MemorySystem:
     def max_power_w(self) -> float:
         """Power at peak rate — the paper's 80 W (DDR4) / 64 W (HBM2)."""
         return self.power_at_rate(self.peak_bw)
+
+    def stream_record(self, record, block_id: int, stream: str):
+        """Model streaming one compressed record out of this memory.
+
+        Returns the record the consumer actually sees: normally the very
+        same object, but when a :class:`~repro.faults.FaultPlan` with
+        DRAM-site bit flips is armed, a corrupted *copy* — the stored plan
+        is never touched, matching real DRAM faults hitting data in
+        flight. Costs one ``faults.active()`` check when disabled.
+        """
+        fault_plan = faults.active()
+        if fault_plan is None:
+            return record
+        return fault_plan.mutate_dram_record(record, block_id, stream)
 
 
 #: Single-die AMD Epyc class DDR4 (paper: 100 GB/s, 100 pJ/bit -> 80 W max).

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.codecs.errors import CodecError
 from repro.udp.assembler import AssembledProgram
 from repro.udp.isa import (
     AluI,
@@ -45,10 +46,14 @@ from repro.udp.isa import (
 DEFAULT_MAX_CYCLES = 200_000_000
 
 
-class UDPFault(Exception):
+class UDPFault(CodecError):
     """Raised on conditions real hardware would fault on: dispatch to an
     unoccupied address, byte reads past end-of-stream, bad back-references,
-    or exceeding the cycle guard."""
+    or exceeding the cycle guard.
+
+    Part of the unified :class:`~repro.codecs.errors.CodecError` hierarchy
+    so resilience layers handle simulator faults and software decode
+    corruption with one ``except CodecError`` clause."""
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,52 @@ class TestCommands:
         dsh = tmp_path / "a.dsh"
         assert main(["pack", "synth:mesh2d:nx=20", str(dsh), "--scheme", "auto"]) == 0
 
+    def test_scrub_healthy_and_corrupted(self, tmp_path, capsys):
+        dsh = tmp_path / "s.dsh"
+        assert main(["pack", "synth:banded:n=300,bandwidth=3", str(dsh)]) == 0
+        capsys.readouterr()
+        assert main(["scrub", str(dsh)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "healthy" in out
+        data = bytearray(dsh.read_bytes())
+        data[len(data) * 2 // 3] ^= 0x20
+        bad = tmp_path / "bad.dsh"
+        bad.write_bytes(bytes(data))
+        assert main(["scrub", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "UNHEALTHY" in out
+
+    def test_scrub_json(self, tmp_path, capsys):
+        import json
+
+        dsh = tmp_path / "j.dsh"
+        assert main(["pack", "synth:banded:n=300,bandwidth=3", str(dsh)]) == 0
+        capsys.readouterr()
+        assert main(["scrub", str(dsh), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["healthy"] is True
+        assert report["blocks_bad"] == 0
+
+    def test_spmv_fault_plan_degrade(self, capsys):
+        rc = main(["spmv", "synth:banded:n=600,bandwidth=3", "--policy", "degrade",
+                   "--fault-plan", "seed=7,bitflip-blocks=1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault plan armed" in out
+        assert "chaos:" in out and "quarantined=1" in out
+
+    def test_spmv_fault_plan_strict_fails(self, capsys):
+        rc = main(["spmv", "synth:banded:n=600,bandwidth=3",
+                   "--fault-plan", "seed=7,bitflip-blocks=1"])
+        assert rc == 1
+        assert "error: block 1" in capsys.readouterr().err
+
+    def test_spmv_bad_fault_plan_spec(self, capsys):
+        rc = main(["spmv", "synth:banded:n=200,bandwidth=2",
+                   "--fault-plan", "seed=7,bogus=1"])
+        assert rc == 1
+        assert "unknown fault-plan key" in capsys.readouterr().err
+
     def test_error_path_returns_1(self, capsys):
         rc = main(["info", "/nonexistent/file.mtx"])
         assert rc == 1

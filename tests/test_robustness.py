@@ -1,11 +1,13 @@
 """Robustness / failure-injection tests: corrupted streams must fail
-cleanly (ValueError / UDPFault), never hang, crash, or silently return
-wrong data that passes verification."""
+cleanly with a typed :class:`~repro.codecs.errors.CodecError` (which the
+UDP simulator's ``UDPFault`` also derives from), never hang, crash, or
+silently return wrong data that passes verification."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.codecs.errors import CodecError, CorruptStreamError
 from repro.codecs.huffman import HuffmanTable
 from repro.codecs.rle import rle_decode
 from repro.codecs.snappy import snappy_compress, snappy_decompress
@@ -21,10 +23,10 @@ class TestSnappyFuzz:
     @settings(max_examples=150, deadline=None)
     @given(st.binary(min_size=1, max_size=200))
     def test_random_bytes_never_crash(self, blob):
-        # Arbitrary bytes: either a clean ValueError or a valid decode.
+        # Arbitrary bytes: either a clean CorruptStreamError or a valid decode.
         try:
             snappy_decompress(blob)
-        except ValueError:
+        except CodecError:
             pass
 
     @settings(max_examples=60, deadline=None)
@@ -37,7 +39,7 @@ class TestSnappyFuzz:
         compressed[pos] = newbyte
         try:
             out = snappy_decompress(bytes(compressed))
-        except ValueError:
+        except CodecError:
             return
         # A successful decode of a corrupted stream is allowed (the format
         # has no checksum) but must still honour the preamble contract.
@@ -56,7 +58,7 @@ class TestSnappyFuzz:
             # short -> must violate the preamble and raise; reaching here
             # means lengths still matched, which only happens for cut==0.
             assert out == data
-        except ValueError:
+        except CodecError:
             pass
 
 
@@ -95,13 +97,13 @@ class TestHuffmanRobustness:
             try:
                 out = table.decode_bits(blob, 30)
                 assert len(out) == 30  # smoothing makes all codes valid
-            except ValueError:
+            except CodecError:
                 pass
 
     def test_out_len_beyond_stream_raises(self):
         table = HuffmanTable.from_samples([b"xyz"])
         payload, _ = table.encode_bits(b"xyz")
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptStreamError):
             table.decode_bits(payload, 10_000)
 
 
@@ -111,7 +113,7 @@ class TestRLERobustness:
     def test_random_bytes_never_crash(self, blob):
         try:
             rle_decode(blob)
-        except ValueError:
+        except CodecError:
             pass
 
 
@@ -145,7 +147,7 @@ class TestPlanTamperDetection:
         # never silently pass.
         try:
             assert tampered.verify() is False
-        except ValueError:
+        except CodecError:
             pass
 
     def test_udp_chain_flags_tampered_block(self):
@@ -168,5 +170,5 @@ class TestPlanTamperDetection:
         try:
             result = toolchain.run_chain(0, "value")
             assert not result.verified
-        except (ValueError, UDPFault):
+        except CodecError:
             pass
