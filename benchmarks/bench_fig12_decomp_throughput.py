@@ -16,10 +16,47 @@ def test_fig12_regenerate(benchmark, ctx, lab):
     # regime well ahead of the cold decode, like the paper's UDP reuse loop.
     assert h["sw_steady_over_cold"] >= 1.5
     assert h["sw_cold_mb_s"] > 0
+    # Kernel-backend regression gate: the vectorized DFA decode must hold
+    # >=5x the reference loops on the Huffman stage (typ. ~10x).
+    assert h["hf_python_mb_s"] > 0
+    assert h["hf_numpy_over_python"] >= 5.0, h
     # Every representative row must show the UDP ahead.
     for row in res.table.rows:
         speedup = float(row[-1].rstrip("x"))
         assert speedup > 1.0, row
+
+
+def test_backends_byte_identical_on_representative_suite(ctx, lab):
+    """Full round-trip parity gate: every representative matrix, compressed
+    and decompressed under each kernel backend, must produce byte-identical
+    plans (records + CRCs) and byte-identical decoded blocks."""
+    import numpy as np
+
+    from repro import kernels
+    from repro.codecs.pipeline import compress_matrix
+
+    for rep in lab.representatives():
+        m = lab.matrix(rep.name, rep.build)
+        plans = {}
+        for backend in ("python", "numpy"):
+            with kernels.use_backend(backend):
+                plans[backend] = compress_matrix(m, seed=ctx.seed)
+        py, np_ = plans["python"], plans["numpy"]
+        for a, b in zip(
+            py.index_records + py.value_records,
+            np_.index_records + np_.value_records,
+        ):
+            assert a.payload == b.payload, rep.name
+            assert (a.orig_len, a.snappy_len, a.bit_len, a.payload_crc) == (
+                b.orig_len, b.snappy_len, b.bit_len, b.payload_crc
+            ), rep.name
+        for i in range(py.nblocks):
+            with kernels.use_backend("python"):
+                ref_block = py.decompress_block(i)
+            with kernels.use_backend("numpy"):
+                vec_block = np_.decompress_block(i)
+            assert np.array_equal(ref_block.col_idx, vec_block.col_idx), rep.name
+            assert np.array_equal(ref_block.val, vec_block.val), rep.name
 
 
 def test_engine_workers4_beats_cold_serial(ctx, lab):

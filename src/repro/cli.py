@@ -24,7 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import obs
+from repro import kernels, obs
 from repro.codecs.autotune import autotune
 from repro.codecs.pipeline import compress_matrix
 from repro.collection import generators
@@ -309,6 +309,13 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def _add_kernel_backend_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--kernel-backend", default=None,
+                   choices=["auto", *kernels.KNOWN_BACKENDS],
+                   help="codec kernel backend (default: $REPRO_KERNEL_BACKEND, "
+                        "else autodetect; 'python' forces the reference loops)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -326,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-blocks", type=int, default=2)
     p.add_argument("--workers", type=int, default=0,
                    help="recode-engine pool width (0 = serial)")
+    _add_kernel_backend_arg(p)
     p.set_defaults(fn=cmd_compress)
 
     p = sub.add_parser("spmv", help="model the three SpMV scenarios")
@@ -349,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="arm a deterministic chaos plan around the functional "
                         "iterations, e.g. 'seed=7,bitflip=0.05,kill=3' "
                         "(forces one iteration if --iterations is 0)")
+    _add_kernel_backend_arg(p)
     p.set_defaults(fn=cmd_spmv)
 
     p = sub.add_parser("scrub", help="walk a .dsh container and report per-block health")
@@ -390,6 +399,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if getattr(args, "kernel_backend", None):
+            kernels.set_backend(args.kernel_backend)
         return args.fn(args)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import faults, obs
+from repro import faults, kernels, obs
 from repro.codecs.errors import BlockDecodeError, CodecError
 from repro.codecs.huffman import HuffmanTable
 from repro.codecs.pipeline import (
@@ -285,13 +285,16 @@ def _shutdown_pool(pool) -> None:
 
 def _run_isolated(args: tuple) -> tuple:
     """Pool-worker shim: run one chunk under a fresh per-worker registry
-    (and tracer, when the parent is tracing) and ship the captured
+    (and tracer, when the parent is tracing), pinned to the parent's
+    kernel backend — a CLI/set_backend selection is process-local state a
+    spawned worker would not otherwise see — and ship the captured
     telemetry back with the result for merge-on-join."""
-    fn, task, tracing = args
+    fn, task, tracing, kernel_backend = args
     reg = obs.MetricsRegistry()
     worker_tracer = obs.Tracer(enabled=tracing)
     with obs.scoped_registry(reg), obs.scoped_tracer(worker_tracer):
-        result = fn(task)
+        with kernels.use_backend(kernel_backend):
+            result = fn(task)
     return result, reg.snapshot(), worker_tracer.events()
 
 
@@ -517,9 +520,10 @@ class RecodeEngine:
             tracing = obs.tracing_enabled()
             reg = obs.registry()
             parent_tracer = obs.tracer()
+            backend = kernels.backend()
             chunks = []
             for result, snapshot, events in pool.map(
-                _run_isolated, [(fn, task, tracing) for task in tasks]
+                _run_isolated, [(fn, task, tracing, backend) for task in tasks]
             ):
                 chunks.append(result)
                 reg.merge_snapshot(snapshot)

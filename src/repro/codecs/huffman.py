@@ -19,9 +19,11 @@ from __future__ import annotations
 import heapq
 from collections.abc import Iterable
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
+from repro import kernels
 from repro.codecs.errors import CorruptStreamError
 
 from repro.codecs.base import Codec
@@ -50,9 +52,16 @@ def _code_lengths(freqs: np.ndarray) -> np.ndarray:
     return lengths
 
 
-def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
-    """Assign canonical codes: symbols sorted by (length, value), codes
-    increase sequentially, left-shifted at each length boundary."""
+@lru_cache(maxsize=256)
+def _canonical_codes_cached(lengths_blob: bytes) -> np.ndarray:
+    """Canonical code assignment, memoized by table fingerprint.
+
+    Every table with the same length vector has the same codes, and
+    steady-state loops rebuild tables from the same 256-byte wire blob per
+    record — so codes are computed once per distinct table, not per call.
+    The cached array is frozen read-only because it is shared.
+    """
+    lengths = np.frombuffer(lengths_blob, dtype=np.uint8)
     order = sorted(range(ALPHABET), key=lambda s: (int(lengths[s]), s))
     codes = np.zeros(ALPHABET, dtype=np.uint64)
     code = 0
@@ -65,7 +74,14 @@ def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
         codes[sym] = code
         code += 1
         prev_len = length
+    codes.flags.writeable = False
     return codes
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codes: symbols sorted by (length, value), codes
+    increase sequentially, left-shifted at each length boundary."""
+    return _canonical_codes_cached(np.ascontiguousarray(lengths, dtype=np.uint8).tobytes())
 
 
 @dataclass(frozen=True)
@@ -131,6 +147,12 @@ class HuffmanTable:
     def max_length(self) -> int:
         return int(self.lengths.max())
 
+    @property
+    def fingerprint(self) -> bytes:
+        """Identity key for kernel/automaton caches (the wire-form blob:
+        canonical codes are implied by lengths, so this is total)."""
+        return self.serialize()
+
     def expected_bits_per_byte(self, freqs: np.ndarray) -> float:
         """Average code length under a byte distribution (for stats)."""
         f = np.asarray(freqs, dtype=np.float64)
@@ -147,26 +169,7 @@ class HuffmanTable:
         Returns:
             ``(payload, bit_length)`` — payload is zero-padded to a byte.
         """
-        # Plain-int lookup tables: numpy scalars would infect bitbuf with
-        # fixed-width (wrapping) arithmetic.
-        codes = self.codes.tolist()
-        lengths = self.lengths.tolist()
-        out = bytearray()
-        bitbuf = 0
-        nbits = 0
-        total_bits = 0
-        for b in data:
-            length = lengths[b]
-            bitbuf = (bitbuf << length) | codes[b]
-            nbits += length
-            total_bits += length
-            while nbits >= 8:
-                nbits -= 8
-                out.append((bitbuf >> nbits) & 0xFF)
-            bitbuf &= (1 << nbits) - 1
-        if nbits:
-            out.append((bitbuf << (8 - nbits)) & 0xFF)
-        return bytes(out), total_bits
+        return kernels.dispatch("huffman_encode", self.lengths, self.codes, data)
 
     def decode_bits(self, payload: bytes, out_len: int) -> bytes:
         """Decode ``out_len`` symbols from a MSB-first bitstream.
@@ -175,98 +178,71 @@ class HuffmanTable:
         interval test), i.e. the standard canonical decoder.
 
         Raises:
-            ValueError: if the stream ends before ``out_len`` symbols.
+            CorruptStreamError: if the stream ends, or hits an invalid
+                code, before ``out_len`` symbols.
         """
-        max_len = self.max_length
-        # Canonical per-length tables.
-        first_code = np.zeros(max_len + 2, dtype=np.int64)
-        count = np.zeros(max_len + 2, dtype=np.int64)
-        for length in range(1, max_len + 1):
-            count[length] = int(np.sum(self.lengths == length))
-        code = 0
-        sym_index = np.zeros(max_len + 2, dtype=np.int64)
-        order = sorted(
-            (s for s in range(ALPHABET) if self.lengths[s] > 0),
-            key=lambda s: (int(self.lengths[s]), s),
-        )
-        symbols = np.array(order, dtype=np.int64)
-        idx = 0
-        for length in range(1, max_len + 1):
-            first_code[length] = code
-            sym_index[length] = idx
-            code = (code + count[length]) << 1
-            idx += count[length]
-
-        out = bytearray()
-        acc = 0
-        acc_len = 0
-        bit_pos = 0
-        nbits_total = len(payload) * 8
-        while len(out) < out_len:
-            if bit_pos >= nbits_total:
-                raise CorruptStreamError("bitstream exhausted before out_len symbols")
-            byte = payload[bit_pos >> 3]
-            bit = (byte >> (7 - (bit_pos & 7))) & 1
-            bit_pos += 1
-            acc = (acc << 1) | bit
-            acc_len += 1
-            if acc_len > max_len:
-                raise CorruptStreamError("invalid code in bitstream")
-            offset = acc - first_code[acc_len]
-            if 0 <= offset < count[acc_len]:
-                out.append(int(symbols[sym_index[acc_len] + offset]))
-                acc = 0
-                acc_len = 0
-        return bytes(out)
+        return kernels.dispatch("huffman_decode", self.lengths, self.codes, payload, out_len)
 
     # -- DFA export (consumed by the UDP program generator) ------------------
 
     def decode_automaton(self, stride: int = 4) -> "HuffmanDFA":
         """Compile the code tree into a DFA consuming ``stride`` bits per
-        step. States are trie nodes; each transition emits 0+ symbols."""
+        step. States are trie nodes; each transition emits 0+ symbols.
+
+        Memoized by table fingerprint: every plan compiled against the
+        same table (and every UDP program sharing a matrix) reuses one
+        compiled — and treated as immutable — automaton.
+        """
         if not 1 <= stride <= 8:
             raise ValueError("stride must be in 1..8")
-        # Build the binary trie: node -> (child0, child1) or leaf symbol.
-        children: list[list[int]] = [[-1, -1]]  # node 0 = root
-        leaf_symbol: dict[int, int] = {}
-        for sym in range(ALPHABET):
-            length = int(self.lengths[sym])
-            if length == 0:
-                continue
-            code = int(self.codes[sym])
-            node = 0
-            for i in range(length - 1, -1, -1):
-                bit = (code >> i) & 1
-                if children[node][bit] == -1:
-                    children.append([-1, -1])
-                    children[node][bit] = len(children) - 1
+        return _decode_automaton_cached(self.fingerprint, stride)
+
+
+@lru_cache(maxsize=128)
+def _decode_automaton_cached(lengths_blob: bytes, stride: int) -> "HuffmanDFA":
+    lengths = np.frombuffer(lengths_blob, dtype=np.uint8)
+    codes = _canonical_codes(lengths)
+    # Build the binary trie: node -> (child0, child1) or leaf symbol.
+    children: list[list[int]] = [[-1, -1]]  # node 0 = root
+    leaf_symbol: dict[int, int] = {}
+    for sym in range(ALPHABET):
+        length = int(lengths[sym])
+        if length == 0:
+            continue
+        code = int(codes[sym])
+        node = 0
+        for i in range(length - 1, -1, -1):
+            bit = (code >> i) & 1
+            if children[node][bit] == -1:
+                children.append([-1, -1])
+                children[node][bit] = len(children) - 1
+            node = children[node][bit]
+        leaf_symbol[node] = sym
+    # Walk every (state, chunk) pair.
+    nstates = len(children)
+    table: list[list[tuple[int, tuple[int, ...]]]] = []
+    for state in range(nstates):
+        if state in leaf_symbol:
+            table.append([])  # leaves are never resting states
+            continue
+        row: list[tuple[int, tuple[int, ...]]] = []
+        for chunk in range(1 << stride):
+            node = state
+            emitted: list[int] = []
+            for i in range(stride - 1, -1, -1):
+                bit = (chunk >> i) & 1
                 node = children[node][bit]
-            leaf_symbol[node] = sym
-        # Walk every (state, chunk) pair.
-        nstates = len(children)
-        table: list[list[tuple[int, tuple[int, ...]]]] = []
-        for state in range(nstates):
-            if state in leaf_symbol:
-                table.append([])  # leaves are never resting states
-                continue
-            row: list[tuple[int, tuple[int, ...]]] = []
-            for chunk in range(1 << stride):
-                node = state
-                emitted: list[int] = []
-                for i in range(stride - 1, -1, -1):
-                    bit = (chunk >> i) & 1
-                    node = children[node][bit]
-                    if node == -1:
-                        # Dead path (padding bits); stay dead.
-                        node = 0
-                        emitted = emitted  # unchanged; treated as no-emit
-                        break
-                    if node in leaf_symbol:
-                        emitted.append(leaf_symbol[node])
-                        node = 0
-                row.append((node, tuple(emitted)))
-            table.append(row)
-        return HuffmanDFA(stride=stride, transitions=table, root=0)
+                if node == -1:
+                    # Dead path (padding bits); stay dead.
+                    node = 0
+                    emitted = emitted  # unchanged; treated as no-emit
+                    break
+                if node in leaf_symbol:
+                    emitted.append(leaf_symbol[node])
+                    node = 0
+            row.append((node, tuple(emitted)))
+        table.append(row)
+    return HuffmanDFA(stride=stride, transitions=table, root=0)
 
 
 @dataclass(frozen=True)

@@ -217,7 +217,10 @@ def decode_record(
     This is the single functional model of the UDP's per-record
     ``recode(DSH_unpack, ...)`` call; both the serial
     :meth:`MatrixCompression.decompress_block` path and the parallel
-    :mod:`repro.codecs.engine` workers run exactly this function.
+    :mod:`repro.codecs.engine` workers run exactly this function. The
+    Huffman and Snappy stages route through :mod:`repro.kernels`, so the
+    active backend (``REPRO_KERNEL_BACKEND`` / ``--kernel-backend``)
+    applies here — with byte-identical output either way.
 
     Raises:
         CorruptPayloadError: the payload no longer matches its end-to-end

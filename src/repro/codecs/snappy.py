@@ -17,9 +17,9 @@ valid); the decompressor accepts all conformant streams.
 
 from __future__ import annotations
 
+from repro import kernels
 from repro.codecs.base import Codec
-from repro.codecs.errors import CorruptStreamError
-from repro.codecs.varint import read_varint, write_varint
+from repro.codecs.varint import write_varint
 
 #: Reference implementation works in 64 KiB input fragments; back-references
 #: never cross a fragment boundary, so 2-byte offsets always suffice.
@@ -82,9 +82,12 @@ def _match_length(data: bytes, a: int, b: int, end: int) -> int:
     """Length of the common prefix of data[a:] and data[b:], capped at end-b."""
     n = 0
     limit = end - b
-    # Chunked comparison: big strides first, then bytes.
+    # Chunked comparison: big strides first, then 8-byte words, then bytes —
+    # near-misses past a 32-byte boundary no longer degrade to per-byte scans.
     while n + 32 <= limit and data[a + n : a + n + 32] == data[b + n : b + n + 32]:
         n += 32
+    while n + 8 <= limit and data[a + n : a + n + 8] == data[b + n : b + n + 8]:
+        n += 8
     while n < limit and data[a + n] == data[b + n]:
         n += 1
     return n
@@ -153,65 +156,7 @@ def snappy_decompress(data: bytes, max_output: int | None = None) -> bytes:
             length mismatch against the preamble, or a preamble exceeding
             ``max_output``).
     """
-    expected, pos = read_varint(data, 0)
-    if max_output is not None and expected > max_output:
-        raise CorruptStreamError(
-            f"snappy preamble promises {expected} bytes, caller allows {max_output}"
-        )
-    out = bytearray()
-    n = len(data)
-    while pos < n:
-        tag = data[pos]
-        pos += 1
-        kind = tag & 3
-        if kind == 0:  # literal
-            code = tag >> 2
-            if code < 60:
-                length = code + 1
-            else:
-                extra = code - 59
-                if pos + extra > n:
-                    raise CorruptStreamError("truncated literal length")
-                length = int.from_bytes(data[pos : pos + extra], "little") + 1
-                pos += extra
-            if pos + length > n:
-                raise CorruptStreamError("truncated literal body")
-            out += data[pos : pos + length]
-            pos += length
-            continue
-        if kind == 1:
-            if pos >= n:
-                raise CorruptStreamError("truncated copy-1")
-            length = 4 + ((tag >> 2) & 0x7)
-            offset = ((tag >> 5) << 8) | data[pos]
-            pos += 1
-        elif kind == 2:
-            if pos + 2 > n:
-                raise CorruptStreamError("truncated copy-2")
-            length = (tag >> 2) + 1
-            offset = int.from_bytes(data[pos : pos + 2], "little")
-            pos += 2
-        else:
-            if pos + 4 > n:
-                raise CorruptStreamError("truncated copy-4")
-            length = (tag >> 2) + 1
-            offset = int.from_bytes(data[pos : pos + 4], "little")
-            pos += 4
-        if offset == 0 or offset > len(out):
-            raise CorruptStreamError(f"copy offset {offset} out of range at output {len(out)}")
-        if offset >= length:
-            src = len(out) - offset
-            out += out[src : src + length]
-        else:
-            # Overlapping copy: the run repeats with period `offset`.
-            pattern = out[len(out) - offset :]
-            reps = -(-length // offset)  # ceil
-            out += (pattern * reps)[:length]
-        if len(out) > expected:
-            raise CorruptStreamError("output exceeds preamble length")
-    if len(out) != expected:
-        raise CorruptStreamError(f"expected {expected} bytes, produced {len(out)}")
-    return bytes(out)
+    return kernels.dispatch("snappy_decompress", data, max_output)
 
 
 class SnappyCodec(Codec):

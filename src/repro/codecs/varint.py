@@ -1,7 +1,16 @@
-"""Little-endian base-128 varints (LEB128), as used by the Snappy preamble."""
+"""Little-endian base-128 varints (LEB128), as used by the Snappy preamble.
+
+Scalar :func:`write_varint`/:func:`read_varint` are the hot-path framing
+primitives; the batch forms (:func:`write_varints`, :func:`read_varints`)
+and the zigzag pair route through :mod:`repro.kernels` so vectorized
+backends apply when many values are coded back-to-back.
+"""
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro import kernels
 from repro.codecs.errors import CorruptStreamError
 
 MAX_UVARINT32 = (1 << 32) - 1
@@ -49,3 +58,35 @@ def read_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
         shift += 7
         if shift > 35:
             raise CorruptStreamError("varint too long")
+
+
+def write_varints(values) -> bytes:
+    """Concatenated uvarints for a batch of values (array or sequence).
+
+    Byte-identical to joining :func:`write_varint` over the batch; raises
+    the same ``ValueError`` on the first negative/overflowing value.
+    """
+    return kernels.dispatch("varint_encode_batch", values)
+
+
+def read_varints(data: bytes, count: int, offset: int = 0) -> tuple[np.ndarray, int]:
+    """Decode ``count`` back-to-back uvarints starting at ``offset``.
+
+    Returns:
+        ``(values, next_offset)`` with ``values`` a uint32 array.
+
+    Raises:
+        CorruptStreamError: exactly as ``count`` sequential
+            :func:`read_varint` calls would (earliest fault wins).
+    """
+    return kernels.dispatch("varint_decode_batch", data, count, offset)
+
+
+def zigzag_encode(values) -> np.ndarray:
+    """Map int32 to uint32 so sign alternates from zero: 0,-1,1,-2,2 → 0,1,2,3,4."""
+    return kernels.dispatch("zigzag_encode", values)
+
+
+def zigzag_decode(values) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode` (uint32 → int32)."""
+    return kernels.dispatch("zigzag_decode", values)

@@ -1,0 +1,167 @@
+"""Backend-dispatch registry for the hot codec kernels.
+
+The codec stack's inner loops (Huffman bit packing/unpacking, Snappy
+element materialization, batch varints) exist in two implementations:
+
+* ``python`` — the from-scratch reference loops. Always available, always
+  correct; the byte-level ground truth everything else is checked against.
+* ``numpy`` — vectorized fast paths that produce **byte-identical** output
+  (and raise the same :mod:`repro.codecs.errors` types on corrupt input).
+
+A *kernel op* is a name like ``"huffman_decode"``; each backend registers
+one callable per op. :func:`dispatch` resolves the active backend per
+call, so a backend switch (env var, CLI flag, :func:`use_backend`) takes
+effect immediately — including inside recode-engine pool workers, which
+inherit the parent's selection explicitly (see
+:meth:`repro.codecs.engine.RecodeEngine`).
+
+Selection order: :func:`set_backend` (CLI / code) > the
+``REPRO_KERNEL_BACKEND`` environment variable > autodetect (``numpy``
+when importable, else ``python``). An op missing from the selected
+backend — or raising :class:`KernelUnavailable` at call time — falls back
+to the ``python`` reference and ticks the ``kernels.fallback`` counter;
+every successful dispatch ticks ``kernels.dispatch`` labelled
+``op``/``backend``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from collections.abc import Callable, Iterator
+
+from repro import obs
+
+#: Environment variable consulted when no backend was set explicitly.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: The reference backend every op must provide.
+REFERENCE_BACKEND = "python"
+
+#: Backends in autodetect preference order.
+KNOWN_BACKENDS = ("numpy", "python")
+
+
+class KernelUnavailable(RuntimeError):
+    """A backend cannot service this op/call; dispatch retries on the
+    reference backend. Raise it early — before any output is produced —
+    so the fallback re-runs the op from scratch."""
+
+
+class KernelRegistry:
+    """Op table: ``(op, backend) -> callable`` plus backend selection."""
+
+    def __init__(self) -> None:
+        self._impls: dict[tuple[str, str], Callable] = {}
+        self._ops: set[str] = set()
+        self._lock = threading.Lock()
+        # None = not yet resolved (env/autodetect decides on first use).
+        self._selected: str | None = None
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, op: str, backend: str) -> Callable[[Callable], Callable]:
+        """Decorator: register ``fn`` as ``op``'s ``backend`` implementation."""
+        if backend not in KNOWN_BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; know {KNOWN_BACKENDS}")
+
+        def deco(fn: Callable) -> Callable:
+            with self._lock:
+                self._impls[(op, backend)] = fn
+                self._ops.add(op)
+            return fn
+
+        return deco
+
+    def ops(self) -> tuple[str, ...]:
+        return tuple(sorted(self._ops))
+
+    def backends_for(self, op: str) -> tuple[str, ...]:
+        return tuple(b for b in KNOWN_BACKENDS if (op, b) in self._impls)
+
+    # -- backend selection ---------------------------------------------------
+
+    def available_backends(self) -> tuple[str, ...]:
+        """Backends usable in this process (``numpy`` needs the import)."""
+        out = []
+        for name in KNOWN_BACKENDS:
+            if name == "numpy":
+                try:
+                    import numpy  # noqa: F401
+                except ImportError:  # pragma: no cover - numpy is a hard dep
+                    continue
+            out.append(name)
+        return tuple(out)
+
+    def autodetect(self) -> str:
+        return self.available_backends()[0]
+
+    def resolve_backend(self) -> str:
+        """The backend dispatch will use right now (resolving env/autodetect)."""
+        if self._selected is not None:
+            return self._selected
+        env = os.environ.get(KERNEL_BACKEND_ENV, "").strip().lower()
+        if env in ("", "auto"):
+            return self.autodetect()
+        if env not in KNOWN_BACKENDS or env not in self.available_backends():
+            # A bad env var must not take the process down: fall back to
+            # autodetect and leave a visible trail in the metrics.
+            obs.registry().counter("kernels.bad_backend_env", value=env).inc()
+            return self.autodetect()
+        return env
+
+    def set_backend(self, name: str | None) -> None:
+        """Pin the backend (``None``/``"auto"`` returns to env/autodetect).
+
+        Raises:
+            ValueError: unknown or unavailable backend name.
+        """
+        if name is None or name == "auto":
+            self._selected = None
+            return
+        if name not in KNOWN_BACKENDS:
+            raise ValueError(f"unknown kernel backend {name!r}; know {KNOWN_BACKENDS}")
+        if name not in self.available_backends():
+            raise ValueError(f"kernel backend {name!r} is not available in this process")
+        self._selected = name
+
+    @contextlib.contextmanager
+    def use_backend(self, name: str | None) -> Iterator[None]:
+        """Scoped :func:`set_backend` (tests, pool workers)."""
+        prev = self._selected
+        self.set_backend(name)
+        try:
+            yield
+        finally:
+            self._selected = prev
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, op: str, *args, **kwargs):
+        """Run ``op`` on the active backend, reference-falling-back."""
+        backend = self.resolve_backend()
+        fn = self._impls.get((op, backend))
+        reg = obs.registry()
+        if fn is None:
+            if backend != REFERENCE_BACKEND:
+                reg.counter("kernels.fallback", op=op, backend=backend).inc()
+            backend = REFERENCE_BACKEND
+            fn = self._impls.get((op, backend))
+            if fn is None:
+                raise KeyError(f"kernel op {op!r} has no implementation")
+        try:
+            result = fn(*args, **kwargs)
+        except KernelUnavailable:
+            if backend == REFERENCE_BACKEND:
+                raise
+            reg.counter("kernels.fallback", op=op, backend=backend).inc()
+            result = self._impls[(op, REFERENCE_BACKEND)](*args, **kwargs)
+            backend = REFERENCE_BACKEND
+        reg.counter("kernels.dispatch", op=op, backend=backend).inc()
+        return result
+
+
+#: The process-wide registry; module-level helpers in
+#: :mod:`repro.kernels` are bound to it.
+REGISTRY = KernelRegistry()

@@ -45,6 +45,10 @@ def build_huffman_decode(
 
     Returns:
         An unassembled :class:`Program` (families: one per DFA state).
+
+    ``decode_automaton`` is memoized by table fingerprint, so the index
+    and value program for one matrix — and re-builds of the same plan —
+    compile against one shared DFA instead of re-walking the trie.
     """
     if 8 % stride != 0:
         raise ValueError("stride must divide 8 so chunks align to payload end")
