@@ -9,7 +9,8 @@ Usage::
     python -m repro spmv   MATRIX [--memory ddr4|hbm2] [--workers N]
                                    [--iterations N] [--metrics-out PATH]
                                    [--trace-out PATH] [--policy strict|degrade]
-                                   [--fault-plan SPEC]
+                                   [--fault-plan SPEC] [--pipeline] [--depth D]
+                                   [--nrhs K]
     python -m repro scrub  CONTAINER [--json] [--verbose]
     python -m repro suite  [--count N] [--scale F]
     python -m repro metrics FILE [--diff OTHER] [--format table|prom|json]
@@ -160,11 +161,17 @@ def cmd_spmv(args) -> int:
 
         fault_plan = FaultPlan.parse(args.fault_plan)
         print(f"fault plan armed: {fault_plan.describe()} (policy={args.policy})")
+    if args.nrhs < 1:
+        print("error: --nrhs must be >= 1", file=sys.stderr)
+        return 2
     # A metrics snapshot should span all three layers (codecs, spmv,
     # memsys), which needs at least one functional pipeline iteration —
-    # as does a chaos run.
+    # as do a chaos run and the --pipeline / --nrhs executor knobs.
     iterations = args.iterations or (
-        1 if args.metrics_out or args.trace_out or fault_plan else 0
+        1
+        if args.metrics_out or args.trace_out or fault_plan
+        or args.pipeline or args.nrhs > 1
+        else 0
     )
     if iterations:
         import contextlib
@@ -172,23 +179,40 @@ def cmd_spmv(args) -> int:
         import numpy as np
 
         from repro.codecs.engine import DecodedBlockCache, RecodeEngine
-        from repro.core import recoded_spmv
+        from repro.core import recoded_spmm, recoded_spmv
 
+        mode = "pipelined" if args.pipeline else "serial"
         engine = RecodeEngine(workers=args.workers, cache=DecodedBlockCache())
-        x = np.ones(m.ncols)
+        x = (np.ones(m.ncols) if args.nrhs == 1
+             else np.ones((m.ncols, args.nrhs)))
         ctx = fault_plan.activate() if fault_plan else contextlib.nullcontext()
         with ctx:
             for _ in range(iterations):
-                y, stats = recoded_spmv(plan, x, memory=memory, engine=engine,
-                                        matrix_id=args.matrix, policy=args.policy)
+                if args.nrhs == 1:
+                    y, stats = recoded_spmv(
+                        plan, x, memory=memory, engine=engine,
+                        matrix_id=args.matrix, policy=args.policy,
+                        mode=mode, depth=args.depth)
+                else:
+                    y, stats = recoded_spmm(
+                        plan, x, memory=memory, engine=engine,
+                        matrix_id=args.matrix, policy=args.policy,
+                        mode=mode, depth=args.depth)
                 scale = float(np.abs(y).max())
                 x = y / scale if scale else y
         s = stats.engine_stats
         cache = engine.cache.stats
-        print(f"engine ({iterations} iterations): workers={s['workers']:.0f}, "
+        kind = "SpMV" if args.nrhs == 1 else f"SpMM k={args.nrhs}"
+        print(f"engine ({iterations} {mode} {kind} iterations): "
+              f"workers={s['workers']:.0f}, "
               f"{s['blocks_decoded']:.0f} blocks decoded, "
               f"{cache.hits} cache hits ({cache.hit_rate:.0%}), "
               f"{s['decode_mb_per_s']:.1f} MB/s")
+        if args.pipeline:
+            reg = obs.registry()
+            print(f"pipeline: depth={args.depth} "
+                  f"multiply_idle={reg.value('spmv.pipeline.multiply_idle_seconds'):.3f}s "
+                  f"decode_idle={reg.value('spmv.pipeline.decode_idle_seconds'):.3f}s")
         if fault_plan is not None:
             reg = obs.registry()
             print(f"chaos: quarantined={reg.value('faults.blocks_quarantined'):.0f} "
@@ -357,6 +381,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="arm a deterministic chaos plan around the functional "
                         "iterations, e.g. 'seed=7,bitflip=0.05,kill=3' "
                         "(forces one iteration if --iterations is 0)")
+    p.add_argument("--pipeline", action="store_true",
+                   help="run the functional iterations with the pipelined "
+                        "executor (overlap block decode with the multiply); "
+                        "bit-identical to serial")
+    p.add_argument("--depth", type=int, default=4, metavar="D",
+                   help="pipelined prefetch depth: max decode chunk tasks "
+                        "in flight (default 4; needs --pipeline)")
+    p.add_argument("--nrhs", type=int, default=1, metavar="K",
+                   help="right-hand sides: 1 runs SpMV, K>1 runs fused SpMM "
+                        "decoding each block once for all K columns")
     _add_kernel_backend_arg(p)
     p.set_defaults(fn=cmd_spmv)
 

@@ -29,8 +29,15 @@ import itertools
 import threading
 import time
 import weakref
-from collections import OrderedDict
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from collections import OrderedDict, deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -58,6 +65,9 @@ DEFAULT_CHUNK_BLOCKS = 32
 
 #: Default decoded-block cache budget (raw CSR payload bytes).
 DEFAULT_CACHE_BYTES = 256 << 20
+
+#: Default bound on chunk tasks in flight for :meth:`RecodeEngine.decode_blocks_async`.
+DEFAULT_PREFETCH_CHUNKS = 4
 
 
 # ---------------------------------------------------------------------------
@@ -245,6 +255,49 @@ def _decode_chunk_faulted(
     for bid in block_ids:
         fault_plan.fire_worker_faults(bid, allow_kill)
     return _decode_chunk(inner)
+
+
+def _decode_pair_chunk(
+    args: tuple[list[BlockRecord], list[BlockRecord], HuffmanTable | None,
+                HuffmanTable | None, bool, bool]
+) -> list[tuple[bytes, bytes]]:
+    """Decode a chunk of blocks' index+value record pairs in one task.
+
+    The async pipeline wants each chunk to complete as a *unit* (a block
+    is only useful once both its streams are back), so unlike the batch
+    path's separate index/value task lists, one task here carries both
+    streams for its blocks. Byte-identical: same ``decode_record`` on the
+    same inputs.
+    """
+    idx_records, val_records, index_table, value_table, use_huffman, use_delta = args
+    out = []
+    for irec, vrec in zip(idx_records, val_records):
+        idx = decode_record(irec, index_table, use_huffman=use_huffman,
+                            apply_delta=use_delta)
+        val = decode_record(vrec, value_table, use_huffman=use_huffman,
+                            apply_delta=False)
+        out.append((idx, val))
+    return out
+
+
+def _decode_pair_chunk_faulted(
+    args: tuple["faults.FaultPlan", list[int], bool, tuple]
+) -> list[tuple[bytes, bytes]]:
+    """Chaos shim for :func:`_decode_pair_chunk`: fire armed worker-site
+    faults per block per stream (twice per block, mirroring the batch
+    path's separate index/value chunks), then decode."""
+    fault_plan, block_ids, allow_kill, inner = args
+    idx_records, val_records, index_table, value_table, use_huffman, use_delta = inner
+    out = []
+    for bid, irec, vrec in zip(block_ids, idx_records, val_records):
+        fault_plan.fire_worker_faults(bid, allow_kill)
+        idx = decode_record(irec, index_table, use_huffman=use_huffman,
+                            apply_delta=use_delta)
+        fault_plan.fire_worker_faults(bid, allow_kill)
+        val = decode_record(vrec, value_table, use_huffman=use_huffman,
+                            apply_delta=False)
+        out.append((idx, val))
+    return out
 
 
 def _assemble_block(plan: MatrixCompression, i: int, idx_bytes: bytes,
@@ -870,5 +923,302 @@ class RecodeEngine:
         """Decode one block (cache-aware); the per-block SpMV hook."""
         return self.decode_blocked(plan, [i], matrix_id=matrix_id)[0]
 
+    def decode_blocks_async(
+        self,
+        plan: MatrixCompression,
+        block_ids: list[int] | None = None,
+        matrix_id: str = "",
+        max_inflight: int = DEFAULT_PREFETCH_CHUNKS,
+    ) -> "AsyncDecode":
+        """Submit block decodes without blocking on the whole batch.
+
+        Returns an :class:`AsyncDecode` handle: iterate it to consume
+        ``(block_id, CSRBlock | BlockFailure)`` pairs in *completion*
+        order while up to ``max_inflight`` chunk tasks stay in flight in
+        the worker pool. This is the paper's decode/compute overlap: the
+        pool recodes block *i+1* (and beyond) while the consumer
+        multiplies block *i*.
+
+        Per-block semantics (cache probes, quarantine short-circuit,
+        fault-plan record mutation, serial retry + quarantine fallback on
+        chunk failure, ``codecs.engine.*`` stats) match
+        :meth:`decode_resilient`; only the scheduling differs.
+        """
+        ids = list(range(plan.nblocks)) if block_ids is None else list(block_ids)
+        for i in ids:
+            if not 0 <= i < plan.nblocks:
+                raise ValueError(f"block id {i} out of range (nblocks={plan.nblocks})")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        return AsyncDecode(self, plan, ids, matrix_id, max_inflight)
+
     def reset_stats(self) -> None:
         self.stats.reset()
+
+
+# ---------------------------------------------------------------------------
+# Asynchronous decode handle
+# ---------------------------------------------------------------------------
+
+
+class AsyncDecode:
+    """Handle over an in-flight asynchronous chunked block decode.
+
+    Iterating yields ``(block_id, CSRBlock | BlockFailure)`` in
+    completion order: cache hits and quarantined blocks immediately, then
+    pool chunks as they finish, with at most ``max_inflight`` chunk tasks
+    submitted at once (the pipeline's bounded prefetch depth). Consumers
+    needing block order must reorder; the pipelined SpMV executor instead
+    accumulates out of order under its row-disjointness merge rule.
+
+    A worker death (BrokenProcessPool) tears the pool down once and
+    re-dispatches every unfinished chunk through the engine's serial
+    per-block retry/quarantine path, exactly like the batch API. Stats
+    (``cache_hits``/``cache_misses``/``blocks_decoded``/``bytes_decoded``
+    /``decode_seconds``) are flushed to the engine when the iterator is
+    exhausted, closed, or garbage-collected; ``decode_seconds`` counts
+    only time spent inside the handle, not in the consumer.
+    """
+
+    def __init__(
+        self,
+        engine: RecodeEngine,
+        plan: MatrixCompression,
+        ids: list[int],
+        matrix_id: str,
+        max_inflight: int,
+    ):
+        self._engine = engine
+        self._plan = plan
+        self._ids = ids
+        self._matrix_id = matrix_id
+        self._max_inflight = max_inflight
+        self._pending: dict = {}
+        self._busy = 0.0
+        self._hits = 0
+        self._misses = 0
+        self._decoded_blocks = 0
+        self._yielded_bytes = 0
+        self._flushed = False
+        if engine.workers:
+            # Spin the pool up now so fork/exec cost lands in
+            # pool_startup_seconds, never in decode_seconds.
+            engine._ensure_pool()
+        self._gen = self._timed()
+
+    def __iter__(self) -> "AsyncDecode":
+        return self
+
+    def __next__(self):
+        return next(self._gen)
+
+    def close(self) -> None:
+        """Stop consuming; in-flight pool tasks finish and are dropped."""
+        self._gen.close()
+
+    @property
+    def inflight(self) -> int:
+        """Chunk tasks submitted to the pool and not yet consumed."""
+        return len(self._pending)
+
+    @property
+    def ready(self) -> int:
+        """Chunk tasks finished in the pool but not yet consumed."""
+        return sum(1 for f in self._pending if f.done())
+
+    # -- internals -----------------------------------------------------------
+
+    def _timed(self):
+        """Drive :meth:`_produce`, charging only in-handle time to
+        ``decode_seconds`` (the consumer multiplies between yields)."""
+        gen = self._produce()
+        try:
+            while True:
+                seg = time.perf_counter()
+                try:
+                    item = next(gen)
+                except StopIteration:
+                    self._busy += time.perf_counter() - seg
+                    return
+                self._busy += time.perf_counter() - seg
+                yield item
+        finally:
+            gen.close()
+            self._flush_stats()
+
+    def _flush_stats(self) -> None:
+        if self._flushed:
+            return
+        self._flushed = True
+        stats = self._engine.stats
+        if self._hits:
+            stats.add("cache_hits", self._hits)
+        if self._misses:
+            stats.add("cache_misses", self._misses)
+        stats.add("blocks_decoded", self._decoded_blocks)
+        stats.add("bytes_decoded", self._yielded_bytes)
+        stats.add("decode_seconds", self._busy)
+
+    def _count(self, item):
+        i, res = item
+        if isinstance(res, CSRBlock):
+            self._yielded_bytes += 12 * res.nnz
+        return item
+
+    def _produce(self):
+        eng = self._engine
+        plan = self._plan
+        matrix_id = self._matrix_id
+        fingerprint = plan_fingerprint(plan) if eng.cache is not None else ""
+
+        missing: list[int] = []
+        for i in self._ids:
+            if eng.cache is not None:
+                hit = eng.cache.get((matrix_id, i, fingerprint))
+                if hit is not None:
+                    self._hits += 1
+                    yield self._count((i, hit))
+                    continue
+                self._misses += 1
+            missing.append(i)
+        missing = sorted(set(missing))
+
+        if eng.quarantined and missing:
+            fq = plan_fingerprint(plan)
+            alive: list[int] = []
+            for i in missing:
+                if (matrix_id, fq, i) in eng.quarantined:
+                    obs.registry().counter("faults.quarantine_hits").inc()
+                    yield i, BlockFailure(
+                        i, 0,
+                        BlockDecodeError(f"block {i} is quarantined", block_id=i),
+                    )
+                else:
+                    alive.append(i)
+            missing = alive
+        if not missing:
+            return
+        self._decoded_blocks = len(missing)
+
+        fault_plan = faults.active()
+        if fault_plan is not None:
+            idx_recs = {
+                i: fault_plan.mutate_record(plan.index_records[i], i, "index")
+                for i in missing
+            }
+            val_recs = {
+                i: fault_plan.mutate_record(plan.value_records[i], i, "value")
+                for i in missing
+            }
+        else:
+            idx_recs, val_recs = plan.index_records, plan.value_records
+
+        allow_kill = eng.workers > 0 and eng.executor == "process"
+        chunks: deque = deque()
+        for j in range(0, len(missing), eng.chunk_blocks):
+            chunk_ids = missing[j : j + eng.chunk_blocks]
+            inner = (
+                [idx_recs[i] for i in chunk_ids],
+                [val_recs[i] for i in chunk_ids],
+                plan.index_table, plan.value_table,
+                plan.use_huffman, plan.use_delta,
+            )
+            if fault_plan is not None and fault_plan.wants_worker_faults:
+                chunks.append(
+                    (chunk_ids, _decode_pair_chunk_faulted,
+                     (fault_plan, chunk_ids, allow_kill, inner))
+                )
+            else:
+                chunks.append((chunk_ids, _decode_pair_chunk, inner))
+
+        def isolated(chunk_ids: list[int]):
+            """Serial per-block fallback after a chunk (or pool) failure."""
+            scratch: dict[int, CSRBlock] = {}
+            fails = eng._decode_isolated(
+                plan, chunk_ids, idx_recs, val_recs, fault_plan,
+                matrix_id, fingerprint, scratch,
+            )
+            items = [(i, scratch[i]) for i in chunk_ids if i in scratch]
+            items.extend((f.block_id, f) for f in fails)
+            return items
+
+        if eng.workers == 0:
+            for chunk_ids, fn, task in chunks:
+                with obs.trace("codecs.engine.decode", blocks=len(chunk_ids)):
+                    try:
+                        result = fn(task)
+                    except CodecError:
+                        result = None
+                items = (
+                    isolated(chunk_ids)
+                    if result is None
+                    else [
+                        (i, self._finish(plan, i, ib, vb, fingerprint))
+                        for i, (ib, vb) in zip(chunk_ids, result)
+                    ]
+                )
+                for item in items:
+                    yield self._count(item)
+            return
+
+        tracing = obs.tracing_enabled()
+        reg = obs.registry()
+        parent_tracer = obs.tracer()
+        backend = kernels.backend()
+        pool = eng._ensure_pool()
+        crashed = False
+
+        def submit_one() -> None:
+            chunk_ids, fn, task = chunks.popleft()
+            if eng.executor == "process":
+                fut = pool.submit(_run_isolated, (fn, task, tracing, backend))
+            else:
+                fut = pool.submit(fn, task)
+            self._pending[fut] = chunk_ids
+
+        while chunks or self._pending:
+            while chunks and not crashed and len(self._pending) < self._max_inflight:
+                submit_one()
+            if crashed and chunks:
+                # The pool is gone; never-submitted chunks decode serially.
+                chunk_ids, _fn, _task = chunks.popleft()
+                for item in isolated(chunk_ids):
+                    yield self._count(item)
+                continue
+            if not self._pending:
+                continue
+            done, _ = wait(set(self._pending), return_when=FIRST_COMPLETED)
+            for fut in done:
+                chunk_ids = self._pending.pop(fut)
+                try:
+                    res = fut.result()
+                except (BrokenExecutor, CancelledError):
+                    if not crashed:
+                        crashed = True
+                        eng._handle_pool_crash(fault_plan, chunk_ids)
+                    for item in isolated(chunk_ids):
+                        yield self._count(item)
+                except CodecError:
+                    for item in isolated(chunk_ids):
+                        yield self._count(item)
+                else:
+                    if eng.executor == "process":
+                        result, snapshot, events = res
+                        reg.merge_snapshot(snapshot)
+                        if events:
+                            parent_tracer.add_events(events)
+                    else:
+                        result = res
+                    for i, (ib, vb) in zip(chunk_ids, result):
+                        yield self._count(
+                            (i, self._finish(plan, i, ib, vb, fingerprint))
+                        )
+
+    def _finish(
+        self, plan: MatrixCompression, i: int, idx_bytes: bytes,
+        val_bytes: bytes, fingerprint: str,
+    ) -> CSRBlock:
+        block = _assemble_block(plan, i, idx_bytes, val_bytes)
+        if self._engine.cache is not None:
+            self._engine.cache.put((self._matrix_id, i, fingerprint), block)
+        return block

@@ -12,11 +12,17 @@
 """
 
 from repro.core.attach import AttachReport, on_die_udp, pcie_attached
+from repro.core.executor import (
+    BlockAccumulator,
+    DEFAULT_DEPTH,
+    RunCounters,
+    run_pipelined,
+)
 from repro.core.hetero import HeterogeneousSystem, ScenarioResult, SpMVComparison
 from repro.core.pipeline_timing import PipelineTiming, simulate_recoded_spmv_timing
 from repro.core.power import PowerScenario, iso_performance_power
 from repro.core.roofline import max_uncompressed_gflops, spmv_gflops, spmv_time_seconds
-from repro.core.spmv_pipeline import PipelineStats, recoded_spmv
+from repro.core.spmv_pipeline import PipelineStats, recoded_spmm, recoded_spmv
 
 __all__ = [
     "AttachReport",
@@ -34,4 +40,9 @@ __all__ = [
     "spmv_time_seconds",
     "PipelineStats",
     "recoded_spmv",
+    "recoded_spmm",
+    "BlockAccumulator",
+    "DEFAULT_DEPTH",
+    "RunCounters",
+    "run_pipelined",
 ]

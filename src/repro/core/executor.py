@@ -1,0 +1,318 @@
+"""Pipelined recoded-SpMV/SpMM executor: overlap block decode with multiply.
+
+The paper's execution model (Figs. 6-7, Section V) is a decode/compute
+pipeline — the UDP recodes block *i+1* while the CPU multiplies block *i*,
+so decompression hides behind the multiply and SpMV runs at the
+compressed-stream rate. This module is the software analogue: block
+decodes are submitted asynchronously to the
+:class:`~repro.codecs.engine.RecodeEngine` pool with a bounded prefetch
+depth, decoded blocks are multiplied on the main thread *as they
+complete* (any order), and results accumulate out of order under a merge
+rule that keeps the result bit-identical to the serial executor:
+
+* a row owned by exactly one block receives exactly one ``+=`` — order
+  across blocks cannot change its bits;
+* a row *split* across blocks (``leading_partial`` continuations) defers
+  its per-block partial sums and folds them in block order at the end,
+  reproducing the serial left-to-right addition sequence exactly.
+
+DMA traffic is charged per block in block order (same
+:class:`~repro.memsys.traffic.TrafficLog` totals, same ``dma_seconds``
+float-addition sequence), failures flow through the same strict/degrade
+policy, and the decoded-block cache and fault hooks behave identically —
+the pipeline changes *when* work happens, never *what* happens.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.codecs.engine import BlockFailure, DEFAULT_PREFETCH_CHUNKS, RecodeEngine
+from repro.codecs.errors import BlockDecodeError, CodecError
+from repro.codecs.pipeline import MatrixCompression
+from repro.memsys.dma import DMAEngine
+from repro.memsys.dram import MemorySystem
+from repro.memsys.traffic import TrafficLog
+from repro.sparse.blocked import CSRBlock
+from repro.sparse.csr import VALUE_DTYPE
+
+#: Default prefetch depth (chunk tasks in flight) for ``mode="pipelined"``.
+DEFAULT_DEPTH = DEFAULT_PREFETCH_CHUNKS
+
+
+class RunCounters:
+    """Per-run mutable counters for one recoded SpMV/SpMM execution.
+
+    Replaces the closure-captured ``counter`` dict the serial hook used to
+    share: increments take a lock so the pipelined executor's completion
+    handling (and any future threaded consumer) cannot lose updates, and
+    the serial block cursor lives here too instead of a bare dict slot.
+    """
+
+    __slots__ = ("_lock", "_cursor", "_degraded")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cursor = 0
+        self._degraded = 0
+
+    def next_block(self) -> int:
+        """Claim the next serial block index (the recode-hook cursor)."""
+        with self._lock:
+            i = self._cursor
+            self._cursor += 1
+            return i
+
+    def add_degraded(self, n: int = 1) -> None:
+        with self._lock:
+            self._degraded += n
+
+    @property
+    def degraded(self) -> int:
+        return self._degraded
+
+    @property
+    def blocks_started(self) -> int:
+        return self._cursor
+
+
+class BlockAccumulator:
+    """Order-independent accumulation of per-block partial results.
+
+    ``out`` may be 1-D (SpMV) or 2-D (SpMM, rows x nrhs); ``add`` may be
+    called in any block order. Rows shared between adjacent blocks (split
+    rows flagged ``leading_partial``) are deferred and folded in block
+    order by :meth:`finalize`, which is what makes the out-of-order sum
+    bit-identical to the serial in-order one.
+    """
+
+    def __init__(self, blocks: Sequence[CSRBlock], out: np.ndarray):
+        self.out = out
+        n = len(blocks)
+        self._shared_prev = [b.leading_partial for b in blocks]
+        self._shared_next = [
+            i + 1 < n and blocks[i + 1].leading_partial for i in range(n)
+        ]
+        self._row_start = [b.row_start for b in blocks]
+        self._row_end = [b.row_end for b in blocks]
+        self._pending: dict[int, list[tuple[int, np.ndarray]]] = {}
+        self._lock = threading.Lock()
+
+    def add(self, block_id: int, rows: np.ndarray, seg: np.ndarray) -> None:
+        """Fold one block's segment sums in.
+
+        ``rows`` are the block's non-empty global row indices, ``seg`` the
+        matching per-row sums (1-D scalars or 2-D rows).
+        """
+        if rows.size == 0:
+            return
+        first_shared = (
+            self._shared_prev[block_id] and int(rows[0]) == self._row_start[block_id]
+        )
+        last_shared = (
+            self._shared_next[block_id]
+            and int(rows[-1]) == self._row_end[block_id] - 1
+        )
+        lo = 1 if first_shared else 0
+        hi = rows.size - 1 if last_shared else rows.size
+        with self._lock:
+            if first_shared:
+                self._pending.setdefault(int(rows[0]), []).append(
+                    (block_id, seg[0])
+                )
+            if last_shared and not (first_shared and rows.size == 1):
+                self._pending.setdefault(int(rows[-1]), []).append(
+                    (block_id, seg[-1])
+                )
+            if lo < hi:
+                self.out[rows[lo:hi]] += seg[lo:hi]
+
+    def finalize(self) -> np.ndarray:
+        """Fold deferred split-row contributions, in block order per row."""
+        with self._lock:
+            for row in sorted(self._pending):
+                for _, contrib in sorted(
+                    self._pending[row], key=lambda entry: entry[0]
+                ):
+                    self.out[row] += contrib
+            self._pending.clear()
+        return self.out
+
+
+def multiply_block(
+    block: CSRBlock, x: np.ndarray, acc: BlockAccumulator, block_id: int
+) -> None:
+    """One block's multiply stage: gather, scale, segment-sum, accumulate.
+
+    Identical arithmetic to :func:`repro.sparse.spmv.spmv_blocked` /
+    :func:`repro.sparse.spmm.spmm_blocked` — same products, same
+    ``np.add.reduceat`` segment starts — so each row's partial sum is
+    bit-identical to the serial kernels'.
+    """
+    if block.nnz == 0:
+        return
+    rows, seg_starts = block.row_segments()
+    if rows.size == 0:
+        return
+    if x.ndim == 1:
+        products = block.val * x[block.col_idx]
+        seg = np.add.reduceat(products, seg_starts)
+    else:
+        products = block.val[:, None] * x[block.col_idx]
+        seg = np.add.reduceat(products, seg_starts, axis=0)
+    acc.add(block_id, rows, seg)
+
+
+def run_pipelined(
+    plan: MatrixCompression,
+    x: np.ndarray,
+    *,
+    memory: MemorySystem,
+    dma: DMAEngine,
+    log: TrafficLog,
+    engine: RecodeEngine,
+    matrix_id: str,
+    policy: str,
+    depth: int,
+    counters: RunCounters,
+) -> tuple[np.ndarray, float]:
+    """Execute one pipelined recoded SpMV (1-D ``x``) or SpMM (2-D ``x``).
+
+    Returns ``(result, dma_seconds)``; degraded-block accounting lands on
+    ``counters``. Raises the same :class:`BlockDecodeError` the serial
+    executor would (lowest failing block id) under ``policy="strict"``.
+    """
+    reg = obs.registry()
+    blocked = plan.blocked
+    nblocks = plan.nblocks
+    nrows = blocked.shape[0]
+    shape = (nrows,) if x.ndim == 1 else (nrows, x.shape[1])
+    out = np.zeros(shape, dtype=VALUE_DTYPE)
+    acc = BlockAccumulator(blocked.blocks, out)
+
+    # Stage 1 — stream every block's compressed records out of DRAM, in
+    # block order (the paper's DMA prefetch). Per-block wire seconds are
+    # kept aside and folded in block order at the end so dma_seconds
+    # reproduces the serial executor's float-addition sequence exactly.
+    dma_idx = [0.0] * nblocks
+    dma_val = [0.0] * nblocks
+    dma_deg: dict[int, float] = {}
+    direct: dict[int, tuple] = {}
+    engine_ids: list[int] = []
+    with obs.trace("spmv.pipeline.stream", nblocks=nblocks):
+        for i in range(nblocks):
+            idx_rec = memory.stream_record(plan.index_records[i], i, "index")
+            val_rec = memory.stream_record(plan.value_records[i], i, "value")
+            dma_idx[i] = dma.transfer(idx_rec.stored_bytes, "dram", "udp").seconds
+            dma_val[i] = dma.transfer(val_rec.stored_bytes, "dram", "udp").seconds
+            if (
+                idx_rec is not plan.index_records[i]
+                or val_rec is not plan.value_records[i]
+            ):
+                # A DRAM-side fault corrupted the streamed copy: this
+                # block must decode exactly what arrived, never the
+                # engine's cached/pristine view.
+                direct[i] = (idx_rec, val_rec)
+            else:
+                engine_ids.append(i)
+
+    failures: dict[int, BlockDecodeError] = {}
+
+    def degrade_block(i: int) -> None:
+        """Substitute block ``i`` from the retained raw CSR partition."""
+        raw = blocked.blocks[i]
+        dma_deg[i] = dma.transfer(12 * raw.nnz, "dram", "cpu").seconds
+        counters.add_degraded()
+        reg.counter("spmv.degraded_blocks").inc()
+        multiply_block(raw, x, acc, i)
+
+    def consume(i: int, block: CSRBlock) -> None:
+        with obs.trace("spmv.pipeline.multiply", block=i):
+            multiply_block(block, x, acc, i)
+        log.record("udp", "cpu", 12 * block.nnz)
+
+    # Stage 2 — blocks whose streamed copies were corrupted bypass the
+    # engine (rare: DRAM-site chaos runs only).
+    for i in sorted(direct):
+        idx_rec, val_rec = direct[i]
+        try:
+            block = plan.decompress_block(
+                i, index_record=idx_rec, value_record=val_rec
+            )
+        except CodecError as exc:
+            if policy == "strict":
+                if isinstance(exc, BlockDecodeError):
+                    failures[i] = exc
+                else:
+                    err = BlockDecodeError(
+                        f"block {i} failed to decode: {exc}", block_id=i
+                    )
+                    err.__cause__ = exc
+                    failures[i] = err
+            else:
+                degrade_block(i)
+        else:
+            consume(i, block)
+
+    # Stage 3 — overlapped decode/multiply: consume engine completions as
+    # they land, multiplying on this thread while the pool decodes ahead.
+    handle = engine.decode_blocks_async(
+        plan, engine_ids, matrix_id=matrix_id, max_inflight=depth
+    )
+    queue_hist = reg.histogram("spmv.pipeline.queue_depth")
+    inflight_gauge = reg.gauge("spmv.pipeline.inflight")
+    wait_s = 0.0
+    idle_decode_s = 0.0
+    multiply_s = 0.0
+    it = iter(handle)
+    while True:
+        queue_hist.observe(handle.ready)
+        inflight_gauge.set(handle.inflight)
+        t0 = time.perf_counter()
+        try:
+            i, res = next(it)
+        except StopIteration:
+            wait_s += time.perf_counter() - t0
+            break
+        wait_s += time.perf_counter() - t0
+        # With nothing left in flight the decoders sit idle while we
+        # multiply — the signal that a deeper prefetch would help.
+        starved = handle.inflight == 0
+        t1 = time.perf_counter()
+        if isinstance(res, BlockFailure):
+            if policy == "strict":
+                failures[i] = res.error
+            else:
+                degrade_block(i)
+        else:
+            consume(i, res)
+        dt = time.perf_counter() - t1
+        multiply_s += dt
+        if starved:
+            idle_decode_s += dt
+    inflight_gauge.set(0)
+    reg.counter("spmv.pipeline.runs").inc()
+    reg.counter("spmv.pipeline.multiply_idle_seconds").inc(wait_s)
+    reg.counter("spmv.pipeline.decode_idle_seconds").inc(idle_decode_s)
+    reg.counter("spmv.pipeline.multiply_seconds").inc(multiply_s)
+
+    if failures:
+        # Serial raises at its first failing block; the pipeline has seen
+        # them all, so the lowest block id reproduces that error exactly.
+        raise failures[min(failures)]
+
+    with obs.trace("spmv.pipeline.merge"):
+        acc.finalize()
+
+    dma_seconds = 0.0
+    for i in range(nblocks):
+        dma_seconds += dma_idx[i]
+        dma_seconds += dma_val[i]
+        if i in dma_deg:
+            dma_seconds += dma_deg[i]
+    return out, dma_seconds

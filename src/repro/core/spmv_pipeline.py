@@ -1,4 +1,4 @@
-"""Functional end-to-end recoded SpMV (paper Figs. 6-7).
+"""Functional end-to-end recoded SpMV/SpMM (paper Figs. 6-7).
 
 ``y = A @ x`` where A lives in DRAM as a DSH-compressed block plan:
 
@@ -8,6 +8,23 @@
    ...)`` in the paper's listing) — functionally here, with an option to
    run the actual cycle-level UDP programs;
 3. the CPU multiplies the block (traffic edge ``udp -> cpu``).
+
+Two execution modes share one contract:
+
+* ``mode="serial"`` — decode block *i*, multiply block *i*, advance. The
+  original executor; also the reference the pipelined mode is tested
+  bit-exactly against.
+* ``mode="pipelined"`` — the paper's overlap (UDP recodes block *i+1*
+  while the CPU multiplies block *i*): block decodes are submitted
+  asynchronously to a :class:`~repro.codecs.engine.RecodeEngine` pool
+  with bounded prefetch ``depth``, and decoded blocks multiply as they
+  complete. See :mod:`repro.core.executor`. Result vector, TrafficLog
+  byte totals, ``dma_seconds``, degraded-block accounting, and raised
+  error types are all bit-identical to serial.
+
+:func:`recoded_spmm` fuses multiple right-hand sides: each block is
+streamed and decoded **once** and multiplied against all ``k`` columns,
+so A-traffic is paid once instead of ``k`` times.
 
 Besides the numerically verified result, the run produces a
 :class:`PipelineStats` whose traffic log proves the headline byte claim:
@@ -25,18 +42,23 @@ from repro import obs
 from repro.codecs.engine import RecodeEngine
 from repro.codecs.errors import BlockDecodeError, CodecError
 from repro.codecs.pipeline import MatrixCompression
+from repro.core.executor import DEFAULT_DEPTH, RunCounters, run_pipelined
 from repro.memsys.dma import DMAEngine
 from repro.memsys.dram import DDR4_100GBS, MemorySystem
 from repro.memsys.traffic import TrafficLog
 from repro.sparse.blocked import CSRBlock
+from repro.sparse.spmm import spmm_blocked
 from repro.sparse.spmv import spmv_blocked
 from repro.udp.lane import Lane
 from repro.udp.runtime import DecoderToolchain
 
+#: Execution modes accepted by :func:`recoded_spmv` / :func:`recoded_spmm`.
+MODES = ("serial", "pipelined")
+
 
 @dataclass(frozen=True)
 class PipelineStats:
-    """Byte accounting for one recoded SpMV."""
+    """Byte accounting for one recoded SpMV/SpMM."""
 
     traffic: TrafficLog
     dram_bytes: int
@@ -52,6 +74,10 @@ class PipelineStats:
     #: bit-exact — the substitution streams raw bytes, costing compression
     #: benefit, not correctness.
     degraded_blocks: int = 0
+    #: Executor that produced this run (``serial`` | ``pipelined``).
+    mode: str = "serial"
+    #: Right-hand-side count: 1 for SpMV, ``k`` for fused SpMM.
+    nrhs: int = 1
 
     @property
     def traffic_ratio(self) -> float:
@@ -65,6 +91,162 @@ class PipelineStats:
         return self.dram_bytes / self.baseline_dram_bytes
 
 
+def _validate(
+    policy: str, mode: str, depth: int, engine, use_udp_simulator: bool
+) -> None:
+    if policy not in ("strict", "degrade"):
+        raise ValueError(f"policy must be 'strict' or 'degrade', got {policy!r}")
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if mode == "pipelined":
+        if engine is None:
+            raise ValueError("mode='pipelined' requires a RecodeEngine")
+        if use_udp_simulator:
+            raise ValueError(
+                "mode='pipelined' cannot run the cycle-level UDP simulator; "
+                "use mode='serial' with use_udp_simulator=True"
+            )
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+
+
+def _execute(
+    plan: MatrixCompression,
+    x: np.ndarray,
+    *,
+    memory: MemorySystem,
+    use_udp_simulator: bool,
+    engine: RecodeEngine | None,
+    matrix_id: str,
+    policy: str,
+    mode: str,
+    depth: int,
+    kernel,
+    prefix: str,
+    nrhs: int,
+) -> tuple[np.ndarray, PipelineStats]:
+    """Shared executor body for recoded SpMV (``prefix="spmv"``, 1-D ``x``)
+    and fused SpMM (``prefix="spmm"``, 2-D ``x``)."""
+    _validate(policy, mode, depth, engine, use_udp_simulator)
+    log = TrafficLog()
+    dma = DMAEngine(memory, log=log)
+    dma_seconds = 0.0
+    start = time.perf_counter()
+    counters = RunCounters()
+
+    if mode == "pipelined":
+        with obs.trace(
+            f"{prefix}.recoded", nblocks=plan.nblocks, matrix=matrix_id, mode=mode
+        ):
+            y, dma_seconds = run_pipelined(
+                plan,
+                x,
+                memory=memory,
+                dma=dma,
+                log=log,
+                engine=engine,
+                matrix_id=matrix_id,
+                policy=policy,
+                depth=depth,
+                counters=counters,
+            )
+    else:
+        toolchain = DecoderToolchain(plan) if use_udp_simulator else None
+        lane = Lane() if use_udp_simulator else None
+
+        def decode_one(i: int, idx_rec, val_rec) -> CSRBlock:
+            """Decode one block from its (DMA-streamed) records; raises
+            CodecError on failure."""
+            if toolchain is not None:
+                idx_chain = toolchain.run_chain(i, "index", lane=lane)
+                val_chain = toolchain.run_chain(i, "value", lane=lane)
+                if not (idx_chain.verified and val_chain.verified):
+                    raise BlockDecodeError(
+                        f"UDP decode failed verification at block {i}", block_id=i
+                    )
+                ref = plan.blocked.blocks[i]
+                return CSRBlock(
+                    row_start=ref.row_start,
+                    row_end=ref.row_end,
+                    row_ptr=ref.row_ptr,
+                    col_idx=np.frombuffer(idx_chain.output, dtype="<i4"),
+                    val=np.frombuffer(val_chain.output, dtype="<f8"),
+                    nnz_start=ref.nnz_start,
+                    leading_partial=ref.leading_partial,
+                )
+            streamed_faulty = (
+                idx_rec is not plan.index_records[i]
+                or val_rec is not plan.value_records[i]
+            )
+            if engine is not None and not streamed_faulty:
+                return engine.decode_block(plan, i, matrix_id=matrix_id)
+            # A DRAM-side fault corrupted the streamed copy: decode exactly
+            # what arrived (never the engine's cached/pristine view).
+            return plan.decompress_block(i, index_record=idx_rec, value_record=val_rec)
+
+        def recode(_stored: CSRBlock) -> CSRBlock:
+            i = counters.next_block()
+            idx_rec = memory.stream_record(plan.index_records[i], i, "index")
+            val_rec = memory.stream_record(plan.value_records[i], i, "value")
+            nonlocal dma_seconds
+            with obs.trace(f"{prefix}.block", block=i):
+                dma_seconds += dma.transfer(
+                    idx_rec.stored_bytes, "dram", "udp"
+                ).seconds
+                dma_seconds += dma.transfer(
+                    val_rec.stored_bytes, "dram", "udp"
+                ).seconds
+                try:
+                    block = decode_one(i, idx_rec, val_rec)
+                except CodecError as exc:
+                    if policy == "strict":
+                        if isinstance(exc, BlockDecodeError):
+                            raise
+                        raise BlockDecodeError(
+                            f"block {i} failed to decode: {exc}", block_id=i
+                        ) from exc
+                    # degrade: substitute the retained raw CSR block — result
+                    # stays bit-exact; the block streams uncompressed.
+                    counters.add_degraded()
+                    block = plan.blocked.blocks[i]
+                    dma_seconds += dma.transfer(
+                        12 * block.nnz, "dram", "cpu"
+                    ).seconds
+                    obs.registry().counter("spmv.degraded_blocks").inc()
+                    return block
+                log.record("udp", "cpu", 12 * block.nnz)
+            return block
+
+        with obs.trace(f"{prefix}.recoded", nblocks=plan.nblocks, matrix=matrix_id):
+            y = kernel(plan.blocked, x, recode=recode)
+
+    stats = PipelineStats(
+        traffic=log,
+        dram_bytes=log.bytes_on("dram", "udp") + log.bytes_on("dram", "cpu"),
+        baseline_dram_bytes=12 * plan.nnz,
+        dma_seconds=dma_seconds,
+        engine_stats=engine.stats.as_dict() if engine is not None else None,
+        policy=policy,
+        degraded_blocks=counters.degraded,
+        mode=mode,
+        nrhs=nrhs,
+    )
+    reg = obs.registry()
+    reg.counter(f"{prefix}.iterations").inc()
+    reg.counter(f"{prefix}.blocks").inc(plan.nblocks)
+    reg.counter(f"{prefix}.nnz").inc(plan.nnz)
+    reg.counter(f"{prefix}.flops").inc(2 * nrhs * plan.nnz)
+    reg.counter(f"{prefix}.bytes.dram_to_udp").inc(log.bytes_on("dram", "udp"))
+    reg.counter(f"{prefix}.bytes.udp_to_cpu").inc(log.bytes_on("udp", "cpu"))
+    reg.counter(f"{prefix}.bytes.baseline").inc(stats.baseline_dram_bytes)
+    reg.counter(f"{prefix}.dma_seconds").inc(dma_seconds)
+    reg.gauge(f"{prefix}.traffic_ratio").set(stats.traffic_ratio)
+    if counters.degraded:
+        reg.counter(f"{prefix}.degraded_iterations").inc()
+    reg.histogram(f"{prefix}.seconds").observe(time.perf_counter() - start)
+    return y, stats
+
+
 def recoded_spmv(
     plan: MatrixCompression,
     x: np.ndarray,
@@ -73,6 +255,8 @@ def recoded_spmv(
     engine: RecodeEngine | None = None,
     matrix_id: str = "",
     policy: str = "strict",
+    mode: str = "serial",
+    depth: int = DEFAULT_DEPTH,
 ) -> tuple[np.ndarray, PipelineStats]:
     """Execute ``y = A @ x`` over the compressed plan.
 
@@ -82,6 +266,7 @@ def recoded_spmv(
         memory: memory system for DMA timing/energy.
         use_udp_simulator: decode blocks with the cycle-level UDP programs
             (slow, bit-exact) instead of the functional decoders.
+            ``mode="serial"`` only.
         engine: route block decodes through a
             :class:`~repro.codecs.engine.RecodeEngine`. With a cache
             attached, iterative solvers (PageRank, heat stepping) hit
@@ -97,100 +282,74 @@ def recoded_spmv(
             plan's retained raw CSR partition — the result stays
             bit-exact; the substituted block just streams uncompressed
             (counted in ``stats.degraded_blocks`` and the traffic ratio).
+        mode: ``"serial"`` decodes then multiplies block by block;
+            ``"pipelined"`` overlaps decode with multiply by prefetching
+            block decodes through the engine pool (requires ``engine``).
+            Both modes produce bit-identical results, traffic, and errors.
+        depth: pipelined prefetch depth — max decode chunk tasks in
+            flight (``mode="pipelined"`` only).
 
     Returns:
         ``(y, stats)``.
     """
-    if policy not in ("strict", "degrade"):
-        raise ValueError(f"policy must be 'strict' or 'degrade', got {policy!r}")
-    log = TrafficLog()
-    dma = DMAEngine(memory, log=log)
-    dma_seconds = 0.0
-    start = time.perf_counter()
-
-    toolchain = DecoderToolchain(plan) if use_udp_simulator else None
-    lane = Lane() if use_udp_simulator else None
-    counter = {"i": 0, "degraded": 0}
-
-    def decode_one(i: int, idx_rec, val_rec) -> CSRBlock:
-        """Decode one block from its (DMA-streamed) records; raises
-        CodecError on failure."""
-        if toolchain is not None:
-            idx_chain = toolchain.run_chain(i, "index", lane=lane)
-            val_chain = toolchain.run_chain(i, "value", lane=lane)
-            if not (idx_chain.verified and val_chain.verified):
-                raise BlockDecodeError(
-                    f"UDP decode failed verification at block {i}", block_id=i
-                )
-            ref = plan.blocked.blocks[i]
-            return CSRBlock(
-                row_start=ref.row_start,
-                row_end=ref.row_end,
-                row_ptr=ref.row_ptr,
-                col_idx=np.frombuffer(idx_chain.output, dtype="<i4"),
-                val=np.frombuffer(val_chain.output, dtype="<f8"),
-                nnz_start=ref.nnz_start,
-                leading_partial=ref.leading_partial,
-            )
-        streamed_faulty = (
-            idx_rec is not plan.index_records[i] or val_rec is not plan.value_records[i]
-        )
-        if engine is not None and not streamed_faulty:
-            return engine.decode_block(plan, i, matrix_id=matrix_id)
-        # A DRAM-side fault corrupted the streamed copy: decode exactly
-        # what arrived (never the engine's cached/pristine view).
-        return plan.decompress_block(i, index_record=idx_rec, value_record=val_rec)
-
-    def recode(_stored: CSRBlock) -> CSRBlock:
-        i = counter["i"]
-        counter["i"] += 1
-        idx_rec = memory.stream_record(plan.index_records[i], i, "index")
-        val_rec = memory.stream_record(plan.value_records[i], i, "value")
-        nonlocal dma_seconds
-        with obs.trace("spmv.block", block=i):
-            dma_seconds += dma.transfer(idx_rec.stored_bytes, "dram", "udp").seconds
-            dma_seconds += dma.transfer(val_rec.stored_bytes, "dram", "udp").seconds
-            try:
-                block = decode_one(i, idx_rec, val_rec)
-            except CodecError as exc:
-                if policy == "strict":
-                    if isinstance(exc, BlockDecodeError):
-                        raise
-                    raise BlockDecodeError(
-                        f"block {i} failed to decode: {exc}", block_id=i
-                    ) from exc
-                # degrade: substitute the retained raw CSR block — result
-                # stays bit-exact; the block streams uncompressed.
-                counter["degraded"] += 1
-                block = plan.blocked.blocks[i]
-                dma_seconds += dma.transfer(12 * block.nnz, "dram", "cpu").seconds
-                obs.registry().counter("spmv.degraded_blocks").inc()
-                return block
-            log.record("udp", "cpu", 12 * block.nnz)
-        return block
-
-    with obs.trace("spmv.recoded", nblocks=plan.nblocks, matrix=matrix_id):
-        y = spmv_blocked(plan.blocked, x, recode=recode)
-    stats = PipelineStats(
-        traffic=log,
-        dram_bytes=log.bytes_on("dram", "udp") + log.bytes_on("dram", "cpu"),
-        baseline_dram_bytes=12 * plan.nnz,
-        dma_seconds=dma_seconds,
-        engine_stats=engine.stats.as_dict() if engine is not None else None,
+    return _execute(
+        plan,
+        x,
+        memory=memory,
+        use_udp_simulator=use_udp_simulator,
+        engine=engine,
+        matrix_id=matrix_id,
         policy=policy,
-        degraded_blocks=counter["degraded"],
+        mode=mode,
+        depth=depth,
+        kernel=spmv_blocked,
+        prefix="spmv",
+        nrhs=1,
     )
-    reg = obs.registry()
-    reg.counter("spmv.iterations").inc()
-    reg.counter("spmv.blocks").inc(plan.nblocks)
-    reg.counter("spmv.nnz").inc(plan.nnz)
-    reg.counter("spmv.flops").inc(2 * plan.nnz)
-    reg.counter("spmv.bytes.dram_to_udp").inc(log.bytes_on("dram", "udp"))
-    reg.counter("spmv.bytes.udp_to_cpu").inc(log.bytes_on("udp", "cpu"))
-    reg.counter("spmv.bytes.baseline").inc(stats.baseline_dram_bytes)
-    reg.counter("spmv.dma_seconds").inc(dma_seconds)
-    reg.gauge("spmv.traffic_ratio").set(stats.traffic_ratio)
-    if counter["degraded"]:
-        reg.counter("spmv.degraded_iterations").inc()
-    reg.histogram("spmv.seconds").observe(time.perf_counter() - start)
-    return y, stats
+
+
+def recoded_spmm(
+    plan: MatrixCompression,
+    x: np.ndarray,
+    memory: MemorySystem = DDR4_100GBS,
+    engine: RecodeEngine | None = None,
+    matrix_id: str = "",
+    policy: str = "strict",
+    mode: str = "serial",
+    depth: int = DEFAULT_DEPTH,
+) -> tuple[np.ndarray, PipelineStats]:
+    """Execute fused ``Y = A @ X`` for ``k`` right-hand sides.
+
+    Each block is streamed from DRAM and decoded exactly **once**, then
+    multiplied against all ``k`` columns of ``X`` — so the A-side DRAM
+    traffic (and decode work) of a ``k``-column multiply equals one SpMV's,
+    instead of ``k`` separate SpMVs'. Column ``j`` of the result is
+    bit-identical to ``recoded_spmv(plan, X[:, j])``.
+
+    Accepts the same ``engine`` / ``matrix_id`` / ``policy`` / ``mode`` /
+    ``depth`` knobs as :func:`recoded_spmv`; metrics are recorded under
+    the ``spmm.*`` prefix with ``flops = 2 * k * nnz``.
+
+    Returns:
+        ``(Y, stats)`` with ``Y.shape == (nrows, k)`` and
+        ``stats.nrhs == k``.
+    """
+    x = np.ascontiguousarray(x, dtype=np.float64)
+    if x.ndim != 2 or x.shape[0] != plan.blocked.shape[1]:
+        raise ValueError(
+            f"X must have shape ({plan.blocked.shape[1]}, k), got {x.shape}"
+        )
+    return _execute(
+        plan,
+        x,
+        memory=memory,
+        use_udp_simulator=False,
+        engine=engine,
+        matrix_id=matrix_id,
+        policy=policy,
+        mode=mode,
+        depth=depth,
+        kernel=spmm_blocked,
+        prefix="spmm",
+        nrhs=int(x.shape[1]),
+    )

@@ -64,6 +64,27 @@ class CSRBlock:
     def nnz(self) -> int:
         return int(len(self.val))
 
+    def row_segments(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(rows, seg_starts)`` for this block's non-empty rows, cached.
+
+        ``rows`` holds the *global* indices of rows with at least one
+        stored entry; ``seg_starts`` the matching ``np.add.reduceat``
+        segment starts (clipped to ``nnz - 1`` so empty trailing rows
+        cannot push a start past the payload). Both depend only on the
+        block's structure, so they are computed once and memoized — the
+        blocked SpMV/SpMM kernels used to rebuild them per block per
+        iteration.
+        """
+        cached = self.__dict__.get("_row_segments")
+        if cached is None:
+            starts = self.row_ptr[:-1]
+            nonempty = np.diff(self.row_ptr) > 0
+            rows = np.arange(self.row_start, self.row_end)[nonempty]
+            seg_starts = np.minimum(starts[nonempty], max(self.nnz - 1, 0))
+            cached = (rows, seg_starts)
+            object.__setattr__(self, "_row_segments", cached)
+        return cached
+
     def index_bytes(self) -> bytes:
         """Raw little-endian column-index stream (codec input)."""
         return self.col_idx.astype("<i4").tobytes()

@@ -54,15 +54,11 @@ def spmm_blocked(
             block = recode(block)
         if block.nnz == 0:
             continue
-        products = block.val[:, None] * x[block.col_idx]
-        starts = block.row_ptr[:-1]
-        nonempty = np.diff(block.row_ptr) > 0
-        if not np.any(nonempty):
+        rows, seg_starts = block.row_segments()
+        if rows.size == 0:
             continue
-        seg = np.add.reduceat(
-            products, np.minimum(starts[nonempty], block.nnz - 1), axis=0
-        )
-        rows = np.arange(block.row_start, block.row_end)[nonempty]
+        products = block.val[:, None] * x[block.col_idx]
+        seg = np.add.reduceat(products, seg_starts, axis=0)
         out[rows] += seg
     return out
 

@@ -9,6 +9,13 @@ Three implementations with one contract:
 * :func:`spmv_blocked` — the tiled loop of paper Fig. 7 operating over a
   :class:`~repro.sparse.blocked.BlockedCSR`, with a ``recode`` hook where
   the UDP decompression calls sit in the paper's listing.
+
+All three accept an ``out=`` buffer for in-place accumulation. The
+mutation contract: ``out`` must be a C-contiguous float64 vector of shape
+``(nrows,)``; it is overwritten (initialized from ``y`` when given, zeros
+otherwise), mutated in place, and returned. Passing ``out=y`` (aliasing)
+accumulates into ``y`` directly without the defensive copy — what
+iterative drivers want so each step stops paying a fresh allocation.
 """
 
 from __future__ import annotations
@@ -31,12 +38,50 @@ def _check_x(a_shape: tuple[int, int], x: np.ndarray) -> np.ndarray:
     return x
 
 
-def spmv_reference(a: CSRMatrix, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+def _prepare_out(
+    nrows: int, y: np.ndarray | None, out: np.ndarray | None
+) -> np.ndarray:
+    """Resolve the (y, out) pair into the accumulator vector.
+
+    No ``out``: allocate (zeros, or a defensive copy of ``y``) — the
+    historical behavior, ``y`` is never mutated. With ``out``: validate it
+    (float64, shape ``(nrows,)``, writeable), initialize it from ``y``
+    (zeros when ``y is None``, nothing when ``y is out``), and return it.
+    """
+    if out is None:
+        out = (
+            np.zeros(nrows, dtype=VALUE_DTYPE)
+            if y is None
+            else np.array(y, dtype=VALUE_DTYPE)
+        )
+        if out.shape != (nrows,):
+            raise ValueError(f"y must have shape ({nrows},)")
+        return out
+    if not isinstance(out, np.ndarray) or out.dtype != VALUE_DTYPE:
+        raise ValueError("out must be a float64 ndarray")
+    if out.shape != (nrows,):
+        raise ValueError(f"out must have shape ({nrows},), got {out.shape}")
+    if not out.flags.writeable:
+        raise ValueError("out must be writeable")
+    if y is None:
+        out[:] = 0.0
+    elif y is not out:
+        y = np.asarray(y, dtype=VALUE_DTYPE)
+        if y.shape != (nrows,):
+            raise ValueError(f"y must have shape ({nrows},)")
+        out[:] = y
+    return out
+
+
+def spmv_reference(
+    a: CSRMatrix,
+    x: np.ndarray,
+    y: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Scalar CSR SpMV exactly as in paper Fig. 2. O(nnz) Python loop."""
     x = _check_x(a.shape, x)
-    out = np.zeros(a.nrows, dtype=VALUE_DTYPE) if y is None else np.array(y, dtype=VALUE_DTYPE)
-    if out.shape != (a.nrows,):
-        raise ValueError(f"y must have shape ({a.nrows},)")
+    out = _prepare_out(a.nrows, y, out)
     row_ptr, col_idx, val = a.row_ptr, a.col_idx, a.val
     for i in range(a.nrows):
         temp = out[i]
@@ -46,12 +91,15 @@ def spmv_reference(a: CSRMatrix, x: np.ndarray, y: np.ndarray | None = None) -> 
     return out
 
 
-def spmv(a: CSRMatrix, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+def spmv(
+    a: CSRMatrix,
+    x: np.ndarray,
+    y: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Vectorized CSR SpMV: gather x, multiply, segment-sum per row."""
     x = _check_x(a.shape, x)
-    out = np.zeros(a.nrows, dtype=VALUE_DTYPE) if y is None else np.array(y, dtype=VALUE_DTYPE)
-    if out.shape != (a.nrows,):
-        raise ValueError(f"y must have shape ({a.nrows},)")
+    out = _prepare_out(a.nrows, y, out)
     if a.nnz == 0:
         return out
     products = a.val * x[a.col_idx]
@@ -71,6 +119,7 @@ def spmv_blocked(
     x: np.ndarray,
     y: np.ndarray | None = None,
     recode: Callable[[CSRBlock], CSRBlock] | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Tiled SpMV over row-range blocks (paper Fig. 7).
 
@@ -80,24 +129,16 @@ def spmv_blocked(
     the UDP decompressor; ``None`` multiplies the stored block directly.
     """
     x = _check_x(blocked.shape, x)
-    out = (
-        np.zeros(blocked.shape[0], dtype=VALUE_DTYPE)
-        if y is None
-        else np.array(y, dtype=VALUE_DTYPE)
-    )
-    if out.shape != (blocked.shape[0],):
-        raise ValueError(f"y must have shape ({blocked.shape[0]},)")
+    out = _prepare_out(blocked.shape[0], y, out)
     for block in blocked.blocks:
         if recode is not None:
             block = recode(block)
         if block.nnz == 0:
             continue
-        products = block.val * x[block.col_idx]
-        starts = block.row_ptr[:-1]
-        nonempty = np.diff(block.row_ptr) > 0
-        if not np.any(nonempty):
+        rows, seg_starts = block.row_segments()
+        if rows.size == 0:
             continue
-        seg = np.add.reduceat(products, np.minimum(starts[nonempty], block.nnz - 1))
-        rows = np.arange(block.row_start, block.row_end)[nonempty]
+        products = block.val * x[block.col_idx]
+        seg = np.add.reduceat(products, seg_starts)
         out[rows] += seg
     return out

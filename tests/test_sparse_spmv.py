@@ -186,3 +186,153 @@ class TestBlockedSpMV:
         np.testing.assert_allclose(
             spmv_blocked(blocked, x), spmv(a, x), rtol=1e-10, atol=1e-12
         )
+
+
+class TestOutParameter:
+    """The in-place ``out=`` contract shared by all three kernels."""
+
+    def _case(self):
+        a = random_csr(12, 12, 0.3, 31)
+        x = np.random.default_rng(31).normal(size=12)
+        return a, x
+
+    @pytest.mark.parametrize("kernel", [spmv_reference, spmv])
+    def test_out_returned_and_filled(self, kernel):
+        a, x = self._case()
+        out = np.full(12, np.nan)
+        got = kernel(a, x, out=out)
+        assert got is out
+        np.testing.assert_allclose(out, a.to_dense() @ x, rtol=1e-12)
+
+    @pytest.mark.parametrize("kernel", [spmv_reference, spmv])
+    def test_out_initialized_from_y(self, kernel):
+        a, x = self._case()
+        y0 = np.full(12, 3.0)
+        out = np.zeros(12)
+        got = kernel(a, x, y=y0, out=out)
+        assert got is out
+        np.testing.assert_allclose(out, 3.0 + a.to_dense() @ x, rtol=1e-12)
+        np.testing.assert_array_equal(y0, np.full(12, 3.0))
+
+    def test_aliasing_out_is_y_accumulates_in_place(self):
+        a, x = self._case()
+        y = np.full(12, 2.0)
+        got = spmv(a, x, y=y, out=y)
+        assert got is y
+        np.testing.assert_allclose(y, 2.0 + a.to_dense() @ x, rtol=1e-12)
+
+    def test_blocked_out(self):
+        a, x = self._case()
+        blocked = partition_csr(a, block_bytes=5 * 12)
+        out = np.empty(12)
+        got = spmv_blocked(blocked, x, out=out)
+        assert got is out
+        np.testing.assert_allclose(out, a.to_dense() @ x, rtol=1e-12)
+
+    def test_repeated_reuse_matches_fresh(self):
+        a, x = self._case()
+        out = np.empty(12)
+        for _ in range(3):
+            spmv(a, x, out=out)
+        np.testing.assert_array_equal(out, spmv(a, x))
+
+    def test_out_wrong_shape_raises(self):
+        a, x = self._case()
+        with pytest.raises(ValueError, match="out must have shape"):
+            spmv(a, x, out=np.zeros(5))
+
+    def test_out_wrong_dtype_raises(self):
+        a, x = self._case()
+        with pytest.raises(ValueError, match="float64"):
+            spmv(a, x, out=np.zeros(12, dtype=np.float32))
+
+    def test_out_not_writeable_raises(self):
+        a, x = self._case()
+        out = np.zeros(12)
+        out.flags.writeable = False
+        with pytest.raises(ValueError, match="writeable"):
+            spmv(a, x, out=out)
+
+    def test_out_not_ndarray_raises(self):
+        a, x = self._case()
+        with pytest.raises(ValueError, match="ndarray"):
+            spmv(a, x, out=[0.0] * 12)
+
+
+def adversarial_csr(draw):
+    """A CSR matrix biased toward the kernels' edge cases: empty leading /
+    trailing / interior rows, single-entry rows, one dense row (split into
+    many blocks downstream), and tiny column counts."""
+    n_cols = draw(st.integers(1, 12))
+    lead = draw(st.integers(0, 3))
+    trail = draw(st.integers(0, 3))
+    body = draw(
+        st.lists(
+            st.one_of(
+                st.just(0),  # interior empty rows, weighted heavily
+                st.just(0),
+                st.just(1),  # single-entry rows
+                st.integers(1, n_cols),
+                st.integers(2 * n_cols, 3 * n_cols),  # a dense row (splits)
+            ),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    counts = [0] * lead + body + [0] * trail
+    if not counts:
+        counts = [0]
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    row_ptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_ptr[1:])
+    nnz = int(row_ptr[-1])
+    if nnz:
+        # column indices sorted within each row, as CSR requires
+        col_idx = np.concatenate(
+            [np.sort(rng.integers(0, n_cols, size=c)) for c in counts]
+        ).astype(np.int32)
+    else:
+        col_idx = np.zeros(0, dtype=np.int32)
+    val = rng.normal(size=nnz)
+    return CSRMatrix((len(counts), n_cols), row_ptr, col_idx, val)
+
+
+class TestAdversarialDifferential:
+    """Differential suite: spmv / spmv_blocked vs the scalar reference on
+    adversarial shapes (satellite of the pipelined-executor issue)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_spmv_matches_reference(self, data):
+        a = adversarial_csr(data.draw)
+        rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+        x = rng.normal(size=a.ncols)
+        ref = spmv_reference(a, x)
+        np.testing.assert_allclose(spmv(a, x), ref, rtol=1e-12, atol=1e-14)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_blocked_matches_reference(self, data):
+        a = adversarial_csr(data.draw)
+        rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+        x = rng.normal(size=a.ncols)
+        entries = data.draw(st.integers(1, 6))
+        blocked = partition_csr(a, block_bytes=entries * 12)
+        ref = spmv_reference(a, x)
+        np.testing.assert_allclose(
+            spmv_blocked(blocked, x), ref, rtol=1e-12, atol=1e-14
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_y0_accumulation_matches_reference(self, data):
+        a = adversarial_csr(data.draw)
+        rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+        x = rng.normal(size=a.ncols)
+        y0 = rng.normal(size=a.nrows)
+        ref = spmv_reference(a, x, y=y0)
+        np.testing.assert_allclose(spmv(a, x, y=y0), ref, rtol=1e-12, atol=1e-14)
+        out = np.array(y0)
+        np.testing.assert_allclose(
+            spmv(a, x, y=out, out=out), ref, rtol=1e-12, atol=1e-14
+        )
