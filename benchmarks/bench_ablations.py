@@ -1,7 +1,58 @@
-"""Bench: the ablation sweeps (design choices + future-work demos)."""
+"""Bench: the ablation sweeps — component harness + design sweeps.
+
+``test_component_ablation_gate`` is the bench-side leg of the
+``repro ablate`` harness (smoke profile): it re-runs the baseline-plus-
+one-off grid with real process pools, schema-validates the artifact,
+and enforces the same two gates CI does — every configuration must be
+bit-identical to the baseline, and no *removal*-kind component may get
+faster when removed. The remaining tests are the older design-space
+sweeps (codec stages, block size, stride, reorder) from
+:mod:`repro.experiments.ablations`.
+
+Set ``BENCH_ABLATION_OUT`` to redirect the artifact path.
+"""
+
+import json
+import os
 
 from benchmarks.conftest import run_once
+from repro.ablation import (
+    AblationRunner,
+    RunnerSettings,
+    build_artifact,
+    enumerate_configs,
+    validate_artifact,
+)
 from repro.experiments import ablations
+
+
+def _run_component_ablation() -> dict:
+    runner = AblationRunner(RunnerSettings.smoke())
+    report = runner.run(enumerate_configs())
+    return build_artifact(report)
+
+
+def test_component_ablation_gate(benchmark):
+    artifact = run_once(benchmark, _run_component_ablation)
+    validate_artifact(artifact)
+
+    path = os.environ.get("BENCH_ABLATION_OUT", "BENCH_ablation.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    conf = artifact["conformance"]
+    assert conf["bit_identical"], conf["mismatches"]
+    assert conf["configs_checked"] >= 7  # baseline + >= 6 axes
+    gates = artifact["gates"]
+    assert gates["num_harmful"] == 0, [
+        r["run_id"] for r in artifact["ranking"] if r["harmful"]
+    ]
+    assert gates["worst_removal_gain"] >= 1.0 - gates["harmful_threshold"]
+    # The load-bearing components must *clearly* pay on the smoke grid.
+    by_axis = {r["axis"]: r for r in artifact["ranking"]}
+    assert by_axis["cache"]["contribution"] > 1.5
+    assert by_axis["kernel_backend"]["contribution"] > 1.5
 
 
 def test_abl_stages(benchmark, ctx, lab):

@@ -15,6 +15,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.experiments import headline
+from repro.util import BENCH_SCHEMAS, check_schema
 
 
 def _executor_comparison(lab) -> dict:
@@ -77,6 +78,7 @@ def _write_artifact(res, ctx, lab) -> str:
         "paper": res.paper,
         "matrices": matrices,
     }
+    check_schema(artifact, BENCH_SCHEMAS["headline"], "BENCH_headline.json")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(artifact, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -24,12 +24,15 @@ from repro.codecs.engine import RecodeEngine
 from repro.codecs.pipeline import compress_matrix
 from repro.collection import generators
 from repro.core import recoded_spmm, recoded_spmv
+from repro.util import BENCH_SCHEMAS, check_schema
 
 #: Right-hand sides for the fusion gate.
 NRHS = 8
 #: Pool width / prefetch depth for the overlap gate.
 WORKERS = 2
 DEPTH = 4
+#: Matrix / vector seed.
+SEED = 17
 
 
 def _engine() -> RecodeEngine:
@@ -52,9 +55,9 @@ def _best_of(n, fn):
 
 
 def _measure() -> dict:
-    m = generators.unstructured(2000, density=0.01, seed=17)
+    m = generators.unstructured(2000, density=0.01, seed=SEED)
     plan = compress_matrix(m, block_bytes=8192)
-    rng = np.random.default_rng(17)
+    rng = np.random.default_rng(SEED)
     x = rng.standard_normal(plan.blocked.shape[1])
     X = rng.standard_normal((plan.blocked.shape[1], NRHS))
 
@@ -91,11 +94,15 @@ def _measure() -> dict:
         return entry["value"] if entry else 0.0
 
     return {
+        "exp_id": "bench_pipeline",
+        "context": {
+            "seed": SEED,
+            "workers": WORKERS,
+            "depth": DEPTH,
+            "nrhs": NRHS,
+        },
         "nblocks": plan.nblocks,
         "nnz": plan.nnz,
-        "workers": WORKERS,
-        "depth": DEPTH,
-        "nrhs": NRHS,
         "serial_seconds": t_serial,
         "pipelined_seconds": t_pipe,
         "pipeline_speedup": speedup,
@@ -108,6 +115,7 @@ def _measure() -> dict:
 
 
 def _write_artifact(res) -> str:
+    check_schema(res, BENCH_SCHEMAS["bench_pipeline"], "BENCH_pipeline.json")
     path = os.environ.get("BENCH_PIPELINE_OUT", "BENCH_pipeline.json")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(res, fh, indent=2, sort_keys=True)

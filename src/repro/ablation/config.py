@@ -1,0 +1,245 @@
+"""Ablation configuration model: switchable axes and the run grid.
+
+Following the aumai-ablation exemplar (SNIPPETS.md), the harness
+enumerates **baseline plus one-off** configurations: one fully-featured
+baseline run, then one run per axis with exactly that component switched
+to its ablated ("removed") value. Every run carries a stable, traceable
+``run_id`` (``baseline``, ``no-cache``, ``no-kernel_backend``, ...) so
+reports diff cleanly across commits.
+
+The axes mirror every runtime switch the codebase exposes:
+
+==================  =======================  =====================
+axis                baseline                 ablated
+==================  =======================  =====================
+``cache``           decoded-block cache on   no cache (cold decode)
+``kernel_backend``  ``numpy`` fast paths     ``python`` reference
+``executor``        ``pipelined`` overlap    ``serial`` block loop
+``depth``           prefetch depth 4         depth 1 (no prefetch)
+``workers``         2-wide decode pool       in-process serial
+``policy``          ``degrade`` substitute   ``strict`` fail-fast
+``spmm_fusion``     fused multi-RHS SpMM     k independent SpMVs
+==================  =======================  =====================
+
+Adding a new switchable component = appending one :class:`Axis` here and
+teaching :mod:`repro.ablation.runner` to apply it (see docs/ABLATION.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.executor import DEFAULT_DEPTH
+
+
+#: Axis kinds. A ``removal`` axis switches a component off entirely; its
+#: removal must never *help* (the CI harmful gate). A ``variation`` axis
+#: flips a numeric knob to an alternative whose best value is
+#: hardware-dependent (worker count and prefetch depth hinge on the host
+#: core count — a 1-core container and an 8-core runner disagree), so it
+#: is ranked and flagged in the report but exempt from the CI gate.
+KINDS = ("removal", "variation")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One switchable component: its baseline and ablated settings."""
+
+    #: Axis key — also the :class:`AblationConfig` field it controls.
+    name: str
+    #: Human-readable component name for the ranked report.
+    component: str
+    #: Value the fully-featured baseline runs with.
+    baseline: object
+    #: Value the one-off ablation run flips to ("component removed").
+    ablated: object
+    #: What removal means, for the report.
+    description: str
+    #: ``removal`` (gated) or ``variation`` (ranked, not gated).
+    kind: str = "removal"
+
+
+#: The switchable-component axes, in stable report order.
+AXES: tuple[Axis, ...] = (
+    Axis(
+        "cache",
+        "decoded-block cache",
+        True,
+        False,
+        "warm iterations re-decode every block instead of hitting the LRU",
+    ),
+    Axis(
+        "kernel_backend",
+        "numpy kernel backend",
+        "numpy",
+        "python",
+        "codec hot loops fall back to the pure-python reference",
+    ),
+    Axis(
+        "executor",
+        "pipelined executor",
+        "pipelined",
+        "serial",
+        "block decode no longer overlaps the multiply",
+    ),
+    Axis(
+        "depth",
+        f"prefetch depth {DEFAULT_DEPTH}",
+        DEFAULT_DEPTH,
+        1,
+        "at most one decode chunk in flight (no lookahead)",
+        kind="variation",
+    ),
+    Axis(
+        "workers",
+        "decode worker pool",
+        2,
+        0,
+        "block decodes run in-process instead of across the pool",
+        kind="variation",
+    ),
+    Axis(
+        "policy",
+        "degrade policy",
+        "degrade",
+        "strict",
+        "block-decode failures raise instead of substituting raw CSR",
+    ),
+    Axis(
+        "spmm_fusion",
+        "fused multi-RHS SpMM",
+        True,
+        False,
+        "k right-hand sides run as k independent SpMVs (k decodes)",
+    ),
+)
+
+_AXES_BY_NAME: dict[str, Axis] = {axis.name: axis for axis in AXES}
+
+#: run_id of the fully-featured configuration.
+BASELINE_RUN_ID = "baseline"
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """One fully-specified runtime configuration.
+
+    ``ablated_axis`` is ``None`` for the baseline, else the name of the
+    single axis flipped to its ablated value.
+    """
+
+    run_id: str
+    ablated_axis: str | None
+    cache: bool
+    kernel_backend: str
+    executor: str
+    depth: int
+    workers: int
+    policy: str
+    spmm_fusion: bool
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.ablated_axis is None
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (the ``config`` object in BENCH_ablation.json)."""
+        return {
+            "cache": self.cache,
+            "kernel_backend": self.kernel_backend,
+            "executor": self.executor,
+            "depth": self.depth,
+            "workers": self.workers,
+            "policy": self.policy,
+            "spmm_fusion": self.spmm_fusion,
+        }
+
+    def describe(self) -> str:
+        axis = _AXES_BY_NAME.get(self.ablated_axis) if self.ablated_axis else None
+        if axis is None:
+            return "baseline (all components on)"
+        return f"{axis.component} removed: {axis.description}"
+
+
+def axis(name: str) -> Axis:
+    """Look an axis up by name.
+
+    Raises:
+        ValueError: for an unknown axis name.
+    """
+    try:
+        return _AXES_BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ablation axis {name!r}; know {sorted(_AXES_BY_NAME)}"
+        ) from None
+
+
+def baseline_config() -> AblationConfig:
+    """The fully-featured configuration every ablation is measured against."""
+    values = {a.name: a.baseline for a in AXES}
+    return AblationConfig(run_id=BASELINE_RUN_ID, ablated_axis=None, **values)
+
+
+def enumerate_configs(
+    axes: tuple[str, ...] | None = None,
+) -> tuple[AblationConfig, ...]:
+    """Baseline plus one one-off configuration per axis.
+
+    Args:
+        axes: restrict the one-off grid to these axis names (baseline is
+            always included). ``None`` = every known axis.
+
+    Raises:
+        ValueError: for unknown axis names.
+    """
+    selected = AXES if axes is None else tuple(axis(name) for name in axes)
+    base = baseline_config()
+    configs = [base]
+    for ax in selected:
+        configs.append(
+            replace(
+                base,
+                run_id=f"no-{ax.name}",
+                ablated_axis=ax.name,
+                **{ax.name: ax.ablated},
+            )
+        )
+    return tuple(configs)
+
+
+# ---------------------------------------------------------------------------
+# Metric-name conformance model
+# ---------------------------------------------------------------------------
+
+#: Metric-name prefixes that are legitimately configuration-dependent:
+#: they appear or disappear with a switch and are excluded from the
+#: cross-config "identical core names" comparison (each is then checked
+#: individually by :func:`expected_metric_markers`).
+CONFIG_DEPENDENT_METRIC_PREFIXES: tuple[str, ...] = (
+    "spmv.pipeline.",
+    "spmm.",
+    "codecs.cache.",
+    "kernels.",
+)
+
+
+def core_metric_names(names: set[str] | frozenset[str]) -> frozenset[str]:
+    """The configuration-independent subset of emitted metric names."""
+    return frozenset(
+        n for n in names if not n.startswith(CONFIG_DEPENDENT_METRIC_PREFIXES)
+    )
+
+
+def expected_metric_markers(config: AblationConfig) -> dict[str, bool]:
+    """Metric names that must be present/absent for ``config``.
+
+    Maps marker name -> expected presence. Catches a switch silently not
+    taking effect (e.g. ``executor="pipelined"`` falling back to serial
+    would lose ``spmv.pipeline.runs``).
+    """
+    return {
+        "spmv.pipeline.runs": config.executor == "pipelined",
+        "spmm.iterations": config.spmm_fusion,
+        "codecs.cache.hits": config.cache,
+    }

@@ -1,0 +1,19 @@
+"""Schema for ``BENCH_ablation.json``.
+
+The schema itself lives with the other BENCH schemas in
+:mod:`repro.util.schema` so all three artifacts share one validation
+helper; this module re-exports it next to the writer
+(:mod:`repro.ablation.report`) and offers the validate call the tests
+and CLI use.
+"""
+
+from __future__ import annotations
+
+from repro.util.schema import BENCH_ABLATION_SCHEMA, check_schema
+
+__all__ = ["BENCH_ABLATION_SCHEMA", "validate_artifact"]
+
+
+def validate_artifact(artifact: dict) -> None:
+    """Raise :class:`repro.util.schema.SchemaError` on a malformed artifact."""
+    check_schema(artifact, BENCH_ABLATION_SCHEMA, "BENCH_ablation.json")

@@ -14,6 +14,8 @@ Usage::
     python -m repro scrub  CONTAINER [--json] [--verbose]
     python -m repro suite  [--count N] [--scale F]
     python -m repro metrics FILE [--diff OTHER] [--format table|prom|json]
+    python -m repro ablate [--smoke] [--axes a,b,...] [--out PATH]
+                            [--repeats N] [--fail-harmful FRAC] [--json]
 
 ``MATRIX`` is either a MatrixMarket path (``*.mtx``) or a synthetic spec
 ``synth:<kind>[:key=value,...]`` with kinds from
@@ -333,6 +335,77 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def cmd_ablate(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.ablation import (
+        AblationRunner,
+        RunnerSettings,
+        build_artifact,
+        enumerate_configs,
+        render_ranking,
+    )
+
+    settings = RunnerSettings.smoke() if args.smoke else RunnerSettings.default()
+    overrides = {}
+    if args.repeats:
+        overrides["repeats"] = args.repeats
+    if args.warm_iters:
+        overrides["warm_iters"] = args.warm_iters
+    if args.nrhs:
+        overrides["nrhs"] = args.nrhs
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.fail_harmful is not None:
+        overrides["harmful_threshold"] = args.fail_harmful
+    if overrides:
+        settings = dataclasses.replace(settings, **overrides)
+
+    axes = tuple(args.axes.split(",")) if args.axes else None
+    configs = enumerate_configs(axes)
+    # Progress goes to stderr so `--json` leaves stdout pipeable.
+    print(
+        f"ablating {len(configs) - 1} components over "
+        f"{len(settings.cases)} matrices ({settings.profile} profile, "
+        f"repeats={settings.repeats})...",
+        file=sys.stderr,
+    )
+    report = AblationRunner(settings).run(configs)
+    artifact = build_artifact(report)
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    if args.json:
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+    else:
+        print(render_ranking(report))
+        gates = artifact["gates"]
+        conf = artifact["conformance"]
+        print(
+            f"conformance: {conf['configs_checked']} configs "
+            f"{'bit-identical' if conf['bit_identical'] else 'DIVERGED'}; "
+            f"worst removal gain {gates['worst_removal_gain']:.3f}x"
+        )
+        print(f"wrote {args.out}")
+
+    if not report.bit_identical:
+        for mismatch in report.mismatches:
+            print(f"error: conformance: {mismatch}", file=sys.stderr)
+        return 1
+    if args.fail_harmful is not None and artifact["gates"]["num_harmful"]:
+        harmful = [r["run_id"] for r in artifact["ranking"] if r["harmful"]]
+        print(
+            f"error: component removal helps by more than "
+            f"{settings.harmful_threshold:.0%}: {', '.join(harmful)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _add_kernel_backend_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument("--kernel-backend", default=None,
                    choices=["auto", *kernels.KNOWN_BACKENDS],
@@ -420,6 +493,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compress", type=int, default=0, metavar="N",
                    help="also DSH-compress the first N entries")
     p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser(
+        "ablate",
+        help="rank component importance via baseline-plus-one-off ablations",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="reduced grid (CI): smaller matrices, fewer repeats")
+    p.add_argument("--axes", metavar="LIST",
+                   help="comma-separated axis subset, e.g. 'cache,workers' "
+                        "(default: every switchable axis)")
+    p.add_argument("--out", default="BENCH_ablation.json", metavar="PATH",
+                   help="artifact path (default: %(default)s)")
+    p.add_argument("--repeats", type=int, default=0, metavar="N",
+                   help="best-of repeats per timed phase (default: profile's)")
+    p.add_argument("--warm-iters", type=int, default=0, metavar="N",
+                   help="warm iterations weighted into the headline metric")
+    p.add_argument("--nrhs", type=int, default=0, metavar="K",
+                   help="right-hand sides for the SpMM burst")
+    p.add_argument("--seed", type=int, default=None,
+                   help="suite seed (default: profile's)")
+    p.add_argument("--fail-harmful", type=float, default=None, metavar="FRAC",
+                   help="exit 1 if removing any component improves the "
+                        "headline geomean by more than FRAC (e.g. 0.05); "
+                        "host-dependent knobs (workers, depth) are ranked "
+                        "but never gate")
+    p.add_argument("--json", action="store_true",
+                   help="print the artifact JSON instead of the table")
+    p.set_defaults(fn=cmd_ablate)
 
     p = sub.add_parser("metrics", help="inspect or diff a metrics JSON snapshot")
     p.add_argument("file", help="metrics JSON written by --metrics-out")

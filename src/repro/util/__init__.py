@@ -1,7 +1,16 @@
-"""Shared utilities: statistics helpers, unit formatting, table rendering, RNG policy."""
+"""Shared utilities: statistics helpers, unit formatting, table rendering,
+RNG policy, and BENCH-artifact schema validation."""
 
 from repro.util.geomean import geomean, geomean_ratio
 from repro.util.rng import seeded_rng, derive_seed
+from repro.util.schema import (
+    BENCH_SCHEMAS,
+    SchemaError,
+    check_schema,
+    is_timing_key,
+    non_timing_view,
+    validate_schema,
+)
 from repro.util.tables import Table
 from repro.util.units import (
     GB,
@@ -21,6 +30,12 @@ __all__ = [
     "geomean_ratio",
     "seeded_rng",
     "derive_seed",
+    "BENCH_SCHEMAS",
+    "SchemaError",
+    "check_schema",
+    "is_timing_key",
+    "non_timing_view",
+    "validate_schema",
     "Table",
     "GB",
     "GIB",

@@ -1,0 +1,330 @@
+"""Minimal JSON-schema-style validation for BENCH_* artifacts.
+
+Every benchmark artifact the repo writes (``BENCH_headline.json``,
+``BENCH_pipeline.json``, ``BENCH_ablation.json``) is validated against a
+schema before it lands on disk, and the checked-in artifacts are
+re-validated by ``tests/test_bench_schemas.py`` — so gate fields cannot
+silently drift shape between the writers, CI, and downstream diff tools.
+
+This is intentionally a tiny dependency-free subset of JSON Schema:
+
+* ``type``: ``object`` / ``array`` / ``string`` / ``number`` /
+  ``integer`` / ``boolean`` (``number`` accepts ints, never bools);
+* objects: ``required`` + ``properties`` (extra keys are always allowed
+  — artifacts may grow fields without breaking old validators);
+* arrays: ``items`` applied to every element, optional ``min_items``;
+* scalars: optional ``minimum`` / ``maximum``.
+
+Shared artifact conventions live here too: the common envelope every
+BENCH artifact must carry (``exp_id`` + ``context.seed``) and the
+timing-key convention used to split deterministic fields from wall-clock
+measurements (:func:`non_timing_view`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Key suffixes that mark a field as wall-clock-derived (excluded from
+#: determinism comparisons by :func:`non_timing_view`).
+TIMING_KEY_SUFFIXES: tuple[str, ...] = (
+    "_seconds", "_us", "_ratio", "_speedup", "_gain", "_gbps",
+    "_mb_per_s", "_rate", "_idle",
+)
+
+#: Exact keys that are wall-clock-derived without a marker suffix.
+TIMING_KEYS: frozenset[str] = frozenset(
+    {"seconds", "contribution", "harmful", "num_harmful", "timing", "timings"}
+)
+
+
+class SchemaError(ValueError):
+    """An artifact failed schema validation; ``.errors`` lists every path."""
+
+    def __init__(self, name: str, errors: list[str]):
+        self.errors = errors
+        super().__init__(
+            f"{name} failed schema validation ({len(errors)} error"
+            f"{'s' if len(errors) != 1 else ''}):\n  " + "\n  ".join(errors)
+        )
+
+
+_TYPES: dict[str, tuple] = {
+    "object": (dict,),
+    "array": (list, tuple),
+    "string": (str,),
+    "boolean": (bool,),
+    "integer": (int,),
+    "number": (int, float),
+}
+
+
+def validate_schema(obj: Any, schema: dict, path: str = "$") -> list[str]:
+    """Validate ``obj`` against ``schema``; return a list of error strings
+    (empty = valid). Never raises on bad data — see :func:`check_schema`."""
+    errors: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        kinds = _TYPES.get(expected)
+        if kinds is None:
+            raise ValueError(f"unknown schema type {expected!r} at {path}")
+        # bool is an int subclass; a numeric field holding True is a bug.
+        if isinstance(obj, bool) and expected not in ("boolean",):
+            errors.append(f"{path}: expected {expected}, got bool")
+            return errors
+        if not isinstance(obj, kinds):
+            errors.append(
+                f"{path}: expected {expected}, got {type(obj).__name__}"
+            )
+            return errors
+    if isinstance(obj, dict):
+        for key in schema.get("required", ()):
+            if key not in obj:
+                errors.append(f"{path}.{key}: required field missing")
+        for key, sub in schema.get("properties", {}).items():
+            if key in obj:
+                errors.extend(validate_schema(obj[key], sub, f"{path}.{key}"))
+    elif isinstance(obj, (list, tuple)):
+        min_items = schema.get("min_items")
+        if min_items is not None and len(obj) < min_items:
+            errors.append(
+                f"{path}: expected >= {min_items} items, got {len(obj)}"
+            )
+        items = schema.get("items")
+        if items is not None:
+            for i, el in enumerate(obj):
+                errors.extend(validate_schema(el, items, f"{path}[{i}]"))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        lo, hi = schema.get("minimum"), schema.get("maximum")
+        if lo is not None and obj < lo:
+            errors.append(f"{path}: {obj} < minimum {lo}")
+        if hi is not None and obj > hi:
+            errors.append(f"{path}: {obj} > maximum {hi}")
+    return errors
+
+
+def check_schema(obj: Any, schema: dict, name: str = "artifact") -> None:
+    """Raise :class:`SchemaError` if ``obj`` does not match ``schema``."""
+    errors = validate_schema(obj, schema)
+    if errors:
+        raise SchemaError(name, errors)
+
+
+def is_timing_key(key: str) -> bool:
+    """True when ``key`` names a wall-clock-derived field by convention."""
+    return key in TIMING_KEYS or key.endswith(TIMING_KEY_SUFFIXES)
+
+
+def non_timing_view(obj: Any) -> Any:
+    """Deep-copy ``obj`` with every timing-convention key removed.
+
+    Two deterministic runs of the same benchmark must produce *identical*
+    non-timing views — the regression contract tested by
+    ``tests/test_bench_determinism.py``.
+    """
+    if isinstance(obj, dict):
+        return {
+            k: non_timing_view(v)
+            for k, v in obj.items()
+            if not is_timing_key(k)
+        }
+    if isinstance(obj, (list, tuple)):
+        return [non_timing_view(el) for el in obj]
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Shared BENCH_* artifact schemas
+# ---------------------------------------------------------------------------
+
+#: The envelope every BENCH artifact must carry: a stable experiment id
+#: and the seed its numbers were generated under.
+BENCH_COMMON_SCHEMA: dict = {
+    "type": "object",
+    "required": ["exp_id", "context"],
+    "properties": {
+        "exp_id": {"type": "string"},
+        "context": {
+            "type": "object",
+            "required": ["seed"],
+            "properties": {"seed": {"type": "integer"}},
+        },
+    },
+}
+
+
+def _with_common(schema: dict) -> dict:
+    """Merge a specific schema over :data:`BENCH_COMMON_SCHEMA`."""
+    merged = {
+        "type": "object",
+        "required": sorted(
+            set(BENCH_COMMON_SCHEMA["required"]) | set(schema.get("required", ()))
+        ),
+        "properties": {
+            **BENCH_COMMON_SCHEMA["properties"],
+            **schema.get("properties", {}),
+        },
+    }
+    ctx = schema.get("properties", {}).get("context")
+    if ctx:
+        base = BENCH_COMMON_SCHEMA["properties"]["context"]
+        merged["properties"]["context"] = {
+            "type": "object",
+            "required": sorted(set(base["required"]) | set(ctx.get("required", ()))),
+            "properties": {**base["properties"], **ctx.get("properties", {})},
+        }
+    return merged
+
+
+#: ``BENCH_headline.json`` — written by ``benchmarks/bench_headline.py``.
+BENCH_HEADLINE_SCHEMA: dict = _with_common(
+    {
+        "required": ["headline", "paper", "matrices", "executors"],
+        "properties": {
+            "headline": {
+                "type": "object",
+                "required": [
+                    "gm_spmv_speedup",
+                    "gm_dsh_bytes_per_nnz",
+                    "gm_udp_over_cpu_decomp",
+                ],
+                "properties": {
+                    "gm_spmv_speedup": {"type": "number", "minimum": 0},
+                    "gm_dsh_bytes_per_nnz": {"type": "number", "minimum": 0},
+                    "gm_udp_over_cpu_decomp": {"type": "number", "minimum": 0},
+                },
+            },
+            "matrices": {
+                "type": "array",
+                "min_items": 1,
+                "items": {
+                    "type": "object",
+                    "required": ["name", "nnz", "bytes_per_nnz"],
+                    "properties": {
+                        "name": {"type": "string"},
+                        "nnz": {"type": "integer", "minimum": 0},
+                        "bytes_per_nnz": {"type": "number", "minimum": 0},
+                    },
+                },
+            },
+            "executors": {
+                "type": "object",
+                "required": ["serial_seconds", "pipelined_seconds"],
+                "properties": {
+                    "serial_seconds": {"type": "number", "minimum": 0},
+                    "pipelined_seconds": {"type": "number", "minimum": 0},
+                },
+            },
+        },
+    }
+)
+
+#: ``BENCH_pipeline.json`` — written by ``benchmarks/bench_pipeline.py``.
+BENCH_PIPELINE_SCHEMA: dict = _with_common(
+    {
+        "required": ["pipeline_speedup", "spmm_per_rhs_ratio"],
+        "properties": {
+            "context": {
+                "required": ["workers", "depth", "nrhs"],
+                "properties": {
+                    "workers": {"type": "integer", "minimum": 0},
+                    "depth": {"type": "integer", "minimum": 1},
+                    "nrhs": {"type": "integer", "minimum": 1},
+                },
+            },
+            "pipeline_speedup": {"type": "number", "minimum": 0},
+            "spmm_per_rhs_ratio": {"type": "number", "minimum": 0},
+            "serial_seconds": {"type": "number", "minimum": 0},
+            "pipelined_seconds": {"type": "number", "minimum": 0},
+        },
+    }
+)
+
+#: ``BENCH_ablation.json`` — written by :mod:`repro.ablation.report`.
+BENCH_ABLATION_SCHEMA: dict = _with_common(
+    {
+        "required": ["baseline", "configs", "ranking", "conformance", "gates"],
+        "properties": {
+            "context": {
+                "required": ["repeats", "warm_iters", "nrhs", "matrices"],
+                "properties": {
+                    "repeats": {"type": "integer", "minimum": 1},
+                    "warm_iters": {"type": "integer", "minimum": 1},
+                    "nrhs": {"type": "integer", "minimum": 1},
+                    "matrices": {
+                        "type": "array",
+                        "min_items": 1,
+                        "items": {"type": "string"},
+                    },
+                },
+            },
+            "baseline": {
+                "type": "object",
+                "required": ["run_id", "config", "headline_seconds"],
+                "properties": {
+                    "run_id": {"type": "string"},
+                    "config": {"type": "object"},
+                    "headline_seconds": {"type": "number", "minimum": 0},
+                },
+            },
+            "configs": {
+                "type": "array",
+                "min_items": 1,
+                "items": {
+                    "type": "object",
+                    "required": ["run_id", "ablated_axis", "config", "headline_seconds"],
+                    "properties": {
+                        "run_id": {"type": "string"},
+                        "ablated_axis": {"type": "string"},
+                        "config": {"type": "object"},
+                        "headline_seconds": {"type": "number", "minimum": 0},
+                    },
+                },
+            },
+            "ranking": {
+                "type": "array",
+                "min_items": 1,
+                "items": {
+                    "type": "object",
+                    "required": [
+                        "axis", "component", "run_id", "kind",
+                        "contribution", "harmful",
+                    ],
+                    "properties": {
+                        "axis": {"type": "string"},
+                        "component": {"type": "string"},
+                        "run_id": {"type": "string"},
+                        "kind": {"type": "string"},
+                        "contribution": {"type": "number", "minimum": 0},
+                        "harmful": {"type": "boolean"},
+                    },
+                },
+            },
+            "conformance": {
+                "type": "object",
+                "required": ["bit_identical", "configs_checked", "mismatches"],
+                "properties": {
+                    "bit_identical": {"type": "boolean"},
+                    "configs_checked": {"type": "integer", "minimum": 1},
+                    "mismatches": {"type": "array", "items": {"type": "string"}},
+                },
+            },
+            "gates": {
+                "type": "object",
+                "required": ["worst_removal_gain", "harmful_threshold", "num_harmful"],
+                "properties": {
+                    "worst_removal_gain": {"type": "number", "minimum": 0},
+                    "harmful_threshold": {"type": "number", "minimum": 0},
+                    "num_harmful": {"type": "integer", "minimum": 0},
+                },
+            },
+        },
+    }
+)
+
+#: All BENCH artifact schemas by ``exp_id``.
+BENCH_SCHEMAS: dict[str, dict] = {
+    "headline": BENCH_HEADLINE_SCHEMA,
+    "bench_pipeline": BENCH_PIPELINE_SCHEMA,
+    "ablation": BENCH_ABLATION_SCHEMA,
+}

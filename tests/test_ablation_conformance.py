@@ -1,0 +1,177 @@
+"""Cross-configuration conformance: every ablation config is bit-exact.
+
+The differential matrix the ISSUE asks for: one parametrized suite over
+the *full* ablation config grid asserting that every configuration
+produces bit-identical ``recoded_spmv`` / ``recoded_spmm`` results,
+identical degradation accounting, and exactly the metric-name markers
+its switches imply. This is the correctness oracle for every switch the
+codebase exposes — a new switch that silently changes results cannot
+land without tripping it.
+
+Engines here use thread pools (identical scheduling paths to process
+pools, none of the fork cost) so the whole grid stays tier-1 fast; the
+process-pool leg of the same contract runs in ``repro ablate --smoke``
+and ``benchmarks/bench_ablations.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels, obs
+from repro.ablation import (
+    AblationConfig,
+    core_metric_names,
+    enumerate_configs,
+    expected_metric_markers,
+)
+from repro.codecs.engine import DecodedBlockCache, RecodeEngine
+from repro.codecs.pipeline import compress_matrix
+from repro.collection import generators
+from repro.core import recoded_spmm, recoded_spmv
+
+CONFIGS = enumerate_configs()
+NRHS = 3
+
+#: Adversarial shapes: split rows across blocks (leading_partial), dense
+#: bands, and an empty-row-heavy unstructured pattern.
+CASES = {
+    "banded": lambda: generators.banded(900, bandwidth=5, seed=11),
+    "unstructured": lambda: generators.unstructured(700, density=0.012, seed=23),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(CASES))
+def fixture(request):
+    """(name, plan, x, X, reference spmv bytes, reference spmm bytes)."""
+    name = request.param
+    m = CASES[name]()
+    # Small blocks force many blocks and split rows — the merge-order
+    # edge cases the pipelined accumulator must reproduce bitwise.
+    plan = compress_matrix(m, block_bytes=1024, seed=7)
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal(m.ncols)
+    X = rng.standard_normal((m.ncols, NRHS))
+    y_ref, _ = recoded_spmv(plan, x)
+    cols = [recoded_spmv(plan, X[:, j])[0] for j in range(NRHS)]
+    Y_ref = np.column_stack(cols)
+    return name, plan, x, X, y_ref.tobytes(), Y_ref.tobytes()
+
+
+def _engine(config: AblationConfig) -> RecodeEngine:
+    return RecodeEngine(
+        workers=config.workers,
+        executor="thread",
+        chunk_blocks=2,
+        cache=DecodedBlockCache() if config.cache else None,
+        retry_base_s=0.0,
+    )
+
+
+def _run_kwargs(config: AblationConfig, name: str) -> dict:
+    return dict(
+        matrix_id=name,
+        policy=config.policy,
+        mode=config.executor,
+        depth=config.depth,
+    )
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=[c.run_id for c in CONFIGS])
+def test_spmv_bit_identical_across_grid(config, fixture):
+    name, plan, x, _X, y_ref, _Y_ref = fixture
+    with kernels.use_backend(config.kernel_backend):
+        engine = _engine(config)
+        try:
+            # Twice: cold then (when cached) warm — both must match.
+            for _ in range(2):
+                y, stats = recoded_spmv(
+                    plan, x, engine=engine, **_run_kwargs(config, name)
+                )
+                assert y.tobytes() == y_ref, config.run_id
+                assert stats.degraded_blocks == 0, config.run_id
+                assert stats.policy == config.policy
+                assert stats.mode == config.executor
+        finally:
+            engine.close()
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=[c.run_id for c in CONFIGS])
+def test_spmm_bit_identical_across_grid(config, fixture):
+    name, plan, _x, X, _y_ref, Y_ref = fixture
+    with kernels.use_backend(config.kernel_backend):
+        engine = _engine(config)
+        try:
+            if config.spmm_fusion:
+                Y, stats = recoded_spmm(
+                    plan, X, engine=engine, **_run_kwargs(config, name)
+                )
+                assert stats.nrhs == NRHS
+                assert stats.degraded_blocks == 0, config.run_id
+            else:
+                Y = np.column_stack(
+                    [
+                        recoded_spmv(
+                            plan, X[:, j], engine=engine, **_run_kwargs(config, name)
+                        )[0]
+                        for j in range(NRHS)
+                    ]
+                )
+            assert Y.tobytes() == Y_ref, config.run_id
+        finally:
+            engine.close()
+
+
+def _metric_names(config: AblationConfig, fixture) -> frozenset[str]:
+    name, plan, x, X, _y_ref, _Y_ref = fixture
+    with obs.scoped_registry() as reg, kernels.use_backend(config.kernel_backend):
+        engine = _engine(config)
+        try:
+            recoded_spmv(plan, x, engine=engine, **_run_kwargs(config, name))
+            if config.spmm_fusion:
+                recoded_spmm(plan, X, engine=engine, **_run_kwargs(config, name))
+            else:
+                for j in range(NRHS):
+                    recoded_spmv(
+                        plan, X[:, j], engine=engine, **_run_kwargs(config, name)
+                    )
+        finally:
+            engine.close()
+        return frozenset(rec["name"] for rec in reg.snapshot().values())
+
+
+def test_metric_names_identical_across_grid(fixture):
+    """Core (config-independent) metric names must match across every
+    configuration, and config-dependent markers must appear exactly when
+    their switch is on — silent divergence between switches is a bug."""
+    names = {c.run_id: _metric_names(c, fixture) for c in CONFIGS}
+    base_core = core_metric_names(names["baseline"])
+    assert base_core, "baseline must emit core metrics"
+    for config in CONFIGS:
+        core = core_metric_names(names[config.run_id])
+        assert core == base_core, (
+            config.run_id,
+            sorted(core ^ base_core),
+        )
+        for marker, expected in expected_metric_markers(config).items():
+            assert (marker in names[config.run_id]) == expected, (
+                config.run_id,
+                marker,
+            )
+
+
+def test_grid_shape():
+    """Baseline plus one one-off per axis, stable traceable run ids."""
+    assert CONFIGS[0].run_id == "baseline"
+    assert CONFIGS[0].ablated_axis is None
+    one_offs = CONFIGS[1:]
+    assert len(one_offs) >= 6, "ISSUE requires >= 6 ablation axes"
+    assert len({c.run_id for c in CONFIGS}) == len(CONFIGS)
+    base = CONFIGS[0].as_dict()
+    for config in one_offs:
+        diff = {
+            k: v for k, v in config.as_dict().items() if base[k] != v
+        }
+        assert list(diff) == [config.ablated_axis], config.run_id
+        assert config.run_id == f"no-{config.ablated_axis}"

@@ -1,0 +1,51 @@
+"""Autotune decisions are kernel-backend invariant.
+
+``repro.codecs.autotune`` picks the smallest encoding per matrix; the
+vectorized numpy kernels and the pure-python reference must agree on
+every byte of every candidate plan — otherwise the tuner would pick
+different winners on different hosts and the "plans are portable"
+contract (bench_fig12) would silently break.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import kernels
+from repro.codecs.autotune import autotune
+from repro.collection import generators
+
+CASES = {
+    "banded": lambda: generators.banded(600, bandwidth=5, seed=31),
+    "unstructured": lambda: generators.unstructured(500, density=0.015, seed=37),
+    "graph": lambda: generators.powerlaw_graph(800, attach=3, seed=41),
+}
+
+
+def _tune(name: str, backend: str):
+    with kernels.use_backend(backend):
+        return autotune(CASES[name](), seed=3)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_winner_and_sizes_backend_invariant(name):
+    ref = _tune(name, "python")
+    fast = _tune(name, "numpy")
+    assert fast.best_name == ref.best_name
+    assert fast.bytes_per_nnz == ref.bytes_per_nnz
+    assert fast.win_over_dsh == ref.win_over_dsh
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_winning_plan_bytes_backend_invariant(name):
+    ref = _tune(name, "python")
+    fast = _tune(name, "numpy")
+    a, b = ref.best_plan, fast.best_plan
+    assert a.nblocks == b.nblocks
+    assert a.compressed_bytes == b.compressed_bytes
+    for rec_a, rec_b in zip(
+        a.index_records + a.value_records,
+        b.index_records + b.value_records,
+    ):
+        assert rec_a.payload == rec_b.payload, "encodings must be byte-equal"
+        assert rec_a.payload_crc == rec_b.payload_crc
