@@ -1,15 +1,32 @@
 """Bench: regenerate Fig. 12 (32-thread CPU vs 64-lane UDP decompression).
 
 Paper: UDP wins 2-5x on the representatives, reaching >20 GB/s.
+
+Writes a ``BENCH_fig12.json`` artifact (schema-validated; every headline
+number is wall-clock-derived, so the measured block lives under the
+``timings`` key). Set ``BENCH_FIG12_OUT`` to redirect.
 """
 
 from benchmarks.conftest import run_once
 from repro.experiments import fig12_decomp_throughput
+from repro.experiments.common import write_bench_artifact
 
 
 def test_fig12_regenerate(benchmark, ctx, lab):
     res = run_once(benchmark, fig12_decomp_throughput.run, ctx, lab)
     h = res.headline
+    write_bench_artifact(
+        {
+            "exp_id": res.exp_id,
+            "context": {"seed": ctx.seed},
+            "title": res.title,
+            "notes": res.notes,
+            "paper": dict(res.paper),
+            "timings": dict(h),
+        },
+        "BENCH_fig12.json",
+        "BENCH_FIG12_OUT",
+    )
     assert h["gm_udp_over_cpu"] > 1.3  # paper band: 2-5x, gm 7x on suite
     assert h["gm_udp_gbps"] > 20.0  # paper: "to over 20GB/s"
     # The measured software engine must show the steady-state (cached)

@@ -2,17 +2,35 @@
 
 Paper: the UDP saves an average 51 W of the 80 W DDR4 memory power (63%)
 across the 7 representative matrices, net of UDP power.
+
+Writes a ``BENCH_fig16.json`` artifact (schema-validated; modeled power is
+deterministic at the pinned seed, so headline and rows stay top-level).
+Set ``BENCH_FIG16_OUT`` to redirect.
 """
 
 import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments import fig16_power_ddr4
+from repro.experiments.common import write_bench_artifact
 
 
 def test_fig16_regenerate(benchmark, ctx, lab):
     res = run_once(benchmark, fig16_power_ddr4.run, ctx, lab)
     h = res.headline
+    write_bench_artifact(
+        {
+            "exp_id": res.exp_id,
+            "context": {"seed": ctx.seed},
+            "title": res.title,
+            "notes": res.notes,
+            "paper": dict(res.paper),
+            "headline": dict(h),
+            "rows": [list(row) for row in res.table.rows],
+        },
+        "BENCH_fig16.json",
+        "BENCH_FIG16_OUT",
+    )
     assert h["baseline_power_w"] == pytest.approx(80.0)
     assert 30.0 < h["avg_net_saving_w"] < 75.0  # paper: 51 W
     assert 0.4 < h["avg_net_saving_frac"] < 0.9  # paper: 63%

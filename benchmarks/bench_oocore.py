@@ -1,0 +1,173 @@
+"""Bench: out-of-core streaming SpMV stays bounded-memory and bit-exact.
+
+Gates (ISSUE acceptance):
+
+* the container streamed is >= 4x the reader's residency budget — the run
+  genuinely cannot hold the stream resident within budget;
+* peak RSS growth while streaming stays < 0.5x the container size — the
+  mmap reader's release-behind-the-cursor policy actually bounds memory;
+* mmap-streamed and sharded scatter-gather SpMV are bit-identical
+  (sha256 of ``y``) to the in-memory serial executor.
+
+Writes a schema-validated ``BENCH_oocore.json`` artifact; set
+``BENCH_OOCORE_OUT`` to redirect. RSS numbers are host-dependent and land
+under the ``timings`` key; sizes, page counts, and parity hashes are
+deterministic at the pinned seed.
+"""
+
+import gc
+import hashlib
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.codecs.container import ContainerReader, save_plan
+from repro.codecs.pipeline import compress_matrix
+from repro.collection import generators
+from repro.core import recoded_spmv
+from repro.experiments.common import write_bench_artifact
+from repro.util.rss import RssSampler
+
+SEED = 41
+#: Unstructured random values are incompressible, so the container lands
+#: around 30 MB at ~3.2M nnz — big enough that the 0.5x RSS bound clears
+#: the fixed decode-side overhead (DFA tables, allocator churn) by a wide
+#: margin, small enough to stream in seconds.
+N = 16000
+DENSITY = 0.0125
+BLOCK_BYTES = 8192
+#: Mapped-residency budget for the streaming reader: a small multiple of
+#: the lazy-record working window (32 records x ~one block each).
+RESIDENCY_BUDGET = 32 * BLOCK_BYTES
+SHARDS = 4
+#: Gate thresholds.
+STREAM_FACTOR_MIN = 4.0
+RSS_BOUND_FRAC = 0.5
+
+
+def _sha(y: np.ndarray) -> str:
+    return hashlib.sha256(y.tobytes()).hexdigest()
+
+
+def _measure() -> dict:
+    tmpdir = tempfile.mkdtemp(prefix="oocore-")
+    path = os.path.join(tmpdir, "stream.dsh")
+
+    m = generators.unstructured(N, density=DENSITY, seed=SEED)
+    plan = compress_matrix(m, block_bytes=BLOCK_BYTES)
+    x = np.random.default_rng(SEED).standard_normal(plan.blocked.shape[1])
+    save_plan(plan, path)
+    stream_bytes = os.path.getsize(path)
+    nblocks, nnz = plan.nblocks, plan.nnz
+
+    t0 = time.perf_counter()
+    y_serial, _ = recoded_spmv(plan, x)
+    serial_seconds = time.perf_counter() - t0
+    serial_sha = _sha(y_serial)
+
+    # Free the in-memory plan and matrix before sampling: the streaming
+    # run's RSS growth must be its own, not reuse of the baseline's pages.
+    del plan, m, y_serial
+    gc.collect()
+
+    # Warm the decode path once outside the sampled window. The in-memory
+    # baseline never decodes (its blocks are pre-materialized), so without
+    # this the one-time Huffman DFA compile — a fixed cost independent of
+    # stream size — would be charged to the streaming run's RSS delta.
+    with ContainerReader(path, verify="lazy") as warm:
+        warm.plan().decompress_block(0)
+    gc.collect()
+
+    with RssSampler() as rss:
+        t0 = time.perf_counter()
+        with ContainerReader(
+            path, verify="lazy", residency_budget=RESIDENCY_BUDGET
+        ) as reader:
+            y_mmap, stats_mmap = recoded_spmv(reader, x)
+        mmap_seconds = time.perf_counter() - t0
+    mmap_sha = _sha(y_mmap)
+    oocore = dict(stats_mmap.oocore)
+
+    t0 = time.perf_counter()
+    y_sharded, stats_sharded = recoded_spmv(path, x, shards=SHARDS)
+    sharded_seconds = time.perf_counter() - t0
+    sharded_sha = _sha(y_sharded)
+
+    peak_delta = rss.peak_delta
+    res = {
+        "exp_id": "oocore",
+        "context": {"seed": SEED, "shards": SHARDS, "block_bytes": BLOCK_BYTES},
+        "nblocks": nblocks,
+        "nnz": nnz,
+        "stream_bytes": stream_bytes,
+        "residency_budget_bytes": RESIDENCY_BUDGET,
+        "stream_over_budget": stream_bytes / RESIDENCY_BUDGET,
+        "parity": {
+            "serial_sha256": serial_sha,
+            "mmap_sha256": mmap_sha,
+            "sharded_sha256": sharded_sha,
+            "bit_identical": serial_sha == mmap_sha == sharded_sha,
+        },
+        "oocore": {
+            "mapped_bytes": int(oocore["mapped_bytes"]),
+            "pages_touched": int(oocore["pages_touched"]),
+        },
+        "gates": {
+            "rss_bound_frac": RSS_BOUND_FRAC,
+            "stream_factor_min": STREAM_FACTOR_MIN,
+            "passed": (
+                serial_sha == mmap_sha == sharded_sha
+                and stream_bytes >= STREAM_FACTOR_MIN * RESIDENCY_BUDGET
+                and (
+                    peak_delta is None
+                    or peak_delta < RSS_BOUND_FRAC * stream_bytes
+                )
+            ),
+        },
+        "timings": {
+            "peak_rss_delta_bytes": int(peak_delta or 0),
+            "rss_over_stream": (peak_delta or 0) / stream_bytes,
+            "rss_supported": rss.baseline is not None,
+            "serial_seconds": serial_seconds,
+            "mmap_seconds": mmap_seconds,
+            "sharded_seconds": sharded_seconds,
+            "shard_skew": float(stats_sharded.oocore["shard_skew"]),
+        },
+    }
+    return res
+
+
+def _write_artifact(res) -> str:
+    return write_bench_artifact(res, "BENCH_oocore.json", "BENCH_OOCORE_OUT")
+
+
+def test_oocore_gates(benchmark):
+    res = run_once(benchmark, _measure)
+    path = _write_artifact(res)
+
+    # Gate 1: the stream genuinely exceeds the residency budget.
+    assert res["stream_over_budget"] >= STREAM_FACTOR_MIN, (
+        f"container {res['stream_bytes']} B is only "
+        f"{res['stream_over_budget']:.1f}x the {res['residency_budget_bytes']} B "
+        f"budget (need >= {STREAM_FACTOR_MIN}x)"
+    )
+    # Gate 2: streaming stays bit-identical to in-memory serial.
+    assert res["parity"]["bit_identical"], res["parity"]
+    # Gate 3: bounded RSS — peak growth while streaming under half the
+    # stream size (only meaningful where /proc reports VmRSS).
+    if res["timings"]["rss_supported"]:
+        assert (
+            res["timings"]["peak_rss_delta_bytes"]
+            < RSS_BOUND_FRAC * res["stream_bytes"]
+        ), (
+            f"peak RSS delta {res['timings']['peak_rss_delta_bytes']} B >= "
+            f"{RSS_BOUND_FRAC} x {res['stream_bytes']} B stream"
+        )
+    assert res["gates"]["passed"]
+    with open(path, "r", encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    assert artifact["parity"] == res["parity"]

@@ -16,17 +16,22 @@ from repro.ablation.config import (
     AblationConfig,
     Axis,
     BASELINE_RUN_ID,
+    PAIR_SEP,
     axis,
     baseline_config,
     core_metric_names,
     enumerate_configs,
+    enumerate_pair_configs,
     expected_metric_markers,
 )
 from repro.ablation.report import (
     EXP_ID,
     RankedComponent,
+    RankedInteraction,
     build_artifact,
     rank_components,
+    rank_interactions,
+    render_interactions,
     render_ranking,
 )
 from repro.ablation.runner import (
@@ -50,16 +55,21 @@ __all__ = [
     "ConfigResult",
     "EXP_ID",
     "MatrixCase",
+    "PAIR_SEP",
     "PhaseTiming",
     "RankedComponent",
+    "RankedInteraction",
     "RunnerSettings",
     "axis",
     "baseline_config",
     "build_artifact",
     "core_metric_names",
     "enumerate_configs",
+    "enumerate_pair_configs",
     "expected_metric_markers",
     "rank_components",
+    "rank_interactions",
+    "render_interactions",
     "render_ranking",
     "validate_artifact",
 ]

@@ -119,6 +119,10 @@ _AXES_BY_NAME: dict[str, Axis] = {axis.name: axis for axis in AXES}
 #: run_id of the fully-featured configuration.
 BASELINE_RUN_ID = "baseline"
 
+#: Separator joining the two axis names of a pairwise ablation
+#: (``ablated_axis="executor+workers"``, ``run_id="no-executor+workers"``).
+PAIR_SEP = "+"
+
 
 @dataclass(frozen=True)
 class AblationConfig:
@@ -154,11 +158,30 @@ class AblationConfig:
             "spmm_fusion": self.spmm_fusion,
         }
 
+    @property
+    def is_pair(self) -> bool:
+        """True for a pairwise ablation (two axes flipped at once)."""
+        return self.ablated_axis is not None and PAIR_SEP in self.ablated_axis
+
+    def pair_axes(self) -> tuple[str, str]:
+        """The two axis names of a pairwise ablation.
+
+        Raises:
+            ValueError: when this is not a pairwise configuration.
+        """
+        if not self.is_pair:
+            raise ValueError(f"{self.run_id!r} is not a pairwise ablation")
+        a, b = self.ablated_axis.split(PAIR_SEP)
+        return a, b
+
     def describe(self) -> str:
-        axis = _AXES_BY_NAME.get(self.ablated_axis) if self.ablated_axis else None
-        if axis is None:
+        if self.ablated_axis is None:
             return "baseline (all components on)"
-        return f"{axis.component} removed: {axis.description}"
+        if self.is_pair:
+            a, b = (axis(name) for name in self.pair_axes())
+            return f"{a.component} and {b.component} removed together"
+        ax = _AXES_BY_NAME[self.ablated_axis]
+        return f"{ax.component} removed: {ax.description}"
 
 
 def axis(name: str) -> Axis:
@@ -205,6 +228,43 @@ def enumerate_configs(
                 **{ax.name: ax.ablated},
             )
         )
+    return tuple(configs)
+
+
+def enumerate_pair_configs(
+    pair_axes: tuple[str, ...],
+) -> tuple[AblationConfig, ...]:
+    """All pairwise ablations over ``pair_axes``: both axes flipped at once.
+
+    Pairs are emitted in stable :data:`AXES` order with
+    ``run_id="no-a+b"`` and ``ablated_axis="a+b"``. The interaction report
+    (:func:`repro.ablation.report.rank_interactions`) compares each
+    pair's joint slowdown against the product of its two one-off
+    slowdowns, so the one-off runs for every named axis must be in the
+    same grid.
+
+    Raises:
+        ValueError: unknown axis names, or fewer than two of them.
+    """
+    selected = [axis(name) for name in pair_axes]
+    order = {ax.name: i for i, ax in enumerate(AXES)}
+    selected.sort(key=lambda ax: order[ax.name])
+    if len({ax.name for ax in selected}) < 2:
+        raise ValueError("pairwise ablation needs at least two distinct axes")
+    base = baseline_config()
+    configs = []
+    for i, ax_a in enumerate(selected):
+        for ax_b in selected[i + 1 :]:
+            if ax_a.name == ax_b.name:
+                continue
+            configs.append(
+                replace(
+                    base,
+                    run_id=f"no-{ax_a.name}{PAIR_SEP}{ax_b.name}",
+                    ablated_axis=f"{ax_a.name}{PAIR_SEP}{ax_b.name}",
+                    **{ax_a.name: ax_a.ablated, ax_b.name: ax_b.ablated},
+                )
+            )
     return tuple(configs)
 
 

@@ -17,9 +17,10 @@ container and an 8-core runner legitimately disagree.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from repro.ablation.config import axis
+from repro.ablation.config import PAIR_SEP, axis
 from repro.ablation.runner import AblationReport, ConfigResult
 from repro.util.geomean import geomean
 from repro.util.schema import check_schema
@@ -61,10 +62,16 @@ def _phase_ratio(res: ConfigResult, base: ConfigResult, attr: str) -> float:
 
 
 def rank_components(report: AblationReport) -> tuple[RankedComponent, ...]:
-    """Rank every one-off configuration by contribution, descending."""
+    """Rank every one-off configuration by contribution, descending.
+
+    Pairwise configurations are skipped here — a joint removal has no
+    single component to rank; see :func:`rank_interactions`.
+    """
     threshold = report.settings.harmful_threshold
     ranked = []
     for res in report.results:
+        if res.config.is_pair:
+            continue
         ax = axis(res.config.ablated_axis)
         contribution = _phase_ratio(res, report.baseline, "seconds")
         ranked.append(
@@ -84,6 +91,73 @@ def rank_components(report: AblationReport) -> tuple[RankedComponent, ...]:
         )
     return tuple(
         sorted(ranked, key=lambda r: (-r.contribution, r.axis))
+    )
+
+
+@dataclass(frozen=True)
+class RankedInteraction:
+    """One pairwise ablation measured against its multiplicative null.
+
+    Under independent components, removing both should slow the system by
+    the *product* of the one-off slowdowns; ``interaction_ratio`` is the
+    measured joint slowdown over that product. ``> 1`` means the pair is
+    super-additive (the components cover for each other — removing both
+    hurts more than their separate costs predict); ``< 1`` means they are
+    redundant (one masks the other's contribution).
+    """
+
+    axes: tuple[str, str]
+    run_id: str
+    #: geomean joint slowdown of removing both components at once.
+    pair_contribution: float
+    #: product of the two one-off contributions (the independence null).
+    expected_contribution: float
+    #: pair_contribution / expected_contribution.
+    interaction_ratio: float
+
+
+def rank_interactions(report: AblationReport) -> tuple[RankedInteraction, ...]:
+    """Score every pairwise configuration against its independence null.
+
+    Sorted by ``|log(interaction_ratio)|`` descending — the most
+    non-independent pair first, whichever direction it deviates.
+
+    Raises:
+        ValueError: when a pair's one-off runs are missing from the
+            report (the null model needs both single contributions).
+    """
+    singles = {
+        res.config.ablated_axis: _phase_ratio(res, report.baseline, "seconds")
+        for res in report.results
+        if not res.config.is_pair
+    }
+    ranked = []
+    for res in report.results:
+        if not res.config.is_pair:
+            continue
+        a, b = res.config.pair_axes()
+        missing = [name for name in (a, b) if name not in singles]
+        if missing:
+            raise ValueError(
+                f"interaction ranking for {res.config.run_id!r} needs the "
+                f"one-off runs for {missing} in the same report"
+            )
+        pair = _phase_ratio(res, report.baseline, "seconds")
+        expected = singles[a] * singles[b]
+        ranked.append(
+            RankedInteraction(
+                axes=(a, b),
+                run_id=res.config.run_id,
+                pair_contribution=pair,
+                expected_contribution=expected,
+                interaction_ratio=pair / expected if expected > 0 else 1.0,
+            )
+        )
+    return tuple(
+        sorted(
+            ranked,
+            key=lambda r: (-abs(math.log(max(r.interaction_ratio, 1e-12))), r.run_id),
+        )
     )
 
 
@@ -161,6 +235,18 @@ def build_artifact(report: AblationReport) -> dict:
             "num_harmful": sum(1 for r in ranking if r.harmful),
         },
     }
+    interactions = rank_interactions(report)
+    if interactions:
+        artifact["interactions"] = [
+            {
+                "axes": list(r.axes),
+                "run_id": r.run_id,
+                "pair_contribution": r.pair_contribution,
+                "expected_contribution": r.expected_contribution,
+                "interaction_ratio": r.interaction_ratio,
+            }
+            for r in interactions
+        ]
     check_schema(artifact, BENCH_ABLATION_SCHEMA, "BENCH_ablation.json")
     return artifact
 
@@ -183,5 +269,25 @@ def render_ranking(report: AblationReport) -> str:
         table.add_row(
             r.component, r.run_id, r.contribution,
             r.cold_ratio, r.warm_ratio, r.spmm_ratio, verdict,
+        )
+    return table.render()
+
+
+def render_interactions(report: AblationReport) -> str:
+    """Human-readable pairwise-interaction table (``repro ablate --pairs``)."""
+    table = Table(
+        ["pair", "run", "joint", "expected", "interaction", "verdict"],
+        formats=["{}", "{}", "{:.3f}x", "{:.3f}x", "{:.3f}x", "{}"],
+    )
+    for r in rank_interactions(report):
+        if r.interaction_ratio > 1.05:
+            verdict = "super-additive"
+        elif r.interaction_ratio < 0.95:
+            verdict = "redundant"
+        else:
+            verdict = "~independent"
+        table.add_row(
+            PAIR_SEP.join(r.axes), r.run_id, r.pair_contribution,
+            r.expected_contribution, r.interaction_ratio, verdict,
         )
     return table.render()

@@ -10,12 +10,13 @@ Usage::
                                    [--iterations N] [--metrics-out PATH]
                                    [--trace-out PATH] [--policy strict|degrade]
                                    [--fault-plan SPEC] [--pipeline] [--depth D]
-                                   [--nrhs K]
+                                   [--mmap] [--shards S] [--nrhs K]
     python -m repro scrub  CONTAINER [--json] [--verbose]
     python -m repro suite  [--count N] [--scale F]
     python -m repro metrics FILE [--diff OTHER] [--format table|prom|json]
-    python -m repro ablate [--smoke] [--axes a,b,...] [--out PATH]
-                            [--repeats N] [--fail-harmful FRAC] [--json]
+    python -m repro ablate [--smoke] [--axes a,b,...] [--pairs a,b,...]
+                            [--out PATH] [--repeats N] [--fail-harmful FRAC]
+                            [--json]
 
 ``MATRIX`` is either a MatrixMarket path (``*.mtx``) or a synthetic spec
 ``synth:<kind>[:key=value,...]`` with kinds from
@@ -166,17 +167,26 @@ def cmd_spmv(args) -> int:
     if args.nrhs < 1:
         print("error: --nrhs must be >= 1", file=sys.stderr)
         return 2
+    if args.shards < 0:
+        print("error: --shards must be >= 0", file=sys.stderr)
+        return 2
+    if args.shards and args.pipeline:
+        print("error: --shards is its own executor; drop --pipeline",
+              file=sys.stderr)
+        return 2
     # A metrics snapshot should span all three layers (codecs, spmv,
     # memsys), which needs at least one functional pipeline iteration —
-    # as do a chaos run and the --pipeline / --nrhs executor knobs.
+    # as do a chaos run and the --pipeline / --mmap / --nrhs executor knobs.
     iterations = args.iterations or (
         1
         if args.metrics_out or args.trace_out or fault_plan
-        or args.pipeline or args.nrhs > 1
+        or args.pipeline or args.nrhs > 1 or args.mmap or args.shards
         else 0
     )
     if iterations:
         import contextlib
+        import os
+        import tempfile
 
         import numpy as np
 
@@ -184,32 +194,58 @@ def cmd_spmv(args) -> int:
         from repro.core import recoded_spmm, recoded_spmv
 
         mode = "pipelined" if args.pipeline else "serial"
-        engine = RecodeEngine(workers=args.workers, cache=DecodedBlockCache())
+        out_of_core = bool(args.mmap or args.shards)
+        # Sharded decode happens inside the shard workers; in-process
+        # engines only drive the serial/pipelined executors.
+        engine = (None if args.shards
+                  else RecodeEngine(workers=args.workers, cache=DecodedBlockCache()))
         x = (np.ones(m.ncols) if args.nrhs == 1
              else np.ones((m.ncols, args.nrhs)))
         ctx = fault_plan.activate() if fault_plan else contextlib.nullcontext()
-        with ctx:
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(ctx)
+            if out_of_core:
+                from repro.codecs.container import save_plan
+
+                tmpdir = stack.enter_context(tempfile.TemporaryDirectory())
+                target = os.path.join(tmpdir, "matrix.dsh")
+                save_plan(plan, target)
+                print(f"streaming {fmt_bytes(os.path.getsize(target))} "
+                      f"mmap-backed container"
+                      + (f" across {args.shards} shards" if args.shards else ""))
+            else:
+                target = plan
             for _ in range(iterations):
                 if args.nrhs == 1:
                     y, stats = recoded_spmv(
-                        plan, x, memory=memory, engine=engine,
+                        target, x, memory=memory, engine=engine,
                         matrix_id=args.matrix, policy=args.policy,
-                        mode=mode, depth=args.depth)
+                        mode=mode, depth=args.depth, shards=args.shards)
                 else:
                     y, stats = recoded_spmm(
-                        plan, x, memory=memory, engine=engine,
+                        target, x, memory=memory, engine=engine,
                         matrix_id=args.matrix, policy=args.policy,
-                        mode=mode, depth=args.depth)
+                        mode=mode, depth=args.depth, shards=args.shards)
                 scale = float(np.abs(y).max())
                 x = y / scale if scale else y
-        s = stats.engine_stats
-        cache = engine.cache.stats
         kind = "SpMV" if args.nrhs == 1 else f"SpMM k={args.nrhs}"
-        print(f"engine ({iterations} {mode} {kind} iterations): "
-              f"workers={s['workers']:.0f}, "
-              f"{s['blocks_decoded']:.0f} blocks decoded, "
-              f"{cache.hits} cache hits ({cache.hit_rate:.0%}), "
-              f"{s['decode_mb_per_s']:.1f} MB/s")
+        if engine is not None:
+            s = stats.engine_stats
+            cache = engine.cache.stats
+            print(f"engine ({iterations} {mode} {kind} iterations): "
+                  f"workers={s['workers']:.0f}, "
+                  f"{s['blocks_decoded']:.0f} blocks decoded, "
+                  f"{cache.hits} cache hits ({cache.hit_rate:.0%}), "
+                  f"{s['decode_mb_per_s']:.1f} MB/s")
+        if stats.oocore is not None:
+            oc = stats.oocore
+            line = (f"out-of-core ({stats.mode}): "
+                    f"mapped={fmt_bytes(oc['mapped_bytes'])} "
+                    f"pages_touched={oc['pages_touched']}")
+            if oc["shards"]:
+                line += (f" shards={oc['shards']} "
+                         f"skew={oc['shard_skew']:.2f}x")
+            print(line)
         if args.pipeline:
             reg = obs.registry()
             print(f"pipeline: depth={args.depth} "
@@ -344,6 +380,8 @@ def cmd_ablate(args) -> int:
         RunnerSettings,
         build_artifact,
         enumerate_configs,
+        enumerate_pair_configs,
+        render_interactions,
         render_ranking,
     )
 
@@ -363,10 +401,21 @@ def cmd_ablate(args) -> int:
         settings = dataclasses.replace(settings, **overrides)
 
     axes = tuple(args.axes.split(",")) if args.axes else None
-    configs = enumerate_configs(axes)
+    pair_axes = tuple(args.pairs.split(",")) if args.pairs else ()
+    if pair_axes and axes is not None:
+        # The interaction null model divides by the one-off contributions,
+        # so every paired axis must also run alone.
+        axes = tuple(dict.fromkeys((*axes, *pair_axes)))
+    try:
+        configs = enumerate_configs(axes)
+        if pair_axes:
+            configs = (*configs, *enumerate_pair_configs(pair_axes))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     # Progress goes to stderr so `--json` leaves stdout pipeable.
     print(
-        f"ablating {len(configs) - 1} components over "
+        f"ablating {len(configs) - 1} configurations over "
         f"{len(settings.cases)} matrices ({settings.profile} profile, "
         f"repeats={settings.repeats})...",
         file=sys.stderr,
@@ -382,6 +431,9 @@ def cmd_ablate(args) -> int:
         print(json.dumps(artifact, indent=2, sort_keys=True))
     else:
         print(render_ranking(report))
+        if pair_axes:
+            print()
+            print(render_interactions(report))
         gates = artifact["gates"]
         conf = artifact["conformance"]
         print(
@@ -461,6 +513,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--depth", type=int, default=4, metavar="D",
                    help="pipelined prefetch depth: max decode chunk tasks "
                         "in flight (default 4; needs --pipeline)")
+    p.add_argument("--mmap", action="store_true",
+                   help="stream the compressed matrix from an mmap-backed "
+                        ".dsh container instead of holding it in memory")
+    p.add_argument("--shards", type=int, default=0, metavar="S",
+                   help="scatter-gather the container over S contiguous "
+                        "block shards on worker processes (implies --mmap; "
+                        "result stays bit-identical)")
     p.add_argument("--nrhs", type=int, default=1, metavar="K",
                    help="right-hand sides: 1 runs SpMV, K>1 runs fused SpMM "
                         "decoding each block once for all K columns")
@@ -503,6 +562,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--axes", metavar="LIST",
                    help="comma-separated axis subset, e.g. 'cache,workers' "
                         "(default: every switchable axis)")
+    p.add_argument("--pairs", metavar="LIST",
+                   help="also run pairwise ablations over these axes, e.g. "
+                        "'executor,workers' (every pair among the listed "
+                        "axes; their one-off runs are added if --axes "
+                        "omitted them) and report interaction ratios")
     p.add_argument("--out", default="BENCH_ablation.json", metavar="PATH",
                    help="artifact path (default: %(default)s)")
     p.add_argument("--repeats", type=int, default=0, metavar="N",

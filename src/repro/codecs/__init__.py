@@ -50,7 +50,10 @@ from repro.codecs.engine import (
     plan_fingerprint,
 )
 from repro.codecs.container import (
+    BlockExtent,
     BlockHealth,
+    ContainerReader,
+    RecordExtent,
     RecordHealth,
     ScrubReport,
     load_csr,
@@ -101,6 +104,9 @@ __all__ = [
     "load_plan",
     "load_csr",
     "scrub_container",
+    "ContainerReader",
+    "BlockExtent",
+    "RecordExtent",
     "ScrubReport",
     "BlockHealth",
     "RecordHealth",

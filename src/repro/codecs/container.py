@@ -41,8 +41,12 @@ subclasses ``ValueError``):
 from __future__ import annotations
 
 import io
+import mmap
+import os
 import struct
 import zlib
+from collections import OrderedDict
+from collections.abc import Sequence
 from dataclasses import dataclass
 from os import PathLike
 
@@ -161,131 +165,571 @@ def load_plan(source: str | PathLike | io.BufferedIOBase | bytes) -> MatrixCompr
 
 
 def _parse_plan(data: memoryview) -> MatrixCompression:
-    if len(data) < len(MAGIC) + 4:
-        raise TruncatedContainerError("truncated container: shorter than magic + trailer")
-    if bytes(data[:8]) != MAGIC:
-        raise ContainerError("not a repro DSH container (bad magic)")
-    (trailer,) = struct.unpack_from("<I", data, len(data) - 4)
-    if zlib.crc32(data[:-4]) != trailer:
-        raise ContainerError("container corruption: stream CRC mismatch")
-    end = len(data) - 4
-    pos = 8
-    flags, block_bytes, m, n, nblocks, nnz = struct.unpack_from("<BIIIIQ", data, pos)
-    pos += struct.calcsize("<BIIIIQ")
-    use_delta = bool(flags & _FLAG_DELTA)
-    use_huffman = bool(flags & _FLAG_HUFFMAN)
-    if not 12 <= block_bytes <= MAX_BLOCK_BYTES:
-        raise ContainerError(f"container corruption: implausible block_bytes {block_bytes}")
-    if nblocks == 0 and (m or nnz):
-        raise ContainerError("container corruption: blockless container with rows/nnz")
-    entries_cap = block_bytes // 12
-    table_pos = pos
-    if use_huffman:
-        if pos + 512 + 4 > end:
-            raise TruncatedContainerError("truncated container: huffman tables")
-        pos += 512
-    # Header CRC is verified before the tables are even deserialized, so a
-    # corrupt length byte can never reach the table constructor.
-    (header_crc,) = struct.unpack_from("<I", data, pos)
-    if zlib.crc32(data[:pos]) != header_crc:
-        raise ContainerError("container corruption: header CRC mismatch")
-    pos += 4
-    index_table = value_table = None
-    if use_huffman:
-        index_table = HuffmanTable.deserialize(bytes(data[table_pos : table_pos + 256]))
-        value_table = HuffmanTable.deserialize(
-            bytes(data[table_pos + 256 : table_pos + 512])
-        )
+    return ContainerReader(data, verify="eager").materialize()
 
-    index_records: list[BlockRecord] = []
-    value_records: list[BlockRecord] = []
-    block_meta: list[tuple[int, int, bool, int, np.ndarray]] = []
-    prev_row_end = 0
-    running_nnz = 0
-    for _ in range(nblocks):
-        meta_start = pos
-        row_start, row_end, leading, nnz_start = struct.unpack_from("<IIBQ", data, pos)
-        pos += struct.calcsize("<IIBQ")
-        nrows_local = row_end - row_start
-        if nrows_local < 1:
-            raise ContainerError("container corruption: empty block row range")
-        if row_end > m:
-            raise ContainerError("container corruption: block rows beyond nrows")
-        # Blocks must chain contiguously: a continuation block re-opens the
-        # previous block's last row, anything else starts right after it.
-        expected_start = prev_row_end - 1 if leading else prev_row_end
-        if row_start != max(expected_start, 0) or (leading and prev_row_end == 0):
-            raise ContainerError("container corruption: block row ranges do not chain")
-        prev_row_end = row_end
-        ptr_bytes = 4 * (nrows_local + 1)
-        if pos + ptr_bytes + 4 > end:
-            raise TruncatedContainerError("truncated container: row_ptr")
-        row_ptr = np.frombuffer(data[pos : pos + ptr_bytes], dtype="<u4").astype(np.int64)
-        pos += ptr_bytes
-        (meta_crc,) = struct.unpack_from("<I", data, pos)
-        if zlib.crc32(data[meta_start:pos]) != meta_crc:
-            raise ContainerError("container corruption: block meta CRC mismatch")
+
+# ---------------------------------------------------------------------------
+# Lazily-addressable container access (``ContainerReader``)
+# ---------------------------------------------------------------------------
+
+#: Page size used for the ``pages_touched`` accounting (fixed, not the
+#: host's, so the metric is comparable across machines).
+PAGE_BYTES = 4096
+
+#: How many materialized records each lazy record sequence memoizes. The
+#: window only needs to outlive one block's stream→compare→decode span;
+#: keeping it small is what bounds resident payload bytes to O(depth × block).
+_LAZY_RECORD_MEMO = 32
+
+
+@dataclass(frozen=True)
+class RecordExtent:
+    """Byte extent of one stream record inside the container.
+
+    ``offset`` is the first byte of the 16-byte record header; the payload
+    spans ``[payload_offset, end)``. The header fields and the record CRC
+    are captured at walk time (cheap), the payload bytes are not.
+    """
+
+    offset: int
+    orig_len: int
+    snappy_len: int
+    bit_len: int
+    payload_len: int
+    crc: int
+
+    @property
+    def payload_offset(self) -> int:
+        return self.offset + 20
+
+    @property
+    def end(self) -> int:
+        return self.offset + 20 + self.payload_len
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes the record occupies in DRAM once materialized (see
+        :attr:`BlockRecord.stored_bytes`)."""
+        return 12 + self.payload_len
+
+
+@dataclass(frozen=True)
+class BlockExtent:
+    """Byte extents and row metadata of one block, payloads untouched."""
+
+    block_id: int
+    offset: int
+    row_start: int
+    row_end: int
+    leading_partial: bool
+    nnz_start: int
+    index: RecordExtent
+    value: RecordExtent
+
+    @property
+    def end(self) -> int:
+        return self.value.end
+
+
+def _page_span(start: int, end: int) -> int:
+    """Number of PAGE_BYTES pages the byte range [start, end) touches."""
+    if end <= start:
+        return 0
+    return (end - 1) // PAGE_BYTES - start // PAGE_BYTES + 1
+
+
+class _LazyRecords(Sequence):
+    """Sequence view over one stream's records, materialized on access.
+
+    ``__getitem__`` resolves the record's extent, slices header+payload out
+    of the reader's mapping, and verifies the record CRC — so a lazy reader
+    raises the exact same record-layer errors eager loading would, just at
+    access time. A small LRU memo keeps the *same object* coming back for
+    repeated accesses within a working window (the executor compares
+    streamed records by identity to detect DRAM-side faults) without
+    retaining every payload.
+    """
+
+    def __init__(self, reader: "ContainerReader", stream: str):
+        self._reader = reader
+        self._stream = stream
+        self._memo: OrderedDict[int, BlockRecord] = OrderedDict()
+
+    def __len__(self) -> int:
+        return self._reader.nblocks
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return tuple(self[j] for j in range(*i.indices(len(self))))
+        n = len(self)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(i)
+        rec = self._memo.get(i)
+        if rec is not None:
+            self._memo.move_to_end(i)
+            return rec
+        rec = self._reader.record(i, self._stream)
+        self._memo[i] = rec
+        while len(self._memo) > _LAZY_RECORD_MEMO:
+            self._memo.popitem(last=False)
+        return rec
+
+    def __reduce__(self):
+        # A process-pool engine pickles the whole plan; the mmap behind this
+        # view cannot cross the process boundary, so ship materialized
+        # records instead (loses laziness, keeps correctness).
+        return (tuple, (tuple(self),))
+
+
+class ContainerReader:
+    """Lazily-addressable view of a ``.dsh`` container.
+
+    Maps the file with ``mmap`` (or wraps an in-memory buffer) and resolves
+    per-block record *extents* from the block metadata without materializing
+    payload bytes. Structural validation — magic, header fields and CRC,
+    table deserialization, block row-range chaining, row_ptr monotonicity,
+    byte budgets, nnz chaining, record framing and truncation, row
+    coverage, trailing bytes — always runs at construction, with the exact
+    error types and messages of :func:`load_plan`. What ``verify`` controls
+    is the CRC layers over *payload bytes*:
+
+    * ``verify="eager"`` — the stream trailer CRC is checked up front and
+      every record CRC is checked during the walk, reproducing
+      :func:`load_plan`'s behavior (and check *order*) exactly.
+    * ``verify="lazy"`` — the trailer check is skipped (call
+      :meth:`verify_stream` to run it on demand) and record CRCs are
+      checked when a record is materialized by :meth:`record`, raising the
+      identical ``ContainerError("container corruption: record CRC
+      mismatch")`` eager loading would have raised.
+
+    Unlike :func:`load_plan`, the reader never routes the stream through
+    the container-site fault hook (mutating the whole stream would defeat
+    the zero-copy mapping); record-site and DRAM-site fault injection still
+    apply downstream, and file-level corruption tests simply corrupt the
+    file. Decode-layer checks (column bounds, header-nnz agreement) happen
+    where decode happens: at :meth:`materialize` for eager loads, in the
+    executor for streamed runs.
+    """
+
+    def __init__(
+        self,
+        source: "str | PathLike | bytes | bytearray | memoryview | io.BufferedIOBase",
+        *,
+        verify: str = "eager",
+        residency_budget: int | None = None,
+    ):
+        if verify not in ("eager", "lazy"):
+            raise ValueError(f"verify must be 'eager' or 'lazy', got {verify!r}")
+        if residency_budget is not None and residency_budget < PAGE_BYTES:
+            raise ValueError(
+                f"residency_budget must be >= {PAGE_BYTES} bytes, got {residency_budget}"
+            )
+        self.verify = verify
+        self.residency_budget = residency_budget
+        self._release_frontier = 0
+        self.path: str | None = None
+        self._file = None
+        self._mm = None
+        self._buf = None
+        self._closed = False
+        self.pages_touched = 0
+        if isinstance(source, (str, PathLike)):
+            self.path = os.fspath(source)
+            self._file = open(self.path, "rb")
+            try:
+                self._mm = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError:
+                # Zero-length files cannot be mapped; an empty buffer walks
+                # to the same TruncatedContainerError load_plan raises.
+                self._buf = self._file.read()
+        elif isinstance(source, (bytes, bytearray, memoryview)):
+            self._buf = source
+        elif hasattr(source, "read"):
+            self._buf = source.read()
+        else:
+            raise TypeError(f"unsupported container source: {type(source).__name__}")
+        self._data = memoryview(self._mm if self._mm is not None else self._buf)
+        self._plan: MatrixCompression | None = None
+        try:
+            self._walk()
+        except struct.error as exc:
+            self.close()
+            raise TruncatedContainerError(f"truncated container: {exc}") from exc
+        except Exception:
+            self.close()
+            raise
+        if self.residency_budget is not None and self._mm is not None:
+            # The walk released pages behind its cursor as it went; drop the
+            # final in-budget window too, and rewind the release frontier so
+            # record streaming (which restarts at the file head) can release
+            # behind its own cursor.
+            try:
+                self._mm.madvise(mmap.MADV_DONTNEED)
+            except (AttributeError, ValueError, OSError):  # pragma: no cover
+                pass
+            self._release_frontier = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the mapping and file handle (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        data = self.__dict__.pop("_data", None)
+        if data is not None:
+            data.release()
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self._buf = None
+
+    def __enter__(self) -> "ContainerReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @property
+    def _view(self) -> memoryview:
+        if self._closed:
+            raise ValueError("ContainerReader is closed")
+        return self._data
+
+    # -- structural walk ----------------------------------------------------
+
+    def _walk(self) -> None:
+        data = self._data
+        if len(data) < len(MAGIC) + 4:
+            raise TruncatedContainerError(
+                "truncated container: shorter than magic + trailer"
+            )
+        if bytes(data[:8]) != MAGIC:
+            raise ContainerError("not a repro DSH container (bad magic)")
+        if self.verify == "eager":
+            self.verify_stream()
+        end = len(data) - 4
+        pos = 8
+        flags, block_bytes, m, n, nblocks, nnz = struct.unpack_from("<BIIIIQ", data, pos)
+        pos += struct.calcsize("<BIIIIQ")
+        use_delta = bool(flags & _FLAG_DELTA)
+        use_huffman = bool(flags & _FLAG_HUFFMAN)
+        if not 12 <= block_bytes <= MAX_BLOCK_BYTES:
+            raise ContainerError(
+                f"container corruption: implausible block_bytes {block_bytes}"
+            )
+        if nblocks == 0 and (m or nnz):
+            raise ContainerError("container corruption: blockless container with rows/nnz")
+        entries_cap = block_bytes // 12
+        table_pos = pos
+        if use_huffman:
+            if pos + 512 + 4 > end:
+                raise TruncatedContainerError("truncated container: huffman tables")
+            pos += 512
+        # Header CRC is verified before the tables are even deserialized, so
+        # a corrupt length byte can never reach the table constructor.
+        (header_crc,) = struct.unpack_from("<I", data, pos)
+        if zlib.crc32(data[:pos]) != header_crc:
+            raise ContainerError("container corruption: header CRC mismatch")
         pos += 4
-        if row_ptr[0] != 0 or np.any(np.diff(row_ptr) < 0):
-            raise ContainerError("container corruption: row_ptr not monotone from 0")
-        block_nnz = int(row_ptr[-1])
-        if block_nnz > entries_cap:
-            raise ContainerError("container corruption: block exceeds its byte budget")
-        if nnz_start != running_nnz:
-            raise ContainerError("container corruption: nnz_start does not chain")
-        running_nnz += block_nnz
-        irec, pos = _read_record(data, pos)
-        vrec, pos = _read_record(data, pos)
-        if irec.orig_len != 4 * block_nnz or vrec.orig_len != 8 * block_nnz:
-            raise ContainerError("container corruption: record lengths disagree with row_ptr")
-        index_records.append(irec)
-        value_records.append(vrec)
-        block_meta.append((row_start, row_end, bool(leading), nnz_start, row_ptr))
-    if nblocks and prev_row_end != m:
-        raise ContainerError("container corruption: blocks do not cover all rows")
-    if pos != end:
-        raise ContainerError("container corruption: trailing bytes after last block")
+        index_table = value_table = None
+        if use_huffman:
+            index_table = HuffmanTable.deserialize(
+                bytes(data[table_pos : table_pos + 256])
+            )
+            value_table = HuffmanTable.deserialize(
+                bytes(data[table_pos + 256 : table_pos + 512])
+            )
 
-    # Rebuild the blocked structure by decoding each block once.
-    shell_blocks = [
-        CSRBlock(
-            row_start=rs,
-            row_end=re_,
-            row_ptr=ptr,
-            col_idx=np.zeros(int(ptr[-1]), dtype=np.int32),
-            val=np.zeros(int(ptr[-1]), dtype=np.float64),
-            nnz_start=ns,
-            leading_partial=lead,
+        extents: list[BlockExtent] = []
+        row_ptrs: list[np.ndarray] = []
+        prev_row_end = 0
+        running_nnz = 0
+        for k in range(nblocks):
+            meta_start = pos
+            row_start, row_end, leading, nnz_start = struct.unpack_from("<IIBQ", data, pos)
+            pos += struct.calcsize("<IIBQ")
+            nrows_local = row_end - row_start
+            if nrows_local < 1:
+                raise ContainerError("container corruption: empty block row range")
+            if row_end > m:
+                raise ContainerError("container corruption: block rows beyond nrows")
+            # Blocks must chain contiguously: a continuation block re-opens
+            # the previous block's last row, anything else starts right
+            # after it.
+            expected_start = prev_row_end - 1 if leading else prev_row_end
+            if row_start != max(expected_start, 0) or (leading and prev_row_end == 0):
+                raise ContainerError("container corruption: block row ranges do not chain")
+            prev_row_end = row_end
+            ptr_bytes = 4 * (nrows_local + 1)
+            if pos + ptr_bytes + 4 > end:
+                raise TruncatedContainerError("truncated container: row_ptr")
+            row_ptr = np.frombuffer(data[pos : pos + ptr_bytes], dtype="<u4").astype(
+                np.int64
+            )
+            pos += ptr_bytes
+            (meta_crc,) = struct.unpack_from("<I", data, pos)
+            if zlib.crc32(data[meta_start:pos]) != meta_crc:
+                raise ContainerError("container corruption: block meta CRC mismatch")
+            pos += 4
+            if row_ptr[0] != 0 or np.any(np.diff(row_ptr) < 0):
+                raise ContainerError("container corruption: row_ptr not monotone from 0")
+            block_nnz = int(row_ptr[-1])
+            if block_nnz > entries_cap:
+                raise ContainerError("container corruption: block exceeds its byte budget")
+            if nnz_start != running_nnz:
+                raise ContainerError("container corruption: nnz_start does not chain")
+            running_nnz += block_nnz
+            iext, pos = self._walk_record(pos)
+            vext, pos = self._walk_record(pos)
+            if iext.orig_len != 4 * block_nnz or vext.orig_len != 8 * block_nnz:
+                raise ContainerError(
+                    "container corruption: record lengths disagree with row_ptr"
+                )
+            extents.append(
+                BlockExtent(
+                    block_id=k,
+                    offset=meta_start,
+                    row_start=row_start,
+                    row_end=row_end,
+                    leading_partial=bool(leading),
+                    nnz_start=nnz_start,
+                    index=iext,
+                    value=vext,
+                )
+            )
+            row_ptrs.append(row_ptr)
+            # The walk itself faults in meta pages across the whole file;
+            # under a residency budget, release behind the cursor as we go
+            # so even construction peaks at O(budget). Safe: row_ptr was
+            # copied out of the mapping by .astype above.
+            self._maybe_release(pos)
+        if nblocks and prev_row_end != m:
+            raise ContainerError("container corruption: blocks do not cover all rows")
+        if pos != end:
+            raise ContainerError("container corruption: trailing bytes after last block")
+
+        self.shape = (m, n)
+        self.nrows = m
+        self.ncols = n
+        self.nblocks = nblocks
+        self.nnz = nnz
+        self.block_bytes = block_bytes
+        self.use_delta = use_delta
+        self.use_huffman = use_huffman
+        self.index_table = index_table
+        self.value_table = value_table
+        self.extents: tuple[BlockExtent, ...] = tuple(extents)
+        self._row_ptrs = row_ptrs
+
+    def _walk_record(self, pos: int) -> tuple[RecordExtent, int]:
+        """Capture one record's extent; same framing checks (and, when
+        eager, the same CRC check) as :func:`_read_record`, payload bytes
+        untouched in lazy mode."""
+        data = self._data
+        orig_len, snappy_len, bit_len, payload_len = struct.unpack_from(
+            "<IIII", data, pos
         )
-        for rs, re_, lead, ns, ptr in block_meta
-    ]
-    shell = MatrixCompression(
-        blocked=BlockedCSR((m, n), tuple(shell_blocks), block_bytes),
-        index_records=tuple(index_records),
-        value_records=tuple(value_records),
-        index_table=index_table,
-        value_table=value_table,
-        use_delta=use_delta,
-        use_huffman=use_huffman,
-        block_bytes=block_bytes,
-    )
-    real_blocks = tuple(shell.decompress_block(i) for i in range(nblocks))
-    for block in real_blocks:
-        if block.nnz and (block.col_idx.min() < 0 or block.col_idx.max() >= n):
-            raise ContainerError("container corruption: column index outside ncols")
-    plan = MatrixCompression(
-        blocked=BlockedCSR((m, n), real_blocks, block_bytes),
-        index_records=tuple(index_records),
-        value_records=tuple(value_records),
-        index_table=index_table,
-        value_table=value_table,
-        use_delta=use_delta,
-        use_huffman=use_huffman,
-        block_bytes=block_bytes,
-    )
-    if plan.nnz != nnz:
-        raise ContainerError(f"container corruption: nnz {plan.nnz} != header {nnz}")
-    return plan
+        (crc,) = struct.unpack_from("<I", data, pos + 16)
+        ext = RecordExtent(pos, orig_len, snappy_len, bit_len, payload_len, crc)
+        if ext.end > len(data):
+            raise TruncatedContainerError("truncated container: record payload")
+        if self.verify == "eager":
+            running = zlib.crc32(data[pos : pos + 16])
+            if zlib.crc32(data[ext.payload_offset : ext.end], running) != crc:
+                raise ContainerError("container corruption: record CRC mismatch")
+        return ext, ext.end
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Total mapped (or buffered) container size in bytes."""
+        return len(self._view)
+
+    def verify_stream(self) -> None:
+        """Check the stream-trailer CRC (reads the whole mapping once).
+
+        Runs automatically at construction under ``verify="eager"``; under
+        ``verify="lazy"`` call it explicitly when a full-stream check is
+        worth a sequential pass.
+        """
+        data = self._view
+        (trailer,) = struct.unpack_from("<I", data, len(data) - 4)
+        if zlib.crc32(data[:-4]) != trailer:
+            raise ContainerError("container corruption: stream CRC mismatch")
+
+    def _extent(self, block_id: int, stream: str) -> RecordExtent:
+        if stream == "index":
+            return self.extents[block_id].index
+        if stream == "value":
+            return self.extents[block_id].value
+        raise ValueError(f"stream must be 'index' or 'value', got {stream!r}")
+
+    def record_window(self, block_id: int, stream: str) -> tuple[int, int]:
+        """``(offset, length)`` of one record — header plus payload."""
+        ext = self._extent(block_id, stream)
+        return ext.offset, ext.end - ext.offset
+
+    def record(self, block_id: int, stream: str) -> BlockRecord:
+        """Materialize one record, verifying its CRC at access time.
+
+        Raises the identical errors eager loading raises for the same
+        corruption: ``TruncatedContainerError("truncated container: record
+        payload")`` if the mapping no longer covers the payload, and
+        ``ContainerError("container corruption: record CRC mismatch")`` on
+        a CRC failure.
+        """
+        ext = self._extent(block_id, stream)
+        data = self._view
+        header = bytes(data[ext.offset : ext.offset + 16])
+        payload = bytes(data[ext.payload_offset : ext.end])
+        if len(payload) != ext.payload_len:
+            raise TruncatedContainerError("truncated container: record payload")
+        if zlib.crc32(payload, zlib.crc32(header)) != ext.crc:
+            raise ContainerError("container corruption: record CRC mismatch")
+        self.pages_touched += _page_span(ext.offset, ext.end)
+        self._maybe_release(ext.offset)
+        return BlockRecord(
+            ext.orig_len,
+            ext.snappy_len,
+            ext.bit_len,
+            payload,
+            payload_crc=zlib.crc32(payload),
+        )
+
+    def _maybe_release(self, current_offset: int) -> None:
+        """Drop mapped pages that fell more than ``residency_budget`` bytes
+        behind the access cursor.
+
+        Records are copied out of the mapping on materialization, so pages
+        behind the cursor hold nothing live; for the sequential block-order
+        access pattern of a streaming run this keeps peak mapped residency
+        at O(residency_budget) no matter the container size. Released pages
+        simply re-fault from the file if revisited.
+        """
+        if self.residency_budget is None or self._mm is None:
+            return
+        target = (
+            (current_offset - self.residency_budget) // PAGE_BYTES
+        ) * PAGE_BYTES
+        if target <= self._release_frontier:
+            return
+        try:
+            self._mm.madvise(
+                mmap.MADV_DONTNEED, self._release_frontier, target - self._release_frontier
+            )
+        except (AttributeError, ValueError, OSError):  # pragma: no cover
+            return
+        self._release_frontier = target
+
+    def record_health(self, block_id: int, stream: str) -> tuple[BlockRecord, bool]:
+        """Tolerant variant of :meth:`record` for scrubbing: always returns
+        the record, plus whether its CRC matched."""
+        ext = self._extent(block_id, stream)
+        data = self._view
+        header = bytes(data[ext.offset : ext.offset + 16])
+        payload = bytes(data[ext.payload_offset : ext.end])
+        crc_ok = zlib.crc32(payload, zlib.crc32(header)) == ext.crc
+        record = BlockRecord(
+            ext.orig_len,
+            ext.snappy_len,
+            ext.bit_len,
+            payload,
+            payload_crc=zlib.crc32(payload),
+        )
+        return record, crc_ok
+
+    def shell_blocks(self) -> tuple[CSRBlock, ...]:
+        """Structure-only CSR blocks: real row metadata, zero payloads.
+
+        ``np.zeros`` payload arrays stay copy-on-write untouched pages, so
+        a shell of a multi-GB matrix costs O(rows), not O(nnz), resident.
+        """
+        return tuple(
+            CSRBlock(
+                row_start=ext.row_start,
+                row_end=ext.row_end,
+                row_ptr=ptr,
+                col_idx=np.zeros(int(ptr[-1]), dtype=np.int32),
+                val=np.zeros(int(ptr[-1]), dtype=np.float64),
+                nnz_start=ext.nnz_start,
+                leading_partial=ext.leading_partial,
+            )
+            for ext, ptr in zip(self.extents, self._row_ptrs)
+        )
+
+    def plan(self) -> MatrixCompression:
+        """A streaming :class:`MatrixCompression` view over the mapping.
+
+        The blocked structure holds shell blocks (row metadata only) and
+        the record sequences are lazy: payload bytes are sliced out of the
+        mapping when a record is accessed, with record CRCs checked at that
+        moment. Memoized per reader.
+        """
+        if self._plan is None:
+            self._plan = MatrixCompression(
+                blocked=BlockedCSR(self.shape, self.shell_blocks(), self.block_bytes),
+                index_records=_LazyRecords(self, "index"),
+                value_records=_LazyRecords(self, "value"),
+                index_table=self.index_table,
+                value_table=self.value_table,
+                use_delta=self.use_delta,
+                use_huffman=self.use_huffman,
+                block_bytes=self.block_bytes,
+            )
+        return self._plan
+
+    def materialize(self) -> MatrixCompression:
+        """Fully materialize the plan (what :func:`load_plan` returns).
+
+        Decodes every block to rebuild the raw :class:`BlockedCSR`, then
+        runs the decode-layer checks in :func:`load_plan`'s order: column
+        bounds per block, total nnz against the header.
+        """
+        m, n = self.shape
+        index_records = tuple(self.record(i, "index") for i in range(self.nblocks))
+        value_records = tuple(self.record(i, "value") for i in range(self.nblocks))
+        shell = MatrixCompression(
+            blocked=BlockedCSR((m, n), self.shell_blocks(), self.block_bytes),
+            index_records=index_records,
+            value_records=value_records,
+            index_table=self.index_table,
+            value_table=self.value_table,
+            use_delta=self.use_delta,
+            use_huffman=self.use_huffman,
+            block_bytes=self.block_bytes,
+        )
+        real_blocks = tuple(shell.decompress_block(i) for i in range(self.nblocks))
+        for block in real_blocks:
+            if block.nnz and (block.col_idx.min() < 0 or block.col_idx.max() >= n):
+                raise ContainerError("container corruption: column index outside ncols")
+        plan = MatrixCompression(
+            blocked=BlockedCSR((m, n), real_blocks, self.block_bytes),
+            index_records=index_records,
+            value_records=value_records,
+            index_table=self.index_table,
+            value_table=self.value_table,
+            use_delta=self.use_delta,
+            use_huffman=self.use_huffman,
+            block_bytes=self.block_bytes,
+        )
+        if plan.nnz != self.nnz:
+            raise ContainerError(
+                f"container corruption: nnz {plan.nnz} != header {self.nnz}"
+            )
+        return plan
 
 
 def load_csr(source: str | PathLike | io.BufferedIOBase | bytes) -> CSRMatrix:
@@ -462,6 +906,55 @@ def _scrub_record(
     return RecordHealth(stream, crc_ok, decode_ok, payload_len, error), pos
 
 
+def _scrub_via_reader(reader: ContainerReader) -> ScrubReport:
+    """Health report over a structurally-sound container.
+
+    Reuses the reader's already-resolved record extents instead of
+    re-scanning the stream: every block/record boundary comes straight from
+    :attr:`ContainerReader.extents`; only the CRC and decode layers are
+    (tolerantly) exercised here.
+    """
+    from repro.codecs.pipeline import decode_record
+
+    try:
+        reader.verify_stream()
+        trailer_ok = True
+    except ContainerError:
+        trailer_ok = False
+    blocks: list[BlockHealth] = []
+    for ext in reader.extents:
+        healths: dict[str, RecordHealth] = {}
+        for stream, table, apply_delta in (
+            ("index", reader.index_table, reader.use_delta),
+            ("value", reader.value_table, False),
+        ):
+            record, crc_ok = reader.record_health(ext.block_id, stream)
+            decode_ok, error = True, None
+            if reader.use_huffman and table is None:
+                decode_ok, error = False, "no usable huffman table"
+            else:
+                try:
+                    decode_record(
+                        record, table,
+                        use_huffman=reader.use_huffman, apply_delta=apply_delta,
+                    )
+                except CodecError as exc:
+                    decode_ok, error = False, str(exc)
+            healths[stream] = RecordHealth(
+                stream, crc_ok, decode_ok,
+                len(record.payload), error,
+            )
+        blocks.append(
+            BlockHealth(
+                ext.block_id, ext.offset, True, healths["index"], healths["value"],
+            )
+        )
+    return ScrubReport(
+        nbytes=reader.nbytes, magic_ok=True, header_ok=True, trailer_ok=trailer_ok,
+        nblocks=reader.nblocks, blocks=tuple(blocks), fatal=None,
+    )
+
+
 def scrub_container(source: "str | PathLike | io.BufferedIOBase | bytes") -> ScrubReport:
     """Walk a ``.dsh`` container and report per-block health.
 
@@ -470,12 +963,24 @@ def scrub_container(source: "str | PathLike | io.BufferedIOBase | bytes") -> Scr
     reported, so an operator can see *which* blocks a damaged file loses
     before deciding whether ``degrade``-mode SpMV or a re-encode is the
     right response. Only an unreadable source (OSError) propagates.
+
+    Structurally-sound containers (the common case: healthy, or record
+    payload/trailer corruption) are walked through
+    :class:`ContainerReader`'s extents — one resolution of the boundaries
+    shared with every other consumer. Streams the reader rejects
+    (truncation, meta/header damage, broken chaining) fall back to the
+    tolerant legacy scan below.
     """
     if isinstance(source, (str, PathLike)):
         with open(source, "rb") as fh:
             return scrub_container(fh.read())
     if not isinstance(source, bytes):
         source = source.read()
+    try:
+        with ContainerReader(source, verify="lazy") as reader:
+            return _scrub_via_reader(reader)
+    except CodecError:
+        pass
     data = memoryview(source)
     nbytes = len(data)
     header_fmt = "<BIIIIQ"

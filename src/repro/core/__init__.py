@@ -15,8 +15,12 @@ from repro.core.attach import AttachReport, on_die_udp, pcie_attached
 from repro.core.executor import (
     BlockAccumulator,
     DEFAULT_DEPTH,
+    MmapBlockSource,
+    PlanBlockSource,
     RunCounters,
     run_pipelined,
+    run_sharded,
+    shard_ranges,
 )
 from repro.core.hetero import HeterogeneousSystem, ScenarioResult, SpMVComparison
 from repro.core.pipeline_timing import PipelineTiming, simulate_recoded_spmv_timing
@@ -43,6 +47,10 @@ __all__ = [
     "recoded_spmm",
     "BlockAccumulator",
     "DEFAULT_DEPTH",
+    "MmapBlockSource",
+    "PlanBlockSource",
     "RunCounters",
     "run_pipelined",
+    "run_sharded",
+    "shard_ranges",
 ]

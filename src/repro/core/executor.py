@@ -25,13 +25,15 @@ the pipeline changes *when* work happens, never *what* happens.
 
 from __future__ import annotations
 
+import concurrent.futures
 import threading
 import time
 from collections.abc import Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
+from repro import kernels
 from repro.codecs.engine import BlockFailure, DEFAULT_PREFETCH_CHUNKS, RecodeEngine
 from repro.codecs.errors import BlockDecodeError, CodecError
 from repro.codecs.pipeline import MatrixCompression
@@ -144,28 +146,88 @@ class BlockAccumulator:
         return self.out
 
 
-def multiply_block(
-    block: CSRBlock, x: np.ndarray, acc: BlockAccumulator, block_id: int
-) -> None:
-    """One block's multiply stage: gather, scale, segment-sum, accumulate.
+def block_row_sums(
+    block: CSRBlock, x: np.ndarray
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """One block's multiply arithmetic: ``(rows, seg)`` or None when empty.
 
-    Identical arithmetic to :func:`repro.sparse.spmv.spmv_blocked` /
+    Identical to :func:`repro.sparse.spmv.spmv_blocked` /
     :func:`repro.sparse.spmm.spmm_blocked` — same products, same
     ``np.add.reduceat`` segment starts — so each row's partial sum is
-    bit-identical to the serial kernels'.
+    bit-identical to the serial kernels'. Factored out of
+    :func:`multiply_block` so shard workers can compute per-block sums and
+    ship them back for accumulator folding in the parent process.
     """
     if block.nnz == 0:
-        return
+        return None
     rows, seg_starts = block.row_segments()
     if rows.size == 0:
-        return
+        return None
     if x.ndim == 1:
         products = block.val * x[block.col_idx]
         seg = np.add.reduceat(products, seg_starts)
     else:
         products = block.val[:, None] * x[block.col_idx]
         seg = np.add.reduceat(products, seg_starts, axis=0)
-    acc.add(block_id, rows, seg)
+    return rows, seg
+
+
+def multiply_block(
+    block: CSRBlock, x: np.ndarray, acc: BlockAccumulator, block_id: int
+) -> None:
+    """One block's multiply stage: gather, scale, segment-sum, accumulate."""
+    sums = block_row_sums(block, x)
+    if sums is None:
+        return
+    acc.add(block_id, sums[0], sums[1])
+
+
+class PlanBlockSource:
+    """Block source over a fully-materialized in-memory plan.
+
+    The *source* abstraction is what lets one executor serve both resident
+    plans and mmap-backed containers: the only thing the executor needs
+    beyond the (possibly lazy) record sequences is a pristine raw block for
+    ``degrade``-policy substitution.
+    """
+
+    mapped_bytes = 0
+
+    def __init__(self, plan: MatrixCompression):
+        self._plan = plan
+
+    def raw_block(self, i: int) -> CSRBlock:
+        """The retained raw CSR partition block."""
+        return self._plan.blocked.blocks[i]
+
+    @property
+    def pages_touched(self) -> int:
+        return 0
+
+
+class MmapBlockSource:
+    """Block source over a :class:`~repro.codecs.container.ContainerReader`.
+
+    The plan's blocked structure holds shell blocks (row metadata only), so
+    ``degrade`` substitution cannot read a retained partition; instead the
+    pristine mapped records are decoded on demand — bit-identical to the
+    block the eager loader would have retained, at O(block) residency.
+    """
+
+    def __init__(self, reader, plan: MatrixCompression):
+        self._reader = reader
+        self._plan = plan
+
+    def raw_block(self, i: int) -> CSRBlock:
+        return self._plan.decompress_block(i)
+
+    @property
+    def mapped_bytes(self) -> int:
+        return self._reader.nbytes
+
+    @property
+    def pages_touched(self) -> int:
+        return self._reader.pages_touched
 
 
 def run_pipelined(
@@ -180,13 +242,20 @@ def run_pipelined(
     policy: str,
     depth: int,
     counters: RunCounters,
+    source: "PlanBlockSource | MmapBlockSource | None" = None,
 ) -> tuple[np.ndarray, float]:
     """Execute one pipelined recoded SpMV (1-D ``x``) or SpMM (2-D ``x``).
+
+    ``source`` supplies pristine raw blocks for ``degrade`` substitution —
+    defaults to the in-memory :class:`PlanBlockSource`; pass an
+    :class:`MmapBlockSource` when ``plan`` is a streaming container view.
 
     Returns ``(result, dma_seconds)``; degraded-block accounting lands on
     ``counters``. Raises the same :class:`BlockDecodeError` the serial
     executor would (lowest failing block id) under ``policy="strict"``.
     """
+    if source is None:
+        source = PlanBlockSource(plan)
     reg = obs.registry()
     blocked = plan.blocked
     nblocks = plan.nblocks
@@ -224,8 +293,8 @@ def run_pipelined(
     failures: dict[int, BlockDecodeError] = {}
 
     def degrade_block(i: int) -> None:
-        """Substitute block ``i`` from the retained raw CSR partition."""
-        raw = blocked.blocks[i]
+        """Substitute block ``i`` from the source's pristine raw view."""
+        raw = source.raw_block(i)
         dma_deg[i] = dma.transfer(12 * raw.nnz, "dram", "cpu").seconds
         counters.add_degraded()
         reg.counter("spmv.degraded_blocks").inc()
@@ -316,3 +385,245 @@ def run_pipelined(
         if i in dma_deg:
             dma_seconds += dma_deg[i]
     return out, dma_seconds
+
+
+# ---------------------------------------------------------------------------
+# Row-range sharding: contiguous block shards on worker processes
+# ---------------------------------------------------------------------------
+
+
+def shard_ranges(nblocks: int, shards: int) -> tuple[range, ...]:
+    """Split ``nblocks`` into ``shards`` contiguous, near-equal block ranges.
+
+    Empty ranges are dropped (more shards than blocks degrades to one block
+    per shard), so every returned range is non-empty and the ranges cover
+    ``range(nblocks)`` exactly, in order.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if nblocks == 0:
+        return ()
+    shards = min(shards, nblocks)
+    base, extra = divmod(nblocks, shards)
+    ranges = []
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < extra else 0)
+        ranges.append(range(lo, hi))
+        lo = hi
+    return tuple(ranges)
+
+
+def _shard_worker(
+    path: str,
+    verify: str,
+    block_ids: Sequence[int],
+    x: np.ndarray,
+    policy: str,
+    memory: MemorySystem,
+    fault_plan,
+    kernel_backend: str,
+    residency_budget: int | None,
+) -> dict:
+    """Run one contiguous block shard inside a worker process.
+
+    Opens its own :class:`~repro.codecs.container.ContainerReader` over the
+    container (each worker maps the file independently — pages fault in on
+    demand) and executes the serial engine-less decode/multiply loop over
+    its blocks. Nothing is accumulated here: per-block ``(rows, seg)``
+    segment sums, per-block DMA seconds, traffic-edge byte totals, and
+    failures ship back to the parent, which folds them through one
+    :class:`BlockAccumulator` so the result is bit-identical to serial no
+    matter how the blocks were sharded.
+    """
+    from repro.codecs.container import ContainerReader
+
+    t0 = time.perf_counter()
+    ctx = fault_plan.activate() if fault_plan is not None else None
+    if ctx is not None:
+        ctx.__enter__()
+    try:
+        with kernels.use_backend(kernel_backend):
+            with ContainerReader(
+                path, verify=verify, residency_budget=residency_budget
+            ) as reader:
+                plan = reader.plan()
+                log = TrafficLog()
+                dma = DMAEngine(memory, log=log)
+                segments: list[tuple[int, np.ndarray, np.ndarray]] = []
+                dma_idx: dict[int, float] = {}
+                dma_val: dict[int, float] = {}
+                dma_deg: dict[int, float] = {}
+                failures: dict[int, tuple[str, int | None]] = {}
+                degraded = 0
+                for i in block_ids:
+                    idx_rec = memory.stream_record(plan.index_records[i], i, "index")
+                    val_rec = memory.stream_record(plan.value_records[i], i, "value")
+                    dma_idx[i] = dma.transfer(idx_rec.stored_bytes, "dram", "udp").seconds
+                    dma_val[i] = dma.transfer(val_rec.stored_bytes, "dram", "udp").seconds
+                    try:
+                        block = plan.decompress_block(
+                            i, index_record=idx_rec, value_record=val_rec
+                        )
+                    except CodecError as exc:
+                        if policy == "strict":
+                            if isinstance(exc, BlockDecodeError):
+                                failures[i] = (str(exc), exc.block_id)
+                            else:
+                                failures[i] = (
+                                    f"block {i} failed to decode: {exc}", i
+                                )
+                            continue
+                        # degrade: decode the pristine mapped records —
+                        # bit-identical to the raw block an eager loader
+                        # would have retained.
+                        raw = plan.decompress_block(i)
+                        dma_deg[i] = dma.transfer(12 * raw.nnz, "dram", "cpu").seconds
+                        degraded += 1
+                        sums = block_row_sums(raw, x)
+                        if sums is not None:
+                            segments.append((i, sums[0], sums[1]))
+                        continue
+                    sums = block_row_sums(block, x)
+                    if sums is not None:
+                        segments.append((i, sums[0], sums[1]))
+                    log.record("udp", "cpu", 12 * block.nnz)
+                return {
+                    "segments": segments,
+                    "dma_idx": dma_idx,
+                    "dma_val": dma_val,
+                    "dma_deg": dma_deg,
+                    "edges": log.edges(),
+                    "failures": failures,
+                    "degraded": degraded,
+                    "pages_touched": reader.pages_touched,
+                    "mapped_bytes": reader.nbytes,
+                    "wall_seconds": time.perf_counter() - t0,
+                }
+    finally:
+        if ctx is not None:
+            ctx.__exit__(None, None, None)
+
+
+def run_sharded(
+    reader,
+    x: np.ndarray,
+    *,
+    shards: int,
+    memory: MemorySystem,
+    log: TrafficLog,
+    policy: str,
+    counters: RunCounters,
+    bounds: Sequence[range] | None = None,
+) -> tuple[np.ndarray, float, dict]:
+    """Scatter-gather recoded SpMV/SpMM over contiguous block shards.
+
+    Each shard runs on its own worker process against its own mapping of
+    the container (``reader`` must be path-backed). Workers return raw
+    per-block segment sums; the parent folds them all through one
+    :class:`BlockAccumulator`, whose leading-partial deferral makes the
+    result bit-identical to serial for *any* contiguous partition — split
+    rows at shard boundaries included. Traffic-edge byte totals are exact
+    integer sums and per-block DMA seconds are folded in global block
+    order, so ``TrafficLog`` and ``dma_seconds`` also match serial exactly.
+
+    Returns ``(result, dma_seconds, oocore_info)`` where ``oocore_info``
+    carries the ``spmv.oocore.*`` measurements (bytes mapped, pages
+    touched, per-shard wall seconds and skew).
+    """
+    if reader.path is None:
+        raise ValueError(
+            "sharded execution needs a path-backed ContainerReader "
+            "(workers re-map the container file)"
+        )
+    nblocks = reader.nblocks
+    if bounds is None:
+        bounds = shard_ranges(nblocks, shards)
+    else:
+        covered = [i for r in bounds for i in r]
+        if covered != list(range(nblocks)):
+            raise ValueError("shard bounds must cover all blocks contiguously")
+        bounds = tuple(r for r in bounds if len(r))
+    shell_blocks = reader.shell_blocks()
+    nrows = reader.shape[0]
+    shape = (nrows,) if x.ndim == 1 else (nrows, x.shape[1])
+    out = np.zeros(shape, dtype=VALUE_DTYPE)
+    acc = BlockAccumulator(shell_blocks, out)
+    fault_plan = faults.active()
+    backend = kernels.backend()
+
+    results: list[dict] = []
+    if not bounds:
+        return out, 0.0, {
+            "shards": 0, "mapped_bytes": 0, "pages_touched": 0,
+            "shard_seconds": [], "shard_skew": 1.0,
+        }
+    with obs.trace("spmv.oocore.scatter", shards=len(bounds), nblocks=nblocks):
+        with concurrent.futures.ProcessPoolExecutor(max_workers=len(bounds)) as pool:
+            futs = [
+                pool.submit(
+                    _shard_worker,
+                    reader.path,
+                    reader.verify,
+                    list(r),
+                    x,
+                    policy,
+                    memory,
+                    fault_plan,
+                    backend,
+                    reader.residency_budget,
+                )
+                for r in bounds
+            ]
+            for fut in futs:
+                results.append(fut.result())
+
+    failures: dict[int, tuple[str, int | None]] = {}
+    for res in results:
+        failures.update(res["failures"])
+    if failures:
+        # Serial raises at its first failing block; the lowest block id
+        # across all shards reproduces that error exactly.
+        first = min(failures)
+        msg, block_id = failures[first]
+        raise BlockDecodeError(msg, block_id=block_id)
+
+    with obs.trace("spmv.oocore.gather", shards=len(results)):
+        degraded_total = 0
+        dma_idx: dict[int, float] = {}
+        dma_val: dict[int, float] = {}
+        dma_deg: dict[int, float] = {}
+        edge_totals: dict[tuple[str, str], int] = {}
+        for res in results:
+            for i, rows, seg in res["segments"]:
+                acc.add(i, rows, seg)
+            dma_idx.update(res["dma_idx"])
+            dma_val.update(res["dma_val"])
+            dma_deg.update(res["dma_deg"])
+            for edge, nbytes in res["edges"].items():
+                edge_totals[edge] = edge_totals.get(edge, 0) + nbytes
+            degraded_total += res["degraded"]
+        for (src, dst), nbytes in sorted(edge_totals.items()):
+            log.record(src, dst, nbytes)
+        if degraded_total:
+            counters.add_degraded(degraded_total)
+            obs.registry().counter("spmv.degraded_blocks").inc(degraded_total)
+        acc.finalize()
+
+    dma_seconds = 0.0
+    for i in range(nblocks):
+        dma_seconds += dma_idx.get(i, 0.0)
+        dma_seconds += dma_val.get(i, 0.0)
+        if i in dma_deg:
+            dma_seconds += dma_deg[i]
+
+    shard_seconds = [res["wall_seconds"] for res in results]
+    mean_s = sum(shard_seconds) / len(shard_seconds)
+    info = {
+        "shards": len(results),
+        "mapped_bytes": sum(res["mapped_bytes"] for res in results),
+        "pages_touched": sum(res["pages_touched"] for res in results),
+        "shard_seconds": shard_seconds,
+        "shard_skew": (max(shard_seconds) / mean_s) if mean_s > 0 else 1.0,
+    }
+    return out, dma_seconds, info

@@ -35,14 +35,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from os import PathLike
 
 import numpy as np
 
 from repro import obs
+from repro.codecs.container import ContainerReader
 from repro.codecs.engine import RecodeEngine
 from repro.codecs.errors import BlockDecodeError, CodecError
 from repro.codecs.pipeline import MatrixCompression
-from repro.core.executor import DEFAULT_DEPTH, RunCounters, run_pipelined
+from repro.core.executor import (
+    DEFAULT_DEPTH,
+    MmapBlockSource,
+    PlanBlockSource,
+    RunCounters,
+    run_pipelined,
+    run_sharded,
+)
 from repro.memsys.dma import DMAEngine
 from repro.memsys.dram import DDR4_100GBS, MemorySystem
 from repro.memsys.traffic import TrafficLog
@@ -74,10 +83,15 @@ class PipelineStats:
     #: bit-exact — the substitution streams raw bytes, costing compression
     #: benefit, not correctness.
     degraded_blocks: int = 0
-    #: Executor that produced this run (``serial`` | ``pipelined``).
+    #: Executor that produced this run (``serial`` | ``pipelined`` |
+    #: ``sharded``).
     mode: str = "serial"
     #: Right-hand-side count: 1 for SpMV, ``k`` for fused SpMM.
     nrhs: int = 1
+    #: Out-of-core measurements when the run streamed an mmap-backed
+    #: container (bytes mapped, pages touched, shard wall seconds/skew);
+    #: None for in-memory plans.
+    oocore: dict | None = None
 
     @property
     def traffic_ratio(self) -> float:
@@ -110,6 +124,47 @@ def _validate(
             raise ValueError(f"depth must be >= 1, got {depth}")
 
 
+def _validate_shards(
+    shards: int, reader, mode: str, engine, use_udp_simulator: bool
+) -> None:
+    if shards < 0:
+        raise ValueError(f"shards must be >= 0, got {shards}")
+    if shards == 0:
+        return
+    if reader is None or reader.path is None:
+        raise ValueError(
+            "shards>0 needs a path-backed container: pass a .dsh path or a "
+            "ContainerReader opened from one (workers re-map the file)"
+        )
+    if mode == "pipelined":
+        raise ValueError("shards>0 is its own executor; use mode='serial'")
+    if engine is not None:
+        raise ValueError("shards>0 decodes in shard workers; engine must be None")
+    if use_udp_simulator:
+        raise ValueError("shards>0 cannot run the cycle-level UDP simulator")
+
+
+def _resolve(
+    plan: "MatrixCompression | ContainerReader | str | PathLike",
+) -> tuple[MatrixCompression, ContainerReader | None, bool]:
+    """Normalize the ``plan`` argument to ``(plan, reader, owned_reader)``.
+
+    A path opens a lazy-verify :class:`ContainerReader` that the run owns
+    (and closes); a reader is borrowed; an in-memory plan passes through.
+    """
+    if isinstance(plan, MatrixCompression):
+        return plan, None, False
+    if isinstance(plan, ContainerReader):
+        return plan.plan(), plan, False
+    if isinstance(plan, (str, PathLike)):
+        reader = ContainerReader(plan, verify="lazy")
+        return reader.plan(), reader, True
+    raise TypeError(
+        "plan must be a MatrixCompression, a ContainerReader, or a .dsh "
+        f"path, got {type(plan).__name__}"
+    )
+
+
 def _execute(
     plan: MatrixCompression,
     x: np.ndarray,
@@ -124,17 +179,42 @@ def _execute(
     kernel,
     prefix: str,
     nrhs: int,
+    reader: ContainerReader | None = None,
+    shards: int = 0,
 ) -> tuple[np.ndarray, PipelineStats]:
     """Shared executor body for recoded SpMV (``prefix="spmv"``, 1-D ``x``)
     and fused SpMM (``prefix="spmm"``, 2-D ``x``)."""
     _validate(policy, mode, depth, engine, use_udp_simulator)
+    _validate_shards(shards, reader, mode, engine, use_udp_simulator)
+    source = MmapBlockSource(reader, plan) if reader is not None else PlanBlockSource(plan)
+    pages_before = source.pages_touched
     log = TrafficLog()
     dma = DMAEngine(memory, log=log)
     dma_seconds = 0.0
     start = time.perf_counter()
     counters = RunCounters()
+    oocore_info: dict | None = None
 
-    if mode == "pipelined":
+    if shards:
+        n = plan.blocked.shape[1]
+        if x.ndim == 1 and x.shape[0] != n:
+            raise ValueError(f"x must have shape ({n},), got {x.shape}")
+        with obs.trace(
+            f"{prefix}.recoded",
+            nblocks=plan.nblocks,
+            matrix=matrix_id,
+            mode="sharded",
+        ):
+            y, dma_seconds, oocore_info = run_sharded(
+                reader,
+                x,
+                shards=shards,
+                memory=memory,
+                log=log,
+                policy=policy,
+                counters=counters,
+            )
+    elif mode == "pipelined":
         with obs.trace(
             f"{prefix}.recoded", nblocks=plan.nblocks, matrix=matrix_id, mode=mode
         ):
@@ -149,6 +229,7 @@ def _execute(
                 policy=policy,
                 depth=depth,
                 counters=counters,
+                source=source,
             )
     else:
         toolchain = DecoderToolchain(plan) if use_udp_simulator else None
@@ -205,10 +286,13 @@ def _execute(
                         raise BlockDecodeError(
                             f"block {i} failed to decode: {exc}", block_id=i
                         ) from exc
-                    # degrade: substitute the retained raw CSR block — result
-                    # stays bit-exact; the block streams uncompressed.
+                    # degrade: substitute the source's pristine raw block —
+                    # the retained CSR partition for in-memory plans, an
+                    # on-demand decode of the pristine mapped records for
+                    # mmap-backed ones. Result stays bit-exact either way;
+                    # the block streams uncompressed.
                     counters.add_degraded()
-                    block = plan.blocked.blocks[i]
+                    block = source.raw_block(i)
                     dma_seconds += dma.transfer(
                         12 * block.nnz, "dram", "cpu"
                     ).seconds
@@ -220,6 +304,14 @@ def _execute(
         with obs.trace(f"{prefix}.recoded", nblocks=plan.nblocks, matrix=matrix_id):
             y = kernel(plan.blocked, x, recode=recode)
 
+    if reader is not None and oocore_info is None:
+        oocore_info = {
+            "shards": 0,
+            "mapped_bytes": source.mapped_bytes,
+            "pages_touched": source.pages_touched - pages_before,
+            "shard_seconds": [],
+            "shard_skew": 1.0,
+        }
     stats = PipelineStats(
         traffic=log,
         dram_bytes=log.bytes_on("dram", "udp") + log.bytes_on("dram", "cpu"),
@@ -228,10 +320,20 @@ def _execute(
         engine_stats=engine.stats.as_dict() if engine is not None else None,
         policy=policy,
         degraded_blocks=counters.degraded,
-        mode=mode,
+        mode="sharded" if shards else mode,
         nrhs=nrhs,
+        oocore=oocore_info,
     )
     reg = obs.registry()
+    if oocore_info is not None:
+        reg.counter(f"{prefix}.oocore.runs").inc()
+        reg.counter(f"{prefix}.oocore.bytes_mapped").inc(oocore_info["mapped_bytes"])
+        reg.counter(f"{prefix}.oocore.pages_touched").inc(
+            oocore_info["pages_touched"]
+        )
+        if shards:
+            reg.counter(f"{prefix}.oocore.shards").inc(oocore_info["shards"])
+            reg.gauge(f"{prefix}.oocore.shard_skew").set(oocore_info["shard_skew"])
     reg.counter(f"{prefix}.iterations").inc()
     reg.counter(f"{prefix}.blocks").inc(plan.nblocks)
     reg.counter(f"{prefix}.nnz").inc(plan.nnz)
@@ -248,7 +350,7 @@ def _execute(
 
 
 def recoded_spmv(
-    plan: MatrixCompression,
+    plan: "MatrixCompression | ContainerReader | str | PathLike",
     x: np.ndarray,
     memory: MemorySystem = DDR4_100GBS,
     use_udp_simulator: bool = False,
@@ -257,11 +359,16 @@ def recoded_spmv(
     policy: str = "strict",
     mode: str = "serial",
     depth: int = DEFAULT_DEPTH,
+    shards: int = 0,
 ) -> tuple[np.ndarray, PipelineStats]:
     """Execute ``y = A @ x`` over the compressed plan.
 
     Args:
-        plan: compressed matrix.
+        plan: compressed matrix — an in-memory
+            :class:`~repro.codecs.pipeline.MatrixCompression`, an open
+            :class:`~repro.codecs.container.ContainerReader`, or a ``.dsh``
+            path (opened lazily-verified and mmap-streamed; the run owns
+            and closes the mapping).
         x: dense input vector.
         memory: memory system for DMA timing/energy.
         use_udp_simulator: decode blocks with the cycle-level UDP programs
@@ -288,28 +395,40 @@ def recoded_spmv(
             Both modes produce bit-identical results, traffic, and errors.
         depth: pipelined prefetch depth — max decode chunk tasks in
             flight (``mode="pipelined"`` only).
+        shards: split the container into this many contiguous block
+            shards and scatter-gather them over worker processes, each
+            mapping the file independently (``y`` stays bit-identical to
+            serial). Requires a path-backed container; incompatible with
+            ``engine`` / ``mode="pipelined"`` / ``use_udp_simulator``.
 
     Returns:
         ``(y, stats)``.
     """
-    return _execute(
-        plan,
-        x,
-        memory=memory,
-        use_udp_simulator=use_udp_simulator,
-        engine=engine,
-        matrix_id=matrix_id,
-        policy=policy,
-        mode=mode,
-        depth=depth,
-        kernel=spmv_blocked,
-        prefix="spmv",
-        nrhs=1,
-    )
+    plan, reader, owned = _resolve(plan)
+    try:
+        return _execute(
+            plan,
+            x,
+            memory=memory,
+            use_udp_simulator=use_udp_simulator,
+            engine=engine,
+            matrix_id=matrix_id,
+            policy=policy,
+            mode=mode,
+            depth=depth,
+            kernel=spmv_blocked,
+            prefix="spmv",
+            nrhs=1,
+            reader=reader,
+            shards=shards,
+        )
+    finally:
+        if owned:
+            reader.close()
 
 
 def recoded_spmm(
-    plan: MatrixCompression,
+    plan: "MatrixCompression | ContainerReader | str | PathLike",
     x: np.ndarray,
     memory: MemorySystem = DDR4_100GBS,
     engine: RecodeEngine | None = None,
@@ -317,6 +436,7 @@ def recoded_spmm(
     policy: str = "strict",
     mode: str = "serial",
     depth: int = DEFAULT_DEPTH,
+    shards: int = 0,
 ) -> tuple[np.ndarray, PipelineStats]:
     """Execute fused ``Y = A @ X`` for ``k`` right-hand sides.
 
@@ -327,29 +447,37 @@ def recoded_spmm(
     bit-identical to ``recoded_spmv(plan, X[:, j])``.
 
     Accepts the same ``engine`` / ``matrix_id`` / ``policy`` / ``mode`` /
-    ``depth`` knobs as :func:`recoded_spmv`; metrics are recorded under
-    the ``spmm.*`` prefix with ``flops = 2 * k * nnz``.
+    ``depth`` / ``shards`` knobs (and the same polymorphic ``plan``) as
+    :func:`recoded_spmv`; metrics are recorded under the ``spmm.*`` prefix
+    with ``flops = 2 * k * nnz``.
 
     Returns:
         ``(Y, stats)`` with ``Y.shape == (nrows, k)`` and
         ``stats.nrhs == k``.
     """
-    x = np.ascontiguousarray(x, dtype=np.float64)
-    if x.ndim != 2 or x.shape[0] != plan.blocked.shape[1]:
-        raise ValueError(
-            f"X must have shape ({plan.blocked.shape[1]}, k), got {x.shape}"
+    plan, reader, owned = _resolve(plan)
+    try:
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != plan.blocked.shape[1]:
+            raise ValueError(
+                f"X must have shape ({plan.blocked.shape[1]}, k), got {x.shape}"
+            )
+        return _execute(
+            plan,
+            x,
+            memory=memory,
+            use_udp_simulator=False,
+            engine=engine,
+            matrix_id=matrix_id,
+            policy=policy,
+            mode=mode,
+            depth=depth,
+            kernel=spmm_blocked,
+            prefix="spmm",
+            nrhs=int(x.shape[1]),
+            reader=reader,
+            shards=shards,
         )
-    return _execute(
-        plan,
-        x,
-        memory=memory,
-        use_udp_simulator=False,
-        engine=engine,
-        matrix_id=matrix_id,
-        policy=policy,
-        mode=mode,
-        depth=depth,
-        kernel=spmm_blocked,
-        prefix="spmm",
-        nrhs=int(x.shape[1]),
-    )
+    finally:
+        if owned:
+            reader.close()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 
 from repro.codecs.engine import DecodedBlockCache, RecodeEngine
@@ -72,6 +74,26 @@ class ExperimentResult:
         if self.notes:
             lines.append(f"  note: {self.notes}")
         return "\n".join(lines)
+
+
+def write_bench_artifact(artifact: dict, default_name: str, env_var: str) -> str:
+    """Schema-validate ``artifact`` and write it as a ``BENCH_*.json``.
+
+    The schema is looked up in :data:`repro.util.BENCH_SCHEMAS` by the
+    artifact's ``exp_id`` — an unknown id or a shape mismatch raises
+    before any file is touched, so gate fields cannot silently drift
+    between writers and CI. ``env_var`` redirects the output path (the CI
+    jobs use tmpdir copies); the default lands at the repo root where
+    ``tests/test_bench_schemas.py`` re-validates the checked-in copy.
+    """
+    from repro.util import BENCH_SCHEMAS, check_schema
+
+    check_schema(artifact, BENCH_SCHEMAS[artifact["exp_id"]], default_name)
+    path = os.environ.get(env_var, default_name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 class MatrixLab:

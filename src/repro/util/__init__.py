@@ -3,6 +3,7 @@ RNG policy, and BENCH-artifact schema validation."""
 
 from repro.util.geomean import geomean, geomean_ratio
 from repro.util.rng import seeded_rng, derive_seed
+from repro.util.rss import RssSampler, read_rss_bytes
 from repro.util.schema import (
     BENCH_SCHEMAS,
     SchemaError,
@@ -30,6 +31,8 @@ __all__ = [
     "geomean_ratio",
     "seeded_rng",
     "derive_seed",
+    "RssSampler",
+    "read_rss_bytes",
     "BENCH_SCHEMAS",
     "SchemaError",
     "check_schema",

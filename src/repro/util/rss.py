@@ -1,0 +1,88 @@
+"""Resident-set-size measurement for the out-of-core bounded-RSS gate.
+
+Stdlib-only: reads ``VmRSS`` from ``/proc/self/status`` (Linux). A
+:class:`RssSampler` polls it on a daemon thread so a streaming run can be
+bracketed and its *peak* residency compared against the container size —
+the contract ``benchmarks/bench_oocore.py`` gates on. On platforms
+without procfs the reader returns ``None`` and the gate self-skips rather
+than fabricating numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+def read_rss_bytes() -> int | None:
+    """Current process resident set size in bytes, or None off-Linux."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    # "VmRSS:     123456 kB"
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+class RssSampler:
+    """Sample peak RSS on a daemon thread while a workload runs.
+
+    Usage::
+
+        with RssSampler() as rss:
+            stream_the_matrix()
+        print(rss.baseline, rss.peak, rss.peak_delta)
+
+    ``baseline`` is the RSS at entry, ``peak`` the maximum seen by any
+    sample (including one final sample at exit), ``peak_delta`` their
+    difference clamped at zero — the workload's own residency high-water
+    mark, independent of whatever the process had resident before.
+    """
+
+    def __init__(self, interval_s: float = 0.005):
+        self.interval_s = interval_s
+        self.baseline: int | None = None
+        self.peak: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def supported(self) -> bool:
+        return read_rss_bytes() is not None
+
+    @property
+    def peak_delta(self) -> int | None:
+        if self.baseline is None or self.peak is None:
+            return None
+        return max(0, self.peak - self.baseline)
+
+    def _sample(self) -> None:
+        rss = read_rss_bytes()
+        if rss is not None and (self.peak is None or rss > self.peak):
+            self.peak = rss
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._sample()
+            self._stop.wait(self.interval_s)
+
+    def __enter__(self) -> "RssSampler":
+        self.baseline = read_rss_bytes()
+        self.peak = self.baseline
+        if self.baseline is not None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="rss-sampler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._sample()

@@ -309,6 +309,29 @@ BENCH_ABLATION_SCHEMA: dict = _with_common(
                     "mismatches": {"type": "array", "items": {"type": "string"}},
                 },
             },
+            # Present only when the run included pairwise ablations
+            # (``repro ablate --pairs``).
+            "interactions": {
+                "type": "array",
+                "items": {
+                    "type": "object",
+                    "required": [
+                        "axes", "run_id", "pair_contribution",
+                        "expected_contribution", "interaction_ratio",
+                    ],
+                    "properties": {
+                        "axes": {
+                            "type": "array",
+                            "min_items": 2,
+                            "items": {"type": "string"},
+                        },
+                        "run_id": {"type": "string"},
+                        "pair_contribution": {"type": "number", "minimum": 0},
+                        "expected_contribution": {"type": "number", "minimum": 0},
+                        "interaction_ratio": {"type": "number", "minimum": 0},
+                    },
+                },
+            },
             "gates": {
                 "type": "object",
                 "required": ["worst_removal_gain", "harmful_threshold", "num_harmful"],
@@ -322,9 +345,167 @@ BENCH_ABLATION_SCHEMA: dict = _with_common(
     }
 )
 
+#: ``BENCH_fig12.json`` — written by
+#: ``benchmarks/bench_fig12_decomp_throughput.py``. Every headline number
+#: is wall-clock-derived (throughputs and their ratios), so the whole
+#: measured block lives under the wholesale-excluded ``timings`` key; only
+#: the paper's reference values and the run envelope are deterministic.
+BENCH_FIG12_SCHEMA: dict = _with_common(
+    {
+        "required": ["title", "paper", "timings"],
+        "properties": {
+            "title": {"type": "string"},
+            "paper": {
+                "type": "object",
+                "required": ["gm_udp_over_cpu", "gm_udp_gbps"],
+                "properties": {
+                    "gm_udp_over_cpu": {"type": "number", "minimum": 0},
+                    "gm_udp_gbps": {"type": "number", "minimum": 0},
+                },
+            },
+            "timings": {
+                "type": "object",
+                "required": [
+                    "gm_udp_over_cpu",
+                    "gm_udp_gbps",
+                    "sw_cold_mb_s",
+                    "sw_steady_over_cold",
+                    "hf_python_mb_s",
+                    "hf_numpy_over_python",
+                ],
+                "properties": {
+                    "gm_udp_over_cpu": {"type": "number", "minimum": 0},
+                    "gm_udp_gbps": {"type": "number", "minimum": 0},
+                    "sw_cold_mb_s": {"type": "number", "minimum": 0},
+                    "sw_steady_over_cold": {"type": "number", "minimum": 0},
+                    "hf_python_mb_s": {"type": "number", "minimum": 0},
+                    "hf_numpy_over_python": {"type": "number", "minimum": 0},
+                },
+            },
+        },
+    }
+)
+
+#: ``BENCH_fig16.json`` — written by
+#: ``benchmarks/bench_fig16_power_ddr4.py``. Modeled (not wall-clock)
+#: power numbers: deterministic at a fixed seed, so the headline and the
+#: per-matrix rows stay top-level.
+BENCH_FIG16_SCHEMA: dict = _with_common(
+    {
+        "required": ["title", "paper", "headline", "rows"],
+        "properties": {
+            "title": {"type": "string"},
+            "paper": {
+                "type": "object",
+                "required": [
+                    "avg_net_saving_w",
+                    "avg_net_saving_frac",
+                    "baseline_power_w",
+                ],
+                "properties": {
+                    "avg_net_saving_w": {"type": "number", "minimum": 0},
+                    "avg_net_saving_frac": {"type": "number", "minimum": 0},
+                    "baseline_power_w": {"type": "number", "minimum": 0},
+                },
+            },
+            "headline": {
+                "type": "object",
+                "required": [
+                    "avg_net_saving_w",
+                    "avg_net_saving_frac",
+                    "baseline_power_w",
+                ],
+                "properties": {
+                    "avg_net_saving_w": {"type": "number", "minimum": 0},
+                    "avg_net_saving_frac": {"type": "number", "minimum": 0},
+                    "baseline_power_w": {"type": "number", "minimum": 0},
+                },
+            },
+            "rows": {
+                "type": "array",
+                "min_items": 1,
+                "items": {"type": "array", "items": {"type": "string"}},
+            },
+        },
+    }
+)
+
+#: ``BENCH_oocore.json`` — written by ``benchmarks/bench_oocore.py``.
+#: Byte sizes, page counts, and parity hashes are deterministic at a
+#: fixed seed; RSS samples and shard skew are host-dependent and live
+#: under ``timings``.
+BENCH_OOCORE_SCHEMA: dict = _with_common(
+    {
+        "required": [
+            "stream_bytes",
+            "residency_budget_bytes",
+            "stream_over_budget",
+            "parity",
+            "gates",
+            "timings",
+        ],
+        "properties": {
+            "context": {
+                "required": ["shards", "block_bytes"],
+                "properties": {
+                    "shards": {"type": "integer", "minimum": 1},
+                    "block_bytes": {"type": "integer", "minimum": 12},
+                },
+            },
+            "nblocks": {"type": "integer", "minimum": 1},
+            "nnz": {"type": "integer", "minimum": 0},
+            "stream_bytes": {"type": "integer", "minimum": 1},
+            "residency_budget_bytes": {"type": "integer", "minimum": 1},
+            "stream_over_budget": {"type": "number", "minimum": 0},
+            "parity": {
+                "type": "object",
+                "required": [
+                    "serial_sha256",
+                    "mmap_sha256",
+                    "sharded_sha256",
+                    "bit_identical",
+                ],
+                "properties": {
+                    "serial_sha256": {"type": "string"},
+                    "mmap_sha256": {"type": "string"},
+                    "sharded_sha256": {"type": "string"},
+                    "bit_identical": {"type": "boolean"},
+                },
+            },
+            "oocore": {
+                "type": "object",
+                "properties": {
+                    "mapped_bytes": {"type": "integer", "minimum": 0},
+                    "pages_touched": {"type": "integer", "minimum": 0},
+                },
+            },
+            "gates": {
+                "type": "object",
+                "required": ["rss_bound_frac", "stream_factor_min", "passed"],
+                "properties": {
+                    "rss_bound_frac": {"type": "number", "minimum": 0},
+                    "stream_factor_min": {"type": "number", "minimum": 0},
+                    "passed": {"type": "boolean"},
+                },
+            },
+            "timings": {
+                "type": "object",
+                "required": ["peak_rss_delta_bytes", "rss_over_stream"],
+                "properties": {
+                    "peak_rss_delta_bytes": {"type": "integer", "minimum": 0},
+                    "rss_over_stream": {"type": "number", "minimum": 0},
+                },
+            },
+        },
+    }
+)
+
 #: All BENCH artifact schemas by ``exp_id``.
 BENCH_SCHEMAS: dict[str, dict] = {
     "headline": BENCH_HEADLINE_SCHEMA,
     "bench_pipeline": BENCH_PIPELINE_SCHEMA,
     "ablation": BENCH_ABLATION_SCHEMA,
+    "fig12": BENCH_FIG12_SCHEMA,
+    "fig16": BENCH_FIG16_SCHEMA,
+    "oocore": BENCH_OOCORE_SCHEMA,
 }

@@ -23,7 +23,10 @@ from repro.ablation import (
     baseline_config,
     build_artifact,
     enumerate_configs,
+    enumerate_pair_configs,
     rank_components,
+    rank_interactions,
+    render_interactions,
     render_ranking,
     validate_artifact,
 )
@@ -207,3 +210,118 @@ def test_cli_ablate_tiny_roundtrip(tmp_path, monkeypatch, capsys):
     )
     captured = capsys.readouterr()
     assert "conformance: 4 configs bit-identical" in captured.out
+
+
+# -- pairwise ablations ----------------------------------------------------
+
+
+def test_enumerate_pair_configs_flip_both_axes():
+    (pair,) = enumerate_pair_configs(("workers", "cache"))
+    # Stable AXES order, regardless of argument order.
+    assert pair.run_id == "no-cache+workers"
+    assert pair.ablated_axis == "cache+workers"
+    assert pair.is_pair and pair.pair_axes() == ("cache", "workers")
+    assert pair.cache is axis("cache").ablated
+    assert pair.workers == axis("workers").ablated
+    # Everything else stays at baseline.
+    assert pair.executor == baseline_config().executor
+    assert "removed together" in pair.describe()
+
+    three = enumerate_pair_configs(("cache", "workers", "executor"))
+    assert [c.run_id for c in three] == [
+        "no-cache+executor", "no-cache+workers", "no-executor+workers",
+    ]
+
+    with pytest.raises(ValueError):
+        enumerate_pair_configs(("cache",))
+    with pytest.raises(ValueError):
+        enumerate_pair_configs(("cache", "bogus"))
+
+
+def _synthetic_pair_report(single_a, single_b, pair_scale):
+    """Singles scaled by ``single_a``/``single_b``, their pair by
+    ``pair_scale`` — all against a baseline of 1.8 headline seconds."""
+    settings = dataclasses.replace(RunnerSettings.tiny(), harmful_threshold=0.05)
+    singles = {c.run_id: c for c in enumerate_configs(("cache", "workers"))}
+    (pair_cfg,) = enumerate_pair_configs(("cache", "workers"))
+    base = _result(singles["baseline"], cold=1.0, warm=0.1, spmm=0.5)
+    results = (
+        _result(singles["no-cache"], 1.0 * single_a, 0.1 * single_a, 0.5 * single_a),
+        _result(singles["no-workers"], 1.0 * single_b, 0.1 * single_b, 0.5 * single_b),
+        _result(pair_cfg, 1.0 * pair_scale, 0.1 * pair_scale, 0.5 * pair_scale),
+    )
+    return AblationReport(
+        settings=settings, baseline=base, results=results, mismatches=()
+    )
+
+
+def test_rank_interactions_measures_against_multiplicative_null():
+    # Uniform phase scaling makes every contribution exactly the scale:
+    # pair 4.5x vs independent prediction 3.0 * 1.2 = 3.6x -> ratio 1.25.
+    report = _synthetic_pair_report(single_a=3.0, single_b=1.2, pair_scale=4.5)
+    (ranked,) = rank_interactions(report)
+    assert ranked.axes == ("cache", "workers")
+    assert ranked.run_id == "no-cache+workers"
+    assert ranked.pair_contribution == pytest.approx(4.5)
+    assert ranked.expected_contribution == pytest.approx(3.6)
+    assert ranked.interaction_ratio == pytest.approx(1.25)
+    assert "super-additive" in render_interactions(report)
+
+    # A perfectly independent pair scores ~1.0 (redundant pairs score <1).
+    indep = _synthetic_pair_report(single_a=2.0, single_b=1.5, pair_scale=3.0)
+    assert rank_interactions(indep)[0].interaction_ratio == pytest.approx(1.0)
+
+    # The single-axis ranking must not see the composite run.
+    assert [r.axis for r in rank_components(report)] == ["cache", "workers"]
+
+
+def test_interactions_land_in_schema_validated_artifact():
+    report = _synthetic_pair_report(single_a=3.0, single_b=1.2, pair_scale=4.5)
+    artifact = build_artifact(report)
+    validate_artifact(artifact)
+    (entry,) = artifact["interactions"]
+    assert entry["axes"] == ["cache", "workers"]
+    assert entry["interaction_ratio"] == pytest.approx(1.25)
+    # The composite run rides along in configs but never in ranking.
+    assert "no-cache+workers" in {c["run_id"] for c in artifact["configs"]}
+    assert "no-cache+workers" not in {r["run_id"] for r in artifact["ranking"]}
+    # Pair-free reports keep the key absent (schema marks it optional).
+    assert "interactions" not in build_artifact(
+        _synthetic_report(no_cache_scale=3.0, no_workers_scale=1.2)
+    )
+
+
+def test_rank_interactions_requires_the_single_runs():
+    report = _synthetic_pair_report(single_a=3.0, single_b=1.2, pair_scale=4.5)
+    clipped = AblationReport(
+        settings=report.settings,
+        baseline=report.baseline,
+        results=report.results[1:],  # drop no-cache
+        mismatches=(),
+    )
+    with pytest.raises(ValueError, match="no-cache\\+workers"):
+        rank_interactions(clipped)
+
+
+def test_cli_ablate_pairs_roundtrip(tmp_path, monkeypatch, capsys):
+    out = tmp_path / "BENCH_ablation.json"
+    monkeypatch.setattr(RunnerSettings, "smoke", RunnerSettings.tiny)
+    rc = main(
+        [
+            "ablate", "--smoke",
+            "--axes", "cache",
+            "--pairs", "cache,executor",
+            "--out", str(out),
+        ]
+    )
+    assert rc == 0
+    artifact = json.loads(out.read_text())
+    validate_artifact(artifact)
+    # --pairs pulled executor's one-off into the grid for the null model:
+    # baseline + no-cache + no-executor + no-cache+executor.
+    assert artifact["conformance"]["configs_checked"] == 4
+    (entry,) = artifact["interactions"]
+    assert entry["axes"] == ["cache", "executor"]
+    assert entry["pair_contribution"] > 0
+    captured = capsys.readouterr()
+    assert "interaction" in captured.out

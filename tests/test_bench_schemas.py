@@ -30,6 +30,9 @@ ARTIFACTS = {
     "headline": "BENCH_headline.json",
     "bench_pipeline": "BENCH_pipeline.json",
     "ablation": "BENCH_ablation.json",
+    "fig12": "BENCH_fig12.json",
+    "fig16": "BENCH_fig16.json",
+    "oocore": "BENCH_oocore.json",
 }
 
 

@@ -1,0 +1,498 @@
+"""Out-of-core differential test layer: mmap streaming vs in-memory truth.
+
+The contract under test (ISSUE acceptance): an mmap-backed
+:class:`~repro.codecs.container.ContainerReader` — streamed serially,
+pipelined, or scatter-gathered over sharded worker processes — must be
+*bit-identical* to the in-memory executor: result vector (sha256 of
+``y``), ``dma_seconds``, TrafficLog edge totals, degraded-block counts,
+and raised error types/messages, across policies and injected faults.
+Lazy verification must surface the same errors eager loading raises for
+the same corruption, just at access time instead of load time. Shard
+boundaries are adversarial: any contiguous partition, folded in any
+shard order, must reproduce the serial sum exactly — split rows at the
+boundary included.
+"""
+
+import hashlib
+import io
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs.container import (
+    ContainerReader,
+    load_plan,
+    save_plan,
+    scrub_container,
+)
+from repro.codecs.errors import (
+    BlockDecodeError,
+    ContainerError,
+    TruncatedContainerError,
+)
+from repro.codecs.pipeline import compress_matrix
+from repro.collection import generators
+from repro.core import recoded_spmm, recoded_spmv
+from repro.core.executor import (
+    BlockAccumulator,
+    RunCounters,
+    block_row_sums,
+    run_sharded,
+    shard_ranges,
+)
+from repro.faults import FaultPlan
+from repro.memsys.dram import DDR4_100GBS
+from repro.memsys.traffic import TrafficLog
+
+
+def sha(y: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(y).tobytes()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def plan():
+    m = generators.unstructured(400, density=0.03, seed=3)
+    return compress_matrix(m, block_bytes=2048)
+
+
+@pytest.fixture(scope="module")
+def container(plan, tmp_path_factory):
+    path = tmp_path_factory.mktemp("oocore") / "m.dsh"
+    save_plan(plan, path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def x(plan):
+    return np.random.default_rng(7).standard_normal(plan.blocked.shape[1])
+
+
+@pytest.fixture(scope="module")
+def split_plan():
+    """Tiny byte budget on a dense-ish matrix: most blocks are split-row
+    continuations (``leading_partial``) — the shard-boundary hard case."""
+    m = generators.unstructured(60, density=0.5, seed=9)
+    p = compress_matrix(m, block_bytes=60)
+    assert any(b.leading_partial for b in p.blocked.blocks)
+    return p
+
+
+@pytest.fixture(scope="module")
+def split_container(split_plan, tmp_path_factory):
+    path = tmp_path_factory.mktemp("oocore-split") / "split.dsh"
+    save_plan(split_plan, path)
+    return str(path)
+
+
+def assert_stats_parity(a, b):
+    assert a.dram_bytes == b.dram_bytes
+    assert a.baseline_dram_bytes == b.baseline_dram_bytes
+    assert a.traffic.edges() == b.traffic.edges()
+    assert a.dma_seconds == b.dma_seconds
+    assert a.degraded_blocks == b.degraded_blocks
+
+
+# ---------------------------------------------------------------------------
+# Reader parity: the mmap walk resolves the same plan eager loading does
+# ---------------------------------------------------------------------------
+
+
+class TestReaderParity:
+    def test_materialize_matches_load_plan(self, plan, container):
+        eager = load_plan(container)
+        with ContainerReader(container, verify="lazy") as reader:
+            lazy = reader.materialize()
+        assert reader.shape == plan.blocked.shape
+        assert reader.nnz == plan.nnz == eager.nnz
+        assert reader.nblocks == eager.nblocks
+        for be, bl in zip(eager.blocked.blocks, lazy.blocked.blocks):
+            np.testing.assert_array_equal(be.col_idx, bl.col_idx)
+            np.testing.assert_array_equal(be.val, bl.val)
+            np.testing.assert_array_equal(be.row_ptr, bl.row_ptr)
+            assert (be.row_start, be.row_end, be.leading_partial) == (
+                bl.row_start, bl.row_end, bl.leading_partial,
+            )
+
+    def test_lazy_block_decode_matches_eager(self, container):
+        eager = load_plan(container)
+        with ContainerReader(container, verify="lazy") as reader:
+            lazy_plan = reader.plan()
+            for i in range(reader.nblocks):
+                ref = eager.blocked.blocks[i]
+                got = lazy_plan.decompress_block(i)
+                np.testing.assert_array_equal(ref.col_idx, got.col_idx)
+                np.testing.assert_array_equal(ref.val, got.val)
+
+    def test_extents_tile_the_stream(self, container):
+        """Record extents are ascending, non-overlapping, and the last
+        payload ends exactly at the stream trailer."""
+        with ContainerReader(container, verify="lazy") as reader:
+            pos = None
+            for ext in reader.extents:
+                assert ext.index.end <= ext.value.offset
+                if pos is not None:
+                    assert ext.offset >= pos
+                pos = ext.value.end
+            assert pos == reader.nbytes - 4
+
+    def test_residency_budget_validated(self, container):
+        with pytest.raises(ValueError):
+            ContainerReader(container, residency_budget=64)
+
+
+# ---------------------------------------------------------------------------
+# Corruption parity: lazy raises exactly what eager raises
+# ---------------------------------------------------------------------------
+
+
+def _forge_trailer(data: bytearray) -> bytes:
+    """Recompute the stream trailer so corruption below it stays 'valid'
+    at the whole-stream CRC layer — isolating the per-record CRC check."""
+    body = bytes(data[:-4])
+    return body + zlib.crc32(body).to_bytes(4, "little")
+
+
+def _load_eager_error(data: bytes):
+    with pytest.raises(ContainerError) as eager_exc:
+        load_plan(data)
+    with pytest.raises(ContainerError) as reader_exc:
+        ContainerReader(data, verify="eager")
+    # load_plan *is* the eager reader; both must agree with themselves.
+    assert type(eager_exc.value) is type(reader_exc.value)
+    assert str(eager_exc.value) == str(reader_exc.value)
+    return eager_exc.value
+
+
+class TestCorruptionParity:
+    @pytest.fixture(scope="class")
+    def pristine(self, container):
+        with open(container, "rb") as fh:
+            return fh.read()
+
+    @pytest.fixture(scope="class")
+    def victim(self, pristine):
+        """A middle block with a non-empty index payload to corrupt."""
+        with ContainerReader(pristine, verify="lazy") as reader:
+            for ext in reader.extents[1:]:
+                if ext.index.payload_len >= 2:
+                    return ext
+        pytest.skip("no block with a corruptible payload")
+
+    @pytest.mark.parametrize("stream", ["index", "value"])
+    def test_payload_flip_identical_errors(self, pristine, victim, stream):
+        rext = victim.index if stream == "index" else victim.value
+        data = bytearray(pristine)
+        data[rext.payload_offset] ^= 0x40
+        data = _forge_trailer(data)
+
+        eager_err = _load_eager_error(data)
+        assert "record CRC mismatch" in str(eager_err)
+
+        with ContainerReader(data, verify="lazy") as reader:
+            # Construction succeeds: the damage sits below the structural
+            # layers lazy verification defers.
+            with pytest.raises(ContainerError) as lazy_exc:
+                reader.record(victim.block_id, stream)
+            assert type(lazy_exc.value) is type(eager_err)
+            assert str(lazy_exc.value) == str(eager_err)
+            # Undamaged records stay readable around the sick one.
+            other = victim.block_id - 1
+            reader.record(other, "index")
+            reader.record(other, "value")
+
+    def test_trailer_flip_identical_errors(self, pristine):
+        data = bytearray(pristine)
+        data[-2] ^= 0x01
+        data = bytes(data)
+
+        eager_err = _load_eager_error(data)
+        assert "stream CRC mismatch" in str(eager_err)
+
+        with ContainerReader(data, verify="lazy") as reader:
+            with pytest.raises(ContainerError) as lazy_exc:
+                reader.verify_stream()
+            assert type(lazy_exc.value) is type(eager_err)
+            assert str(lazy_exc.value) == str(eager_err)
+            # Record CRCs are intact — every block still materializes.
+            reader.record(0, "index")
+
+    def test_meta_flip_raises_at_construction_both_modes(self, pristine, victim):
+        data = bytearray(pristine)
+        data[victim.offset + 1] ^= 0x10  # inside the <IIBQ block meta
+        data = _forge_trailer(data)
+
+        eager_err = _load_eager_error(data)
+        with pytest.raises(ContainerError) as lazy_exc:
+            ContainerReader(data, verify="lazy")
+        assert type(lazy_exc.value) is type(eager_err)
+        assert str(lazy_exc.value) == str(eager_err)
+
+    def test_truncation_refused_by_both_modes(self, pristine, victim):
+        cut = victim.value.payload_offset + 1
+        data = bytes(pristine[:cut])
+        with pytest.raises(ContainerError):
+            load_plan(data)
+        # Lazy detects it structurally (sharper type); eager's full-stream
+        # CRC pass sees the damage first — both refuse at construction.
+        with pytest.raises(TruncatedContainerError):
+            ContainerReader(data, verify="lazy")
+
+    def test_faulty_execution_matches_eager(
+        self, pristine, victim, x, tmp_path
+    ):
+        """Streaming SpMV over a genuinely corrupt container surfaces the
+        *same* error eager loading raises — in serial mmap mode and from a
+        sharded worker process alike. (Real media corruption is not a
+        decode failure: there is no pristine copy to degrade to, so it
+        must not be swallowed by the policy machinery.)"""
+        data = bytearray(pristine)
+        data[victim.index.payload_offset] ^= 0x40
+        data = _forge_trailer(data)
+        eager_err = _load_eager_error(data)
+
+        with ContainerReader(data, verify="lazy") as reader:
+            with pytest.raises(ContainerError) as serial_exc:
+                recoded_spmv(reader, x, policy="degrade")
+        assert type(serial_exc.value) is type(eager_err)
+        assert str(serial_exc.value) == str(eager_err)
+
+        path = tmp_path / "corrupt.dsh"
+        path.write_bytes(data)
+        with pytest.raises(ContainerError) as shard_exc:
+            recoded_spmv(str(path), x, policy="degrade", shards=2)
+        assert str(shard_exc.value) == str(eager_err)
+
+
+# ---------------------------------------------------------------------------
+# Scrub/reader agreement over a corrupted corpus (satellite: scrub reuse)
+# ---------------------------------------------------------------------------
+
+
+class TestScrubReaderAgreement:
+    def test_boundaries_and_sick_blocks_agree(self, container):
+        with open(container, "rb") as fh:
+            pristine = fh.read()
+        with ContainerReader(pristine, verify="lazy") as reader:
+            extents = reader.extents
+        sick = {1, len(extents) // 2, len(extents) - 1}
+        data = bytearray(pristine)
+        for k in sick:
+            data[extents[k].index.payload_offset] ^= 0x20
+        data = _forge_trailer(data)
+
+        report = scrub_container(bytes(data))
+        assert report.nblocks == len(extents)
+        for health, ext in zip(report.blocks, extents):
+            # Every block/record boundary in the report comes from the
+            # same extent resolution the reader exposes.
+            assert health.block_id == ext.block_id
+            assert health.offset == ext.offset
+            assert health.index.payload_bytes == ext.index.payload_len
+            assert health.value.payload_bytes == ext.value.payload_len
+            assert health.index.crc_ok == (ext.block_id not in sick)
+            assert health.value.crc_ok
+
+    def test_pristine_corpus_all_ok(self, container):
+        report = scrub_container(container)
+        assert report.trailer_ok and report.header_ok
+        assert all(b.ok for b in report.blocks)
+
+
+# ---------------------------------------------------------------------------
+# Execution parity matrix: in-memory x mmap x sharded x policy x faults
+# ---------------------------------------------------------------------------
+
+
+class TestExecutionParity:
+    @pytest.fixture(scope="class")
+    def truth(self, plan, x):
+        y, stats = recoded_spmv(plan, x)
+        return sha(y), stats
+
+    def test_mmap_serial_bit_identical(self, container, x, truth):
+        with ContainerReader(container, verify="lazy") as reader:
+            y, stats = recoded_spmv(reader, x)
+        assert sha(y) == truth[0]
+        assert_stats_parity(stats, truth[1])
+        assert stats.oocore is not None and stats.oocore["mapped_bytes"] > 0
+
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_sharded_bit_identical(self, plan, container, x, truth, shards):
+        y, stats = recoded_spmv(container, x, shards=shards)
+        assert sha(y) == truth[0]
+        assert_stats_parity(stats, truth[1])
+        assert stats.mode == "sharded"
+        assert stats.oocore["shards"] == min(shards, plan.nblocks)
+
+    @pytest.mark.parametrize("workers,depth", [(0, 1), (2, 4)])
+    def test_pipelined_mmap_matrix(self, container, x, truth, workers, depth):
+        from repro.codecs.engine import RecodeEngine
+
+        engine = RecodeEngine(workers=workers, executor="thread", retry_base_s=0.0)
+        with ContainerReader(container, verify="lazy") as reader:
+            y, stats = recoded_spmv(
+                reader, x, engine=engine, mode="pipelined", depth=depth
+            )
+        assert sha(y) == truth[0]
+        assert_stats_parity(stats, truth[1])
+
+    @pytest.mark.parametrize("policy", ["strict", "degrade"])
+    def test_fault_free_policies_identical(self, container, x, truth, policy):
+        y, _ = recoded_spmv(container, x, policy=policy, shards=2)
+        assert sha(y) == truth[0]
+
+    def test_dram_fault_degrade_parity(self, plan, container, x):
+        fp = FaultPlan(seed=5, dram_bitflip_blocks=(1, 3))
+        with fp.activate():
+            y_mem, s_mem = recoded_spmv(plan, x, policy="degrade")
+        with fp.activate():
+            with ContainerReader(container, verify="lazy") as reader:
+                y_map, s_map = recoded_spmv(reader, x, policy="degrade")
+        with fp.activate():
+            y_shd, s_shd = recoded_spmv(container, x, policy="degrade", shards=3)
+        assert sha(y_mem) == sha(y_map) == sha(y_shd)
+        assert s_mem.degraded_blocks == s_map.degraded_blocks == s_shd.degraded_blocks == 2
+        assert_stats_parity(s_mem, s_map)
+        assert_stats_parity(s_mem, s_shd)
+
+    def test_dram_fault_strict_identical_errors(self, plan, container, x):
+        fp = FaultPlan(seed=5, dram_bitflip_blocks=(2,))
+        errors = []
+        with fp.activate():
+            with pytest.raises(BlockDecodeError) as e:
+                recoded_spmv(plan, x, policy="strict")
+            errors.append(e.value)
+        with fp.activate():
+            with ContainerReader(container, verify="lazy") as reader:
+                with pytest.raises(BlockDecodeError) as e:
+                    recoded_spmv(reader, x, policy="strict")
+            errors.append(e.value)
+        with fp.activate():
+            with pytest.raises(BlockDecodeError) as e:
+                recoded_spmv(container, x, policy="strict", shards=2)
+            errors.append(e.value)
+        assert len({str(err) for err in errors}) == 1
+        assert len({err.block_id for err in errors}) == 1
+
+    def test_spmm_parity(self, plan, container, x):
+        X = np.stack([x, 2.0 * x, x - 1.0], axis=1)
+        Y_mem, s_mem = recoded_spmm(plan, X)
+        Y_shd, s_shd = recoded_spmm(container, X, shards=2)
+        np.testing.assert_array_equal(Y_mem, Y_shd)
+        assert_stats_parity(s_mem, s_shd)
+        for j in range(X.shape[1]):
+            y_col, _ = recoded_spmv(plan, X[:, j])
+            np.testing.assert_array_equal(Y_mem[:, j], y_col)
+
+    def test_shards_need_path_backed_container(self, plan, x):
+        with pytest.raises(ValueError):
+            recoded_spmv(plan, x, shards=2)
+
+    def test_shards_reject_pipelined(self, container, x):
+        with pytest.raises(ValueError):
+            recoded_spmv(container, x, shards=2, mode="pipelined")
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: shard boundaries and fold order are free parameters
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def split_truth(split_plan):
+    xs = np.random.default_rng(1).standard_normal(split_plan.blocked.shape[1])
+    y, stats = recoded_spmv(split_plan, xs)
+    return xs, y, stats
+
+
+@settings(max_examples=6, deadline=None)
+@given(cuts=st.lists(st.integers(min_value=1, max_value=10_000), max_size=3))
+def test_any_contiguous_partition_is_bit_identical(
+    split_container, split_truth, cuts
+):
+    """run_sharded with *arbitrary* contiguous bounds — shard boundaries
+    landing mid split-row included — reproduces serial ``y``, TrafficLog
+    edges, and ``dma_seconds`` exactly."""
+    xs, y_serial, s_serial = split_truth
+    with ContainerReader(split_container, verify="lazy") as reader:
+        points = sorted({c % (reader.nblocks + 1) for c in cuts})
+        edges_pts = [0] + points + [reader.nblocks]
+        bounds = [
+            range(a, b) for a, b in zip(edges_pts, edges_pts[1:]) if a < b
+        ]
+        log = TrafficLog()
+        y, dma_seconds, info = run_sharded(
+            reader,
+            xs,
+            shards=len(bounds),
+            memory=DDR4_100GBS,
+            log=log,
+            policy="strict",
+            counters=RunCounters(),
+            bounds=bounds,
+        )
+    np.testing.assert_array_equal(y, y_serial)
+    assert log.edges() == s_serial.traffic.edges()
+    assert dma_seconds == s_serial.dma_seconds
+    assert info["shards"] == len(bounds)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cuts=st.lists(st.integers(min_value=1, max_value=10_000), max_size=5),
+    order_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_accumulator_folds_any_shard_order(split_plan, split_truth, cuts, order_seed):
+    """Satellite invariant, in-process: per-block segment sums grouped
+    into any contiguous shard partition and folded in any *shard order*
+    reproduce the serial result bitwise, and per-shard TrafficLog totals
+    replayed in that order sum to the serial edge totals exactly."""
+    xs, y_serial, s_serial = split_truth
+    blocks = split_plan.blocked.blocks
+    n = len(blocks)
+    points = sorted({c % (n + 1) for c in cuts})
+    edges_pts = [0] + points + [n]
+    bounds = [range(a, b) for a, b in zip(edges_pts, edges_pts[1:]) if a < b]
+    perm = np.random.default_rng(order_seed).permutation(len(bounds))
+
+    out = np.zeros(split_plan.blocked.shape[0], dtype=np.float64)
+    acc = BlockAccumulator(blocks, out)
+    log = TrafficLog()
+    for s in perm:
+        shard_edges: dict[tuple[str, str], int] = {}
+        for i in bounds[s]:
+            sums = block_row_sums(blocks[i], xs)
+            if sums is not None:
+                acc.add(i, sums[0], sums[1])
+            rec_bytes = (
+                split_plan.index_records[i].stored_bytes
+                + split_plan.value_records[i].stored_bytes
+            )
+            shard_edges[("dram", "udp")] = (
+                shard_edges.get(("dram", "udp"), 0) + rec_bytes
+            )
+            shard_edges[("udp", "cpu")] = (
+                shard_edges.get(("udp", "cpu"), 0) + 12 * blocks[i].nnz
+            )
+        for (src, dst), nbytes in sorted(shard_edges.items()):
+            log.record(src, dst, nbytes)
+    acc.finalize()
+
+    np.testing.assert_array_equal(out, y_serial)
+    assert log.bytes_on("dram", "udp") == s_serial.traffic.bytes_on("dram", "udp")
+    assert log.bytes_on("udp", "cpu") == s_serial.traffic.bytes_on("udp", "cpu")
+
+
+def test_shard_ranges_cover_and_balance():
+    for nblocks in (0, 1, 7, 29, 360):
+        for shards in (1, 2, 5, 16):
+            bounds = shard_ranges(nblocks, shards)
+            covered = [i for r in bounds for i in r]
+            assert covered == list(range(nblocks))
+            if bounds:
+                sizes = [len(r) for r in bounds]
+                assert max(sizes) - min(sizes) <= 1
+    with pytest.raises(ValueError):
+        shard_ranges(4, 0)
