@@ -12,6 +12,10 @@ Usage::
                                    [--fault-plan SPEC] [--pipeline] [--depth D]
                                    [--mmap] [--shards S] [--nrhs K]
     python -m repro scrub  CONTAINER [--json] [--verbose]
+    python -m repro serve  --root DIR [--host H] [--port N] [--workers N]
+                            [--pipeline] [--tenant-rate R] [--max-fuse K]
+                            [--fusion-window-ms W] [--inflight-budget-mb M]
+                            [--cache-mb M] [--max-queue Q] [--drain-s S]
     python -m repro suite  [--count N] [--scale F]
     python -m repro metrics FILE [--diff OTHER] [--format table|prom|json]
     python -m repro ablate [--smoke] [--axes a,b,...] [--pairs a,b,...]
@@ -329,6 +333,86 @@ def cmd_scrub(args) -> int:
     return 0 if report.healthy else 1
 
 
+def _sigterm_as_interrupt() -> None:
+    """Route SIGTERM through KeyboardInterrupt so ``finally`` blocks run
+    (pool teardown, engine close) instead of dying mid-fork."""
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return  # pragma: no cover - signal API is main-thread-only
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _raise)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import ServeConfig, run_server
+
+    mb = 1024 * 1024
+    config = ServeConfig(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        executor=args.executor,
+        mode="pipelined" if args.pipeline else "serial",
+        depth=args.depth,
+        cache_bytes=args.cache_mb * mb,
+        max_matrix_frac=args.max_matrix_frac,
+        inflight_budget_bytes=args.inflight_budget_mb * mb,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        fusion_window_ms=args.fusion_window_ms,
+        max_fuse=args.max_fuse,
+        max_queue=args.max_queue,
+        compute_threads=args.compute_threads,
+        residency_budget=args.residency_mb * mb if args.residency_mb else None,
+        drain_s=args.drain_s,
+    )
+
+    async def _main() -> int:
+        stop = asyncio.Event()
+        caught: dict[str, int] = {}
+        loop = asyncio.get_running_loop()
+
+        def _stop(signum: int) -> None:
+            if not stop.is_set():
+                print(
+                    f"received {signal.Signals(signum).name}; draining...",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            caught.setdefault("signum", signum)
+            stop.set()
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, _stop, sig)
+
+        def ready(server) -> None:
+            print(
+                f"serving {len(server.library)} matrices "
+                f"({', '.join(server.library.names())}) on "
+                f"{config.host}:{server.port} "
+                f"[mode={config.mode} workers={config.workers} "
+                f"max_fuse={config.max_fuse}]",
+                flush=True,
+            )
+
+        await run_server(config, ready=ready, stop_event=stop)
+        if "signum" in caught:
+            print("drained; shut down cleanly", file=sys.stderr)
+            return 128 + caught["signum"]
+        return 0
+
+    return asyncio.run(_main())
+
+
 def cmd_metrics(args) -> int:
     snapshot = obs.load_metrics(args.file)
     if args.diff:
@@ -420,7 +504,14 @@ def cmd_ablate(args) -> int:
         f"repeats={settings.repeats})...",
         file=sys.stderr,
     )
-    report = AblationRunner(settings).run(configs)
+    _sigterm_as_interrupt()
+    try:
+        report = AblationRunner(settings).run(configs)
+    except KeyboardInterrupt:
+        # The runner's ``finally`` already drained its engine pool; exit
+        # with the conventional interrupt status, no traceback spam.
+        print("interrupted; worker pools drained", file=sys.stderr)
+        return 130
     artifact = build_artifact(report)
 
     with open(args.out, "w", encoding="utf-8") as fh:
@@ -586,6 +677,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the artifact JSON instead of the table")
     p.set_defaults(fn=cmd_ablate)
 
+    p = sub.add_parser(
+        "serve",
+        help="serve .dsh containers over TCP (NDJSON protocol + /metrics)",
+    )
+    p.add_argument("--root", required=True,
+                   help="directory of .dsh containers (name = file stem)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7077,
+                   help="TCP port (0 = ephemeral; default %(default)s)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="recode-engine pool width (0 = serial decode)")
+    p.add_argument("--executor", default="thread", choices=["thread", "process"],
+                   help="engine pool kind (default thread: no fork cost "
+                        "per request)")
+    p.add_argument("--pipeline", action="store_true",
+                   help="pipelined executor per request (needs --workers >= 1)")
+    p.add_argument("--depth", type=int, default=4, metavar="D")
+    p.add_argument("--cache-mb", type=int, default=256, metavar="M",
+                   help="shared decoded-block cache budget (default %(default)s)")
+    p.add_argument("--max-matrix-frac", type=float, default=0.5, metavar="F",
+                   help="one matrix's max share of the cache (default %(default)s)")
+    p.add_argument("--inflight-budget-mb", type=int, default=1024, metavar="M",
+                   help="global admission budget in estimated decode-traffic "
+                        "bytes (default %(default)s)")
+    p.add_argument("--tenant-rate", type=float, default=None, metavar="R",
+                   help="per-tenant admission rate, requests/s (default: off)")
+    p.add_argument("--tenant-burst", type=float, default=8.0, metavar="B")
+    p.add_argument("--fusion-window-ms", type=float, default=2.0, metavar="W",
+                   help="same-matrix batch-fusion window (0 disables fusion)")
+    p.add_argument("--max-fuse", type=int, default=8, metavar="K",
+                   help="max SpMVs fused into one SpMM (default %(default)s)")
+    p.add_argument("--max-queue", type=int, default=64, metavar="Q",
+                   help="bounded scheduler queue; overflow sheds (default "
+                        "%(default)s)")
+    p.add_argument("--compute-threads", type=int, default=2, metavar="N")
+    p.add_argument("--residency-mb", type=int, default=0, metavar="M",
+                   help="mmap residency budget per container (0 = unbounded)")
+    p.add_argument("--drain-s", type=float, default=5.0, metavar="S",
+                   help="shutdown drain timeout (default %(default)s)")
+    p.set_defaults(fn=cmd_serve)
+
     p = sub.add_parser("metrics", help="inspect or diff a metrics JSON snapshot")
     p.add_argument("file", help="metrics JSON written by --metrics-out")
     p.add_argument("--diff", metavar="OTHER",
@@ -604,6 +736,9 @@ def main(argv: list[str] | None = None) -> int:
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

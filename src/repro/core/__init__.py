@@ -17,6 +17,7 @@ from repro.core.executor import (
     DEFAULT_DEPTH,
     MmapBlockSource,
     PlanBlockSource,
+    RunCancelled,
     RunCounters,
     run_pipelined,
     run_sharded,
@@ -49,6 +50,7 @@ __all__ = [
     "DEFAULT_DEPTH",
     "MmapBlockSource",
     "PlanBlockSource",
+    "RunCancelled",
     "RunCounters",
     "run_pipelined",
     "run_sharded",

@@ -28,7 +28,7 @@ from __future__ import annotations
 import concurrent.futures
 import threading
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -45,6 +45,21 @@ from repro.sparse.csr import VALUE_DTYPE
 
 #: Default prefetch depth (chunk tasks in flight) for ``mode="pipelined"``.
 DEFAULT_DEPTH = DEFAULT_PREFETCH_CHUNKS
+
+
+class RunCancelled(RuntimeError):
+    """A run's ``cancel`` callback fired at a block boundary.
+
+    Cooperative cancellation for deadline-bound callers (the serve layer):
+    the executor polls the callback between blocks and abandons the run
+    as soon as it returns True, so a request past its deadline stops
+    borrowing decode workers, DMA model time, and cache capacity. The
+    partial result is discarded — nothing observable is half-updated.
+    """
+
+    def __init__(self, message: str = "run cancelled", blocks_done: int = 0):
+        super().__init__(message)
+        self.blocks_done = blocks_done
 
 
 class RunCounters:
@@ -243,12 +258,16 @@ def run_pipelined(
     depth: int,
     counters: RunCounters,
     source: "PlanBlockSource | MmapBlockSource | None" = None,
+    cancel: "Callable[[], bool] | None" = None,
 ) -> tuple[np.ndarray, float]:
     """Execute one pipelined recoded SpMV (1-D ``x``) or SpMM (2-D ``x``).
 
     ``source`` supplies pristine raw blocks for ``degrade`` substitution —
     defaults to the in-memory :class:`PlanBlockSource`; pass an
     :class:`MmapBlockSource` when ``plan`` is a streaming container view.
+    ``cancel`` is polled once per consumed block; when it returns True the
+    handle is closed (in-flight pool chunks finish and are dropped) and
+    :class:`RunCancelled` is raised.
 
     Returns ``(result, dma_seconds)``; degraded-block accounting lands on
     ``counters``. Raises the same :class:`BlockDecodeError` the serial
@@ -308,6 +327,8 @@ def run_pipelined(
     # Stage 2 — blocks whose streamed copies were corrupted bypass the
     # engine (rare: DRAM-site chaos runs only).
     for i in sorted(direct):
+        if cancel is not None and cancel():
+            raise RunCancelled(blocks_done=i)
         idx_rec, val_rec = direct[i]
         try:
             block = plan.decompress_block(
@@ -339,7 +360,12 @@ def run_pipelined(
     idle_decode_s = 0.0
     multiply_s = 0.0
     it = iter(handle)
+    consumed = 0
     while True:
+        if cancel is not None and cancel():
+            inflight_gauge.set(0)
+            handle.close()
+            raise RunCancelled(blocks_done=consumed)
         queue_hist.observe(handle.ready)
         inflight_gauge.set(handle.inflight)
         t0 = time.perf_counter()
@@ -362,6 +388,7 @@ def run_pipelined(
             consume(i, res)
         dt = time.perf_counter() - t1
         multiply_s += dt
+        consumed += 1
         if starved:
             idle_decode_s += dt
     inflight_gauge.set(0)

@@ -48,6 +48,7 @@ from repro.core.executor import (
     DEFAULT_DEPTH,
     MmapBlockSource,
     PlanBlockSource,
+    RunCancelled,
     RunCounters,
     run_pipelined,
     run_sharded,
@@ -181,11 +182,17 @@ def _execute(
     nrhs: int,
     reader: ContainerReader | None = None,
     shards: int = 0,
+    cancel=None,
 ) -> tuple[np.ndarray, PipelineStats]:
     """Shared executor body for recoded SpMV (``prefix="spmv"``, 1-D ``x``)
     and fused SpMM (``prefix="spmm"``, 2-D ``x``)."""
     _validate(policy, mode, depth, engine, use_udp_simulator)
     _validate_shards(shards, reader, mode, engine, use_udp_simulator)
+    if cancel is not None and shards:
+        raise ValueError(
+            "cancel is cooperative per-block and cannot reach shard worker "
+            "processes; use shards=0"
+        )
     source = MmapBlockSource(reader, plan) if reader is not None else PlanBlockSource(plan)
     pages_before = source.pages_touched
     log = TrafficLog()
@@ -230,6 +237,7 @@ def _execute(
                 depth=depth,
                 counters=counters,
                 source=source,
+                cancel=cancel,
             )
     else:
         toolchain = DecoderToolchain(plan) if use_udp_simulator else None
@@ -266,6 +274,8 @@ def _execute(
             return plan.decompress_block(i, index_record=idx_rec, value_record=val_rec)
 
         def recode(_stored: CSRBlock) -> CSRBlock:
+            if cancel is not None and cancel():
+                raise RunCancelled(blocks_done=counters.blocks_started)
             i = counters.next_block()
             idx_rec = memory.stream_record(plan.index_records[i], i, "index")
             val_rec = memory.stream_record(plan.value_records[i], i, "value")
@@ -360,6 +370,7 @@ def recoded_spmv(
     mode: str = "serial",
     depth: int = DEFAULT_DEPTH,
     shards: int = 0,
+    cancel=None,
 ) -> tuple[np.ndarray, PipelineStats]:
     """Execute ``y = A @ x`` over the compressed plan.
 
@@ -400,6 +411,12 @@ def recoded_spmv(
             mapping the file independently (``y`` stays bit-identical to
             serial). Requires a path-backed container; incompatible with
             ``engine`` / ``mode="pipelined"`` / ``use_udp_simulator``.
+        cancel: optional zero-arg callable polled at every block
+            boundary; returning True abandons the run with
+            :class:`~repro.core.executor.RunCancelled` (deadline-bound
+            callers — the serve layer — use this to stop a request past
+            its deadline from borrowing further decode/DMA capacity).
+            Incompatible with ``shards`` (workers cannot poll it).
 
     Returns:
         ``(y, stats)``.
@@ -421,6 +438,7 @@ def recoded_spmv(
             nrhs=1,
             reader=reader,
             shards=shards,
+            cancel=cancel,
         )
     finally:
         if owned:
@@ -437,6 +455,7 @@ def recoded_spmm(
     mode: str = "serial",
     depth: int = DEFAULT_DEPTH,
     shards: int = 0,
+    cancel=None,
 ) -> tuple[np.ndarray, PipelineStats]:
     """Execute fused ``Y = A @ X`` for ``k`` right-hand sides.
 
@@ -477,6 +496,7 @@ def recoded_spmm(
             nrhs=int(x.shape[1]),
             reader=reader,
             shards=shards,
+            cancel=cancel,
         )
     finally:
         if owned:

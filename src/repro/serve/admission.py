@@ -1,0 +1,164 @@
+"""Admission control for the matrix server: who gets in, and at what cost.
+
+Two independent gates, both cheap and both *refusing* rather than
+queueing — the server's contract under overload is an explicit ``429
+shed`` with an honest reason, never unbounded buffering:
+
+* **per-tenant token bucket** — each tenant refills at ``tenant_rate``
+  requests/s up to a ``tenant_burst`` ceiling, so one tenant's request
+  storm cannot monopolize the intake no matter how fast it arrives;
+* **global inflight-bytes budget** — every admitted request reserves its
+  *estimated decode traffic* (compressed stream bytes + decoded 12 B/nnz
+  stream + dense vector bytes, from container metadata — the paper's
+  data-movement currency) and releases it on completion. When the
+  reservation would push the total over budget the request sheds.
+
+The controller is deliberately free of I/O and asyncio: pure state +
+monotonic clock, so the unit tests drive it with a fake clock and the
+asyncio server calls it inline (it never blocks).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` capacity.
+
+    ``rate=None`` (or ``inf``) disables rate limiting — the bucket always
+    grants. Thread-safe; time comes from an injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float = 1.0,
+        clock=time.monotonic,
+    ):
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive or None, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = None if rate is None or math.isinf(rate) else float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._t = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        if self.rate is None:
+            return True
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst, self._tokens + (now - self._t) * self.rate)
+            self._t = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (refreshed; diagnostic only)."""
+        if self.rate is None:
+            return math.inf
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst, self._tokens + (now - self._t) * self.rate)
+            self._t = now
+            return self._tokens
+
+
+#: Admission refusal reasons (the ``shed`` field of a 429 response, and
+#: the suffix of the matching ``serve.shed_*`` counter).
+SHED_TENANT_RATE = "tenant_rate"
+SHED_INFLIGHT_BYTES = "inflight_bytes"
+SHED_QUEUE = "queue"
+SHED_DRAINING = "draining"
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The outcome of one admission attempt."""
+
+    admitted: bool
+    #: One of the SHED_* reasons when refused, "" when admitted.
+    reason: str = ""
+    #: Bytes reserved against the inflight budget (0 when refused).
+    cost_bytes: int = 0
+
+
+class AdmissionController:
+    """Token buckets per tenant + one global inflight-bytes reservation.
+
+    ``try_admit`` checks the tenant bucket first (cheap, per-tenant
+    fairness) then the byte budget (global backpressure); a granted
+    reservation **must** be paired with exactly one :meth:`release` when
+    the request finishes, expires, or fails downstream.
+    """
+
+    def __init__(
+        self,
+        inflight_budget_bytes: int,
+        tenant_rate: float | None = None,
+        tenant_burst: float = 8.0,
+        clock=time.monotonic,
+    ):
+        if inflight_budget_bytes <= 0:
+            raise ValueError(
+                f"inflight_budget_bytes must be positive, got {inflight_budget_bytes}"
+            )
+        self.inflight_budget_bytes = int(inflight_budget_bytes)
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight = 0
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        """The tenant's bucket, created on first use."""
+        with self._lock:
+            b = self._buckets.get(tenant)
+            if b is None:
+                b = TokenBucket(self.tenant_rate, self.tenant_burst, self._clock)
+                self._buckets[tenant] = b
+            return b
+
+    @property
+    def inflight_bytes(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._buckets))
+
+    def try_admit(self, tenant: str, cost_bytes: int) -> Admission:
+        """Admit or shed; reserves ``cost_bytes`` on success."""
+        if cost_bytes < 0:
+            raise ValueError(f"cost_bytes must be >= 0, got {cost_bytes}")
+        if not self.bucket(tenant).try_acquire():
+            return Admission(False, SHED_TENANT_RATE)
+        with self._lock:
+            # A single request bigger than the whole budget must still be
+            # servable when the server is idle — otherwise it could never
+            # run; the budget gates *concurrency*, not request size.
+            if self._inflight > 0 and self._inflight + cost_bytes > self.inflight_budget_bytes:
+                return Admission(False, SHED_INFLIGHT_BYTES)
+            self._inflight += cost_bytes
+        return Admission(True, "", cost_bytes)
+
+    def release(self, cost_bytes: int) -> None:
+        """Return a reservation taken by :meth:`try_admit`."""
+        with self._lock:
+            self._inflight -= cost_bytes
+            if self._inflight < 0:  # pragma: no cover - double-release guard
+                self._inflight = 0

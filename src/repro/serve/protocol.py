@@ -1,0 +1,197 @@
+"""Wire protocol for ``repro serve``: newline-delimited JSON.
+
+One request per line, one response per line, matched by ``id`` — a
+connection may pipeline requests and receive responses out of order.
+Dense vectors travel as base64-encoded little-endian float64 payloads
+with an explicit shape, so a served result is *bit-identical* to the
+array the executor produced (JSON float round-trips are never trusted
+with numerics).
+
+Request envelope (``spmv`` shown; ``spmm`` takes a 2-D ``x``)::
+
+    {"op": "spmv", "id": "r1", "tenant": "acme", "matrix": "web-graph",
+     "x": {"dtype": "<f8", "shape": [70000], "data": "<base64>"},
+     "deadline_ms": 250, "policy": "degrade"}
+
+Response envelope::
+
+    {"id": "r1", "op": "spmv", "ok": true, "status": 200,
+     "y": {...}, "degraded_blocks": 0, "fused": 3,
+     "queue_ms": 1.2, "compute_ms": 8.9}
+
+Failures carry ``ok: false`` plus a machine-readable ``error`` object
+(``type`` / ``message`` / optional ``block_id``) and an HTTP-flavored
+``status``: 429 means *shed* (admission refused — retry later, the
+response names the reason), 408 means the deadline expired, 500 means
+the decode genuinely failed under ``strict`` policy.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Protocol revision carried in ``health`` responses.
+PROTOCOL_VERSION = 1
+
+# HTTP-flavored status codes (subset; see module docstring).
+STATUS_OK = 200
+STATUS_BAD_REQUEST = 400
+STATUS_NOT_FOUND = 404
+STATUS_DEADLINE = 408
+STATUS_SHED = 429
+STATUS_ERROR = 500
+STATUS_UNAVAILABLE = 503
+
+#: Operations a request may carry.
+OPS = ("spmv", "spmm", "stats", "health")
+
+#: Failure policies a compute request may select per request.
+POLICIES = ("strict", "degrade")
+
+#: Hard cap on one request line (guards the server against a rogue
+#: client streaming an unbounded "line"). 64 MiB of base64 is ~48 MiB of
+#: vector — far beyond any matrix this repo serves.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be parsed into a valid request."""
+
+
+def encode_array(a: np.ndarray) -> dict:
+    """Encode an array as ``{dtype, shape, data}`` with base64 payload."""
+    a = np.ascontiguousarray(a)
+    return {
+        "dtype": a.dtype.str,
+        "shape": list(a.shape),
+        "data": base64.b64encode(a.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(obj: object, *, what: str = "array") -> np.ndarray:
+    """Decode :func:`encode_array` output; raises :class:`ProtocolError`."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"{what} must be an object with dtype/shape/data")
+    try:
+        dtype = np.dtype(obj["dtype"])
+        shape = tuple(int(s) for s in obj["shape"])
+        raw = base64.b64decode(obj["data"], validate=True)
+    except (KeyError, TypeError, ValueError, binascii.Error) as exc:
+        raise ProtocolError(f"malformed {what}: {exc}") from exc
+    if any(s < 0 for s in shape):
+        raise ProtocolError(f"malformed {what}: negative dimension in {shape}")
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if len(raw) != expected:
+        raise ProtocolError(
+            f"malformed {what}: {len(raw)} payload bytes for shape {shape} "
+            f"({expected} expected)"
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape)
+
+
+@dataclass
+class Request:
+    """A parsed, validated request."""
+
+    op: str
+    id: str
+    tenant: str = "anon"
+    matrix: str = ""
+    x: np.ndarray | None = None
+    deadline_ms: float | None = None
+    policy: str = "strict"
+    raw: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def nrhs(self) -> int:
+        if self.x is None:
+            return 0
+        return 1 if self.x.ndim == 1 else int(self.x.shape[1])
+
+    @classmethod
+    def from_wire(cls, msg: dict) -> "Request":
+        """Validate one decoded JSON object into a request.
+
+        Raises :class:`ProtocolError` naming the offending field; the
+        server turns that into a ``400`` response (echoing ``id`` when one
+        was recoverable).
+        """
+        if not isinstance(msg, dict):
+            raise ProtocolError("request must be a JSON object")
+        op = msg.get("op")
+        if op not in OPS:
+            raise ProtocolError(f"unknown op {op!r}; know {list(OPS)}")
+        rid = msg.get("id")
+        if not isinstance(rid, str) or not rid:
+            raise ProtocolError("id must be a non-empty string")
+        tenant = msg.get("tenant", "anon")
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError("tenant must be a non-empty string")
+        req = cls(op=op, id=rid, tenant=tenant, raw=msg)
+        if op in ("stats", "health"):
+            return req
+        matrix = msg.get("matrix")
+        if not isinstance(matrix, str) or not matrix:
+            raise ProtocolError(f"{op} needs a matrix name")
+        req.matrix = matrix
+        x = decode_array(msg.get("x"), what="x")
+        if x.dtype != np.float64:
+            x = x.astype(np.float64)
+        if op == "spmv" and x.ndim != 1:
+            raise ProtocolError(f"spmv x must be 1-D, got shape {list(x.shape)}")
+        if op == "spmm" and x.ndim != 2:
+            raise ProtocolError(f"spmm x must be 2-D, got shape {list(x.shape)}")
+        req.x = x
+        deadline = msg.get("deadline_ms")
+        if deadline is not None:
+            if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+                raise ProtocolError("deadline_ms must be a number")
+            if deadline <= 0:
+                raise ProtocolError(f"deadline_ms must be > 0, got {deadline}")
+            req.deadline_ms = float(deadline)
+        policy = msg.get("policy", "strict")
+        if policy not in POLICIES:
+            raise ProtocolError(f"policy must be one of {list(POLICIES)}, got {policy!r}")
+        req.policy = policy
+        return req
+
+
+def parse_line(line: bytes) -> Request:
+    """Parse one wire line into a :class:`Request`."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON: {exc}") from exc
+    return Request.from_wire(msg)
+
+
+def response(
+    rid: str, op: str, status: int = STATUS_OK, **fields
+) -> dict:
+    """Build a response envelope (``ok`` derived from ``status``)."""
+    out = {"id": rid, "op": op, "ok": status == STATUS_OK, "status": status}
+    out.update(fields)
+    return out
+
+
+def error_response(
+    rid: str, op: str, status: int, err_type: str, message: str, **fields
+) -> dict:
+    """Build a failure envelope with a typed ``error`` object."""
+    error = {"type": err_type, "message": message}
+    block_id = fields.pop("block_id", None)
+    if block_id is not None:
+        error["block_id"] = block_id
+    return response(rid, op, status, error=error, **fields)
+
+
+def dump_line(msg: dict) -> bytes:
+    """Serialize one response (or request) as a wire line."""
+    return json.dumps(msg, separators=(",", ":"), sort_keys=True).encode() + b"\n"

@@ -500,6 +500,103 @@ BENCH_OOCORE_SCHEMA: dict = _with_common(
     }
 )
 
+#: ``BENCH_serve.json`` — written by ``benchmarks/bench_serve.py``.
+#: Parity hashes and gate verdicts are deterministic at a fixed seed;
+#: every load-dependent number (latencies, throughput, shed counts, RSS
+#: and queue-depth samples) lives under ``timings`` — how *much* load a
+#: host absorbs varies, that overload was shed and accounted does not.
+BENCH_SERVE_SCHEMA: dict = _with_common(
+    {
+        "required": ["title", "parity", "gates", "timings"],
+        "properties": {
+            "title": {"type": "string"},
+            "context": {
+                "required": ["workers", "mode", "max_fuse", "tenants"],
+                "properties": {
+                    "workers": {"type": "integer", "minimum": 0},
+                    "mode": {"type": "string"},
+                    "max_fuse": {"type": "integer", "minimum": 1},
+                    "tenants": {"type": "integer", "minimum": 1},
+                    "fusion_window_ms": {"type": "number", "minimum": 0},
+                    "inflight_budget_bytes": {"type": "integer", "minimum": 1},
+                    "max_queue": {"type": "integer", "minimum": 1},
+                },
+            },
+            "parity": {
+                "type": "object",
+                "required": [
+                    "direct_sha256",
+                    "served_sha256",
+                    "fused_bit_identical",
+                    "degrade_bit_identical",
+                    "bit_identical",
+                ],
+                "properties": {
+                    "direct_sha256": {"type": "string"},
+                    "served_sha256": {"type": "string"},
+                    "fused_bit_identical": {"type": "boolean"},
+                    "degrade_bit_identical": {"type": "boolean"},
+                    "bit_identical": {"type": "boolean"},
+                },
+            },
+            "gates": {
+                "type": "object",
+                "required": [
+                    "overload_shed_nonzero",
+                    "accounting_reconciles",
+                    "admitted_p99_bounded",
+                    "passed",
+                ],
+                "properties": {
+                    "overload_shed_nonzero": {"type": "boolean"},
+                    "accounting_reconciles": {"type": "boolean"},
+                    "admitted_p99_bounded": {"type": "boolean"},
+                    "passed": {"type": "boolean"},
+                },
+            },
+            "timings": {
+                "type": "object",
+                "required": ["baseline", "overload"],
+                "properties": {
+                    "baseline": {
+                        "type": "object",
+                        "required": ["offered_rps", "completed", "shed", "p99_ms"],
+                        "properties": {
+                            "offered_rps": {"type": "number", "minimum": 0},
+                            "completed": {"type": "integer", "minimum": 0},
+                            "shed": {"type": "integer", "minimum": 0},
+                            "p50_ms": {"type": "number", "minimum": 0},
+                            "p99_ms": {"type": "number", "minimum": 0},
+                        },
+                    },
+                    "overload": {
+                        "type": "object",
+                        "required": [
+                            "offered_rps",
+                            "offered_over_capacity",
+                            "completed",
+                            "shed",
+                            "p99_ms",
+                            "peak_rss_delta_bytes",
+                            "max_queue_depth",
+                        ],
+                        "properties": {
+                            "offered_rps": {"type": "number", "minimum": 0},
+                            "offered_over_capacity": {"type": "number", "minimum": 0},
+                            "completed": {"type": "integer", "minimum": 0},
+                            "shed": {"type": "integer", "minimum": 0},
+                            "p50_ms": {"type": "number", "minimum": 0},
+                            "p99_ms": {"type": "number", "minimum": 0},
+                            "peak_rss_delta_bytes": {"type": "integer", "minimum": 0},
+                            "max_queue_depth": {"type": "integer", "minimum": 0},
+                        },
+                    },
+                },
+            },
+        },
+    }
+)
+
 #: All BENCH artifact schemas by ``exp_id``.
 BENCH_SCHEMAS: dict[str, dict] = {
     "headline": BENCH_HEADLINE_SCHEMA,
@@ -508,4 +605,5 @@ BENCH_SCHEMAS: dict[str, dict] = {
     "fig12": BENCH_FIG12_SCHEMA,
     "fig16": BENCH_FIG16_SCHEMA,
     "oocore": BENCH_OOCORE_SCHEMA,
+    "serve": BENCH_SERVE_SCHEMA,
 }

@@ -33,6 +33,7 @@ ARTIFACTS = {
     "fig12": "BENCH_fig12.json",
     "fig16": "BENCH_fig16.json",
     "oocore": "BENCH_oocore.json",
+    "serve": "BENCH_serve.json",
 }
 
 

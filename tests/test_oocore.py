@@ -496,3 +496,108 @@ def test_shard_ranges_cover_and_balance():
                 assert max(sizes) - min(sizes) <= 1
     with pytest.raises(ValueError):
         shard_ranges(4, 0)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined execution over container sources: path/reader block sources
+# must be bit-identical to the in-memory pipelined run (serve satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestPipelinedSourceParity:
+    def _pipelined(self, source, x, workers=2, executor="thread", **kw):
+        from repro.codecs.engine import RecodeEngine
+
+        engine = RecodeEngine(workers=workers, executor=executor, retry_base_s=0.0)
+        try:
+            return recoded_spmv(
+                source, x, engine=engine, mode="pipelined", depth=4, **kw
+            )
+        finally:
+            engine.close()
+
+    def test_path_source_matches_in_memory_pipelined(self, plan, container, x):
+        y_mem, s_mem = self._pipelined(plan, x)
+        y_path, s_path = self._pipelined(container, x)
+        assert sha(y_path) == sha(y_mem)
+        assert_stats_parity(s_path, s_mem)
+        assert s_path.mode == "pipelined"
+        assert s_path.oocore is not None and s_path.oocore["mapped_bytes"] > 0
+
+    def test_reader_source_process_executor(self, plan, container, x):
+        y_mem, s_mem = self._pipelined(plan, x)
+        with ContainerReader(container, verify="lazy") as reader:
+            y_proc, s_proc = self._pipelined(reader, x, executor="process")
+        assert sha(y_proc) == sha(y_mem)
+        assert_stats_parity(s_proc, s_mem)
+
+    def test_pipelined_container_fault_parity(self, plan, container, x):
+        """Degrade over a pipelined container source: same degraded count
+        and bit-identical output as the serial in-memory degrade run."""
+        fp = FaultPlan(seed=5, dram_bitflip_blocks=(1, 3))
+        with fp.activate():
+            y_mem, s_mem = recoded_spmv(plan, x, policy="degrade")
+        with fp.activate():
+            with ContainerReader(container, verify="lazy") as reader:
+                y_pipe, s_pipe = self._pipelined(reader, x, policy="degrade")
+        assert sha(y_pipe) == sha(y_mem)
+        assert s_pipe.degraded_blocks == s_mem.degraded_blocks == 2
+        assert_stats_parity(s_pipe, s_mem)
+
+
+# ---------------------------------------------------------------------------
+# Cooperative cancellation: the serve layer's deadline machinery
+# ---------------------------------------------------------------------------
+
+
+class TestCooperativeCancel:
+    def test_serial_cancel_raises_immediately(self, plan, x):
+        from repro.core import RunCancelled
+
+        with pytest.raises(RunCancelled) as e:
+            recoded_spmv(plan, x, cancel=lambda: True)
+        assert e.value.blocks_done == 0
+
+    def test_serial_cancel_mid_run_reports_progress(self, plan, x):
+        from repro.core import RunCancelled
+
+        calls = []
+
+        def cancel():
+            calls.append(None)
+            return len(calls) > 3
+
+        with pytest.raises(RunCancelled) as e:
+            recoded_spmv(plan, x, cancel=cancel)
+        assert 0 < e.value.blocks_done < plan.nblocks
+
+    def test_pipelined_cancel_over_container(self, container, x):
+        from repro.codecs.engine import RecodeEngine
+        from repro.core import RunCancelled
+
+        engine = RecodeEngine(workers=2, executor="thread", retry_base_s=0.0)
+        try:
+            with ContainerReader(container, verify="lazy") as reader:
+                with pytest.raises(RunCancelled):
+                    recoded_spmv(
+                        reader, x, engine=engine, mode="pipelined", depth=2,
+                        cancel=lambda: True,
+                    )
+        finally:
+            engine.close()
+
+    def test_cancel_never_fires_is_free(self, plan, x):
+        y_plain, _ = recoded_spmv(plan, x)
+        y_cancel, _ = recoded_spmv(plan, x, cancel=lambda: False)
+        assert sha(y_cancel) == sha(y_plain)
+
+    def test_cancel_rejects_shards(self, container, x):
+        with pytest.raises(ValueError, match="cancel"):
+            recoded_spmv(container, x, shards=2, cancel=lambda: False)
+
+    def test_spmm_cancel(self, plan, x):
+        from repro.core import RunCancelled
+
+        X = np.stack([x, -x], axis=1)
+        with pytest.raises(RunCancelled):
+            recoded_spmm(plan, X, cancel=lambda: True)
