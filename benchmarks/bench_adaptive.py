@@ -1,0 +1,199 @@
+"""Bench: adaptive per-block codec selection vs the fixed DSH pipeline.
+
+Gates (ISSUE acceptance):
+
+* geomean compressed bytes/nnz of the adaptive mixed plan must be <=
+  the fixed delta+snappy+huffman DSH pipeline across the suite — the
+  selection never pays bytes for its speed;
+* geomean full-suite decode throughput must be >= fixed DSH (paired
+  interleaved best-of-``REPEATS`` timings, same decode funnel);
+* at least one of the two axes must improve by >= 5%.
+
+The profile is seeded the way production encodes are: one calibration
+pass publishes ``autotune.profile.*`` gauges, then the selection reads
+them back from live telemetry (``StageProfile.from_registry``) — the
+exact loop ``compress_adaptive(profile=None)`` runs.
+
+Every (fixed, adaptive) record pair is also decoded once outside the
+timers and compared byte-for-byte: the speed/byte wins are only ranked
+after the mixed plan proves bit-identical streams.
+
+Writes a ``BENCH_adaptive.json`` artifact for CI to upload; set
+``BENCH_ADAPTIVE_OUT`` to redirect.
+"""
+
+import json
+import math
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.codecs.autotune import StageProfile, calibrate_profile, compress_adaptive
+from repro.codecs.pipeline import MatrixCompression, compress_matrix, decode_record
+from repro.collection.suite import SuiteConfig, build_suite
+from repro.util import BENCH_SCHEMAS, check_schema
+
+#: Suite shape — matches the session-wide ExperimentContext profile.
+SUITE_COUNT = 24
+SUITE_SCALE = 0.003
+SEED = 2019
+BLOCK_BYTES = 8192
+#: Paired interleaved timing attempts per entry (min of each side).
+REPEATS = 5
+
+
+def _decode_all(plan: MatrixCompression) -> list[bytes]:
+    """Decode every stream record through the single decode funnel."""
+    out = []
+    for rec in plan.index_records:
+        out.append(
+            decode_record(
+                rec,
+                plan.index_table,
+                use_huffman=plan.use_huffman,
+                apply_delta=plan.use_delta,
+            )
+        )
+    for rec in plan.value_records:
+        out.append(
+            decode_record(
+                rec,
+                plan.value_table,
+                use_huffman=plan.use_huffman,
+                apply_delta=False,
+            )
+        )
+    return out
+
+
+def _paired_best_of(n: int, fixed_fn, adaptive_fn) -> tuple[float, float]:
+    """Interleave the two sides attempt by attempt so a machine-load
+    trend during the measurement cannot tilt the ratio."""
+    t_fixed = t_adaptive = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fixed_fn()
+        t_fixed = min(t_fixed, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        adaptive_fn()
+        t_adaptive = min(t_adaptive, time.perf_counter() - t0)
+    return t_fixed, t_adaptive
+
+
+def _measure_entry(entry, profile: StageProfile) -> dict:
+    m = entry.build()
+    fixed = compress_matrix(m, block_bytes=BLOCK_BYTES, seed=SEED)
+    adaptive, report = compress_adaptive(
+        m, block_bytes=BLOCK_BYTES, seed=SEED, profile=profile
+    )
+
+    # Conformance before speed: the mixed plan must reproduce every
+    # stream byte-for-byte or its timings are meaningless.
+    assert _decode_all(fixed) == _decode_all(adaptive), entry.name
+
+    t_fixed, t_adaptive = _paired_best_of(
+        REPEATS, lambda: _decode_all(fixed), lambda: _decode_all(adaptive)
+    )
+    return {
+        "name": entry.name,
+        "kind": entry.kind,
+        "nnz": m.nnz,
+        "nblocks": adaptive.nblocks,
+        "fixed_bytes": fixed.compressed_bytes,
+        "adaptive_bytes_ratio": adaptive.compressed_bytes / fixed.compressed_bytes,
+        "bytes_win_ratio": report.bytes_win_over_dsh,
+        "fixed_decode_seconds": t_fixed,
+        "adaptive_decode_seconds": t_adaptive,
+        "decode_speedup": t_fixed / t_adaptive,
+        "est_decode_speedup": report.est_decode_speedup,
+        "index_table_kept": report.index_table_kept,
+        "value_table_kept": report.value_table_kept,
+        "tagged_records": len(adaptive.index_records) + len(adaptive.value_records),
+    }
+
+
+def _geomean(values) -> float:
+    vals = list(values)
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _measure() -> dict:
+    # Seed the profile from live telemetry: calibration publishes the
+    # autotune.profile.* gauges, from_registry reads them back.
+    calibrate_profile(seed=SEED, publish=True)
+    profile = StageProfile.from_registry()
+
+    suite = build_suite(SuiteConfig(count=SUITE_COUNT, scale=SUITE_SCALE, seed=SEED))
+    entries = [_measure_entry(entry, profile) for entry in suite]
+
+    geomean = {
+        "bytes_win_ratio": _geomean(e["bytes_win_ratio"] for e in entries),
+        "decode_speedup": _geomean(e["decode_speedup"] for e in entries),
+        "est_decode_speedup": _geomean(e["est_decode_speedup"] for e in entries),
+    }
+    best_axis = max(geomean["bytes_win_ratio"], geomean["decode_speedup"])
+    gates = {
+        "bytes_not_worse": geomean["bytes_win_ratio"] >= 1.0 - 1e-9,
+        "decode_not_worse": geomean["decode_speedup"] >= 1.0,
+        "best_axis_gain": best_axis,
+        "passed": (
+            geomean["bytes_win_ratio"] >= 1.0 - 1e-9
+            and geomean["decode_speedup"] >= 1.0
+            and best_axis >= 1.05
+        ),
+    }
+    return {
+        "exp_id": "adaptive",
+        "context": {
+            "seed": SEED,
+            "suite_count": SUITE_COUNT,
+            "suite_scale": SUITE_SCALE,
+            "block_bytes": BLOCK_BYTES,
+            "repeats": REPEATS,
+            "profile_source": profile.source,
+        },
+        "profile": {
+            "delta_mb_per_s": profile.delta_mb_per_s,
+            "snappy_mb_per_s": profile.snappy_mb_per_s,
+            "huffman_mb_per_s": profile.huffman_mb_per_s,
+            "link_mb_per_s": profile.link_mb_per_s,
+        },
+        "entries": entries,
+        "geomean": geomean,
+        "gates": gates,
+    }
+
+
+def _write_artifact(res) -> str:
+    check_schema(res, BENCH_SCHEMAS["adaptive"], "BENCH_adaptive.json")
+    path = os.environ.get("BENCH_ADAPTIVE_OUT", "BENCH_adaptive.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(res, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def test_adaptive_gates(benchmark):
+    res = run_once(benchmark, _measure)
+    path = _write_artifact(res)
+
+    geo = res["geomean"]
+    # Gate 1: the mixed plan never pays bytes (per-matrix envelope).
+    assert res["gates"]["bytes_not_worse"], (
+        f"adaptive geomean bytes win {geo['bytes_win_ratio']:.4f}x < 1.0 "
+        f"— selection spent bytes it was not allowed to"
+    )
+    # Gate 2: decode throughput at least holds.
+    assert res["gates"]["decode_not_worse"], (
+        f"adaptive geomean decode speedup {geo['decode_speedup']:.4f}x < 1.0"
+    )
+    # Gate 3: >= 5% improvement on at least one axis.
+    assert res["gates"]["best_axis_gain"] >= 1.05, (
+        f"best axis gain {res['gates']['best_axis_gain']:.4f}x < 1.05x gate "
+        f"(bytes {geo['bytes_win_ratio']:.4f}x, "
+        f"decode {geo['decode_speedup']:.4f}x)"
+    )
+    assert res["gates"]["passed"]
+    with open(path, "r", encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    assert artifact["gates"]["passed"]

@@ -19,6 +19,7 @@ axis                baseline                 ablated
 ``workers``         2-wide decode pool       in-process serial
 ``policy``          ``degrade`` substitute   ``strict`` fail-fast
 ``spmm_fusion``     fused multi-RHS SpMM     k independent SpMVs
+``block_codec``     adaptive per-block tags  fixed DSH pipeline
 ==================  =======================  =====================
 
 Adding a new switchable component = appending one :class:`Axis` here and
@@ -112,6 +113,13 @@ AXES: tuple[Axis, ...] = (
         False,
         "k right-hand sides run as k independent SpMVs (k decodes)",
     ),
+    Axis(
+        "block_codec",
+        "adaptive per-block codec selection",
+        "adaptive",
+        "fixed-dsh",
+        "every block reverts to the fixed delta+snappy+huffman DSH pipeline",
+    ),
 )
 
 _AXES_BY_NAME: dict[str, Axis] = {axis.name: axis for axis in AXES}
@@ -141,6 +149,7 @@ class AblationConfig:
     workers: int
     policy: str
     spmm_fusion: bool
+    block_codec: str
 
     @property
     def is_baseline(self) -> bool:
@@ -156,6 +165,7 @@ class AblationConfig:
             "workers": self.workers,
             "policy": self.policy,
             "spmm_fusion": self.spmm_fusion,
+            "block_codec": self.block_codec,
         }
 
     @property
@@ -281,6 +291,12 @@ CONFIG_DEPENDENT_METRIC_PREFIXES: tuple[str, ...] = (
     "spmm.",
     "codecs.cache.",
     "kernels.",
+    # The block_codec axis changes which stages actually run: tagged
+    # records emit codec.mix.*, and an adaptive plan may legitimately
+    # drop the huffman (or even delta) stage on streams where it loses.
+    "codec.mix.",
+    "codecs.huffman.",
+    "codecs.delta.",
 )
 
 
@@ -302,4 +318,5 @@ def expected_metric_markers(config: AblationConfig) -> dict[str, bool]:
         "spmv.pipeline.runs": config.executor == "pipelined",
         "spmm.iterations": config.spmm_fusion,
         "codecs.cache.hits": config.cache,
+        "codec.mix.decode_records": config.block_codec == "adaptive",
     }

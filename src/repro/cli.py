@@ -11,6 +11,8 @@ Usage::
                                    [--trace-out PATH] [--policy strict|degrade]
                                    [--fault-plan SPEC] [--pipeline] [--depth D]
                                    [--mmap] [--shards S] [--nrhs K]
+    python -m repro autotune MATRIX [--block-bytes N] [--seed S]
+                            [--calibrate | --default-profile] [--json]
     python -m repro scrub  CONTAINER [--json] [--verbose]
     python -m repro serve  --root DIR [--host H] [--port N] [--workers N]
                             [--pipeline] [--tenant-rate R] [--max-fuse K]
@@ -294,6 +296,50 @@ def cmd_unpack(args) -> int:
     m = load_csr(args.container)
     write_matrix_market(m, args.output, comment=f"unpacked from {args.container}")
     print(f"unpacked {m.nrows}x{m.ncols}, nnz={m.nnz} -> {args.output}")
+    return 0
+
+
+def cmd_autotune(args) -> int:
+    """Inspect the per-block adaptive codec policy without running SpMV."""
+    import json
+
+    from repro.codecs.autotune import (
+        StageProfile,
+        calibrate_profile,
+        compress_adaptive,
+    )
+
+    m = load_matrix(args.matrix)
+    if args.calibrate:
+        profile = calibrate_profile(seed=args.seed)
+    elif args.default_profile:
+        profile = StageProfile.default()
+    else:
+        profile = None  # seeded from live telemetry, default fallback
+    plan, report = compress_adaptive(
+        m, block_bytes=args.block_bytes, seed=args.seed, profile=profile
+    )
+    if not plan.verify():
+        print("error: adaptive plan failed verification", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0
+    prof = report.profile
+    print(f"{args.matrix}: {m.nrows}x{m.ncols}, nnz={m.nnz}, "
+          f"{report.nblocks} blocks @ {args.block_bytes} B")
+    print(f"profile[{prof.source}]: delta={prof.delta_mb_per_s:.1f} "
+          f"snappy={prof.snappy_mb_per_s:.1f} huffman={prof.huffman_mb_per_s:.1f} "
+          f"link={prof.link_mb_per_s:.1f} MB/s")
+    for stream in ("index", "value"):
+        hist = report.stage_histogram(stream)
+        kept = getattr(report, f"{stream}_table_kept")
+        combos = ", ".join(f"{name}={count}" for name, count in hist.items())
+        print(f"  {stream}: {combos} (huffman table {'kept' if kept else 'dropped'})")
+    print(f"bytes/nnz: adaptive={report.bytes_per_nnz:.3f} "
+          f"fixed-dsh={report.dsh_bytes_per_nnz:.3f} "
+          f"(win {report.bytes_win_over_dsh:.4f}x)")
+    print(f"est decode speedup vs fixed dsh: {report.est_decode_speedup:.3f}x")
     return 0
 
 
@@ -616,6 +662,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "decoding each block once for all K columns")
     _add_kernel_backend_arg(p)
     p.set_defaults(fn=cmd_spmv)
+
+    p = sub.add_parser(
+        "autotune",
+        help="report the adaptive per-block codec selection for a matrix",
+    )
+    p.add_argument("matrix")
+    p.add_argument("--block-bytes", type=int, default=8192)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--calibrate", action="store_true",
+                   help="measure a live stage profile first (publishes "
+                        "autotune.profile.* gauges) instead of reading telemetry")
+    p.add_argument("--default-profile", action="store_true",
+                   help="force the deterministic default profile "
+                        "(ignore telemetry)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the AdaptiveReport as JSON on stdout")
+    _add_kernel_backend_arg(p)
+    p.set_defaults(fn=cmd_autotune)
 
     p = sub.add_parser("scrub", help="walk a .dsh container and report per-block health")
     p.add_argument("container")

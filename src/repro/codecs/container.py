@@ -6,20 +6,36 @@ compressed form; this container makes that durable. Layout (little-endian):
 .. code-block:: text
 
     magic   8s   b"RPRODSH2"
-    flags   u8   bit0 = delta, bit1 = huffman
+    flags   u8   bit0 = delta, bit1 = huffman / index table,
+                 bit2 = tagged records, bit3 = value table (tagged only)
     u32     block_bytes
     u32     nrows, u32 ncols, u32 nblocks
     u64     nnz
-    [tables]  if huffman: 256 B index lengths, 256 B value lengths
+    [tables]  256 B index lengths iff bit1, 256 B value lengths iff
+              bit3 (tagged) / bit1 (legacy: both tables or neither)
     u32     crc32 of everything from magic through the tables (header CRC)
     per block:
       u32 row_start, u32 row_end, u8 leading_partial, u64 nnz_start
       u32 x (row_end - row_start + 1)   local row_ptr
       u32 crc32 of the block meta above (meta CRC)
       2 records (index, value):
+        [u8 codec tag]  only when flags bit2 (tagged) is set
         u32 orig_len, u32 snappy_len, u32 bit_len, u32 payload_len,
-        u32 crc32(record header + payload), payload bytes
+        u32 crc32(tag byte if tagged + record header + payload),
+        payload bytes
     u32     crc32 of every preceding byte (stream trailer)
+
+Untagged containers (flags bit2 clear) are the legacy layout, bit-for-bit:
+every record follows the header's delta/huffman flags. Tagged containers
+(mixed plans) prefix every record with a one-byte codec tag — an OR of
+``STAGE_DELTA``/``STAGE_SNAPPY``/``STAGE_HUFFMAN`` naming exactly the
+stages that record's payload went through — covered by the record CRC so a
+flipped tag is caught before it can misroute a decoder. Tagged containers
+also persist each side's Huffman table independently (bit1 index, bit3
+value): a stream side whose records are all huffman-free drops its
+256-byte table from the file. Bit3 without bit2, or a huffman-tagged
+record in a container missing its side's table, is rejected as
+corruption.
 
 Corruption is detected in layers, every layer raising a typed
 :class:`~repro.codecs.errors.ContainerError` (a ``CodecError``, which
@@ -58,7 +74,13 @@ from repro.codecs.errors import (
     TruncatedContainerError,
 )
 from repro.codecs.huffman import HuffmanTable
-from repro.codecs.pipeline import BlockRecord, MatrixCompression
+from repro.codecs.pipeline import (
+    STAGE_HUFFMAN,
+    STAGE_SNAPPY,
+    TAG_MASK,
+    BlockRecord,
+    MatrixCompression,
+)
 from repro.sparse.blocked import BlockedCSR, CSRBlock
 from repro.sparse.csr import CSRMatrix
 from repro import faults
@@ -67,6 +89,14 @@ MAGIC = b"RPRODSH2"
 
 _FLAG_DELTA = 1
 _FLAG_HUFFMAN = 2
+_FLAG_TAGGED = 4
+#: Tagged containers carry tables per stream side: ``_FLAG_HUFFMAN`` means
+#: the *index* table is present and ``_FLAG_VTABLE`` the *value* table —
+#: an adaptive plan that huffmans only one side doesn't pay for the other
+#: side's 256-byte table. Untagged (legacy) containers keep the original
+#: all-or-nothing meaning of ``_FLAG_HUFFMAN``; ``_FLAG_VTABLE`` is only
+#: valid alongside ``_FLAG_TAGGED``.
+_FLAG_VTABLE = 8
 
 #: Upper bound accepted for the per-block byte budget: real plans use 8 KB
 #: (UDP) or 32 KB (CPU); anything above this is a corrupt header, and the
@@ -74,7 +104,7 @@ _FLAG_HUFFMAN = 2
 MAX_BLOCK_BYTES = 1 << 30
 
 
-def _write_record(out: io.BufferedIOBase, record: BlockRecord) -> None:
+def _write_record(out: io.BufferedIOBase, record: BlockRecord, tagged: bool) -> None:
     header = struct.pack(
         "<IIII",
         record.orig_len,
@@ -82,16 +112,30 @@ def _write_record(out: io.BufferedIOBase, record: BlockRecord) -> None:
         record.bit_len,
         len(record.payload),
     )
+    if tagged:
+        # The tag byte rides under the record CRC: a flipped tag fails the
+        # CRC check instead of silently rerouting the decoder.
+        header = struct.pack("<B", record.tag) + header
     out.write(header)
     out.write(struct.pack("<I", zlib.crc32(record.payload, zlib.crc32(header))))
     out.write(record.payload)
 
 
-def _read_record(data: memoryview, pos: int) -> tuple[BlockRecord, int]:
-    header = bytes(data[pos : pos + 16])
-    orig_len, snappy_len, bit_len, payload_len = struct.unpack_from("<IIII", data, pos)
-    (crc,) = struct.unpack_from("<I", data, pos + 16)
-    pos += 20
+def _read_record(
+    data: memoryview, pos: int, tagged: bool = False
+) -> tuple[BlockRecord, int]:
+    tag: int | None = None
+    if tagged:
+        (tag,) = struct.unpack_from("<B", data, pos)
+        if tag > TAG_MASK:
+            raise ContainerError("container corruption: invalid codec tag")
+    hdr_len = 17 if tagged else 16
+    header = bytes(data[pos : pos + hdr_len])
+    orig_len, snappy_len, bit_len, payload_len = struct.unpack_from(
+        "<IIII", data, pos + (1 if tagged else 0)
+    )
+    (crc,) = struct.unpack_from("<I", data, pos + hdr_len)
+    pos += hdr_len + 4
     payload = bytes(data[pos : pos + payload_len])
     if len(payload) != payload_len:
         raise TruncatedContainerError("truncated container: record payload")
@@ -99,9 +143,29 @@ def _read_record(data: memoryview, pos: int) -> tuple[BlockRecord, int]:
         raise ContainerError("container corruption: record CRC mismatch")
     pos += payload_len
     record = BlockRecord(
-        orig_len, snappy_len, bit_len, payload, payload_crc=zlib.crc32(payload)
+        orig_len, snappy_len, bit_len, payload,
+        payload_crc=zlib.crc32(payload), tag=tag,
     )
     return record, pos
+
+
+def _plan_tagged(plan: MatrixCompression) -> bool:
+    """Whether a plan serializes with per-record codec tags.
+
+    All-or-nothing: a plan whose records mix tagged and untagged entries
+    has no consistent wire form and is rejected.
+    """
+    tags = [r.tag for r in plan.index_records] + [r.tag for r in plan.value_records]
+    if not tags:
+        return False
+    n_tagged = sum(1 for t in tags if t is not None)
+    if n_tagged == 0:
+        return False
+    if n_tagged != len(tags):
+        raise ValueError(
+            "cannot serialize a plan mixing tagged and untagged records"
+        )
+    return True
 
 
 def save_plan(plan: MatrixCompression, dest: str | PathLike | io.BufferedIOBase) -> None:
@@ -112,14 +176,35 @@ def save_plan(plan: MatrixCompression, dest: str | PathLike | io.BufferedIOBase)
             return
     buf = io.BytesIO()
     buf.write(MAGIC)
-    flags = (_FLAG_DELTA if plan.use_delta else 0) | (
-        _FLAG_HUFFMAN if plan.use_huffman else 0
-    )
+    tagged = _plan_tagged(plan)
+    flags = _FLAG_DELTA if plan.use_delta else 0
+    if tagged:
+        # Tables travel per stream side: pay only for the sides that
+        # actually huffman (table amortization is the point of a mixed
+        # plan on small matrices).
+        has_itab = plan.index_table is not None
+        has_vtab = plan.value_table is not None
+        for rec, present in (
+            *((r, has_itab) for r in plan.index_records),
+            *((r, has_vtab) for r in plan.value_records),
+        ):
+            if rec.tag & STAGE_HUFFMAN and not present:
+                raise ValueError(
+                    "cannot serialize huffman-tagged records without tables"
+                )
+        flags |= _FLAG_TAGGED
+        flags |= _FLAG_HUFFMAN if has_itab else 0
+        flags |= _FLAG_VTABLE if has_vtab else 0
+    else:
+        has_itab = has_vtab = plan.use_huffman
+        flags |= _FLAG_HUFFMAN if plan.use_huffman else 0
     m, n = plan.blocked.shape
     buf.write(struct.pack("<BIIIIQ", flags, plan.block_bytes, m, n, plan.nblocks, plan.nnz))
-    if plan.use_huffman:
-        assert plan.index_table is not None and plan.value_table is not None
+    if has_itab:
+        assert plan.index_table is not None
         buf.write(plan.index_table.serialize())
+    if has_vtab:
+        assert plan.value_table is not None
         buf.write(plan.value_table.serialize())
     buf.write(struct.pack("<I", zlib.crc32(buf.getvalue())))
     for block, irec, vrec in zip(
@@ -131,8 +216,8 @@ def save_plan(plan: MatrixCompression, dest: str | PathLike | io.BufferedIOBase)
         ) + block.row_ptr.astype("<u4").tobytes()
         buf.write(meta)
         buf.write(struct.pack("<I", zlib.crc32(meta)))
-        _write_record(buf, irec)
-        _write_record(buf, vrec)
+        _write_record(buf, irec, tagged)
+        _write_record(buf, vrec, tagged)
     body = buf.getvalue()
     dest.write(body)
     dest.write(struct.pack("<I", zlib.crc32(body)))
@@ -186,9 +271,11 @@ _LAZY_RECORD_MEMO = 32
 class RecordExtent:
     """Byte extent of one stream record inside the container.
 
-    ``offset`` is the first byte of the 16-byte record header; the payload
-    spans ``[payload_offset, end)``. The header fields and the record CRC
-    are captured at walk time (cheap), the payload bytes are not.
+    ``offset`` is the first byte of the record on the wire — the codec tag
+    byte in tagged containers, the 16-byte record header otherwise; the
+    payload spans ``[payload_offset, end)``. The header fields, the codec
+    tag, and the record CRC are captured at walk time (cheap), the payload
+    bytes are not.
     """
 
     offset: int
@@ -197,14 +284,15 @@ class RecordExtent:
     bit_len: int
     payload_len: int
     crc: int
+    tag: int | None = None
 
     @property
     def payload_offset(self) -> int:
-        return self.offset + 20
+        return self.offset + (21 if self.tag is not None else 20)
 
     @property
     def end(self) -> int:
-        return self.offset + 20 + self.payload_len
+        return self.payload_offset + self.payload_len
 
     @property
     def stored_bytes(self) -> int:
@@ -424,19 +512,33 @@ class ContainerReader:
         flags, block_bytes, m, n, nblocks, nnz = struct.unpack_from("<BIIIIQ", data, pos)
         pos += struct.calcsize("<BIIIIQ")
         use_delta = bool(flags & _FLAG_DELTA)
-        use_huffman = bool(flags & _FLAG_HUFFMAN)
+        tagged = bool(flags & _FLAG_TAGGED)
+        if flags & _FLAG_VTABLE and not tagged:
+            raise ContainerError(
+                "container corruption: value-table flag without codec tags"
+            )
+        has_itab = bool(flags & _FLAG_HUFFMAN)
+        has_vtab = bool(flags & _FLAG_VTABLE) if tagged else has_itab
+        use_huffman = has_itab or has_vtab
         if not 12 <= block_bytes <= MAX_BLOCK_BYTES:
             raise ContainerError(
                 f"container corruption: implausible block_bytes {block_bytes}"
             )
         if nblocks == 0 and (m or nnz):
             raise ContainerError("container corruption: blockless container with rows/nnz")
+        # _walk_record consults these while the walk is still in flight.
+        self.tagged = tagged
+        self.use_delta = use_delta
+        self.use_huffman = use_huffman
+        self._has_itab = has_itab
+        self._has_vtab = has_vtab
         entries_cap = block_bytes // 12
         table_pos = pos
-        if use_huffman:
-            if pos + 512 + 4 > end:
+        table_bytes = 256 * (int(has_itab) + int(has_vtab))
+        if table_bytes:
+            if pos + table_bytes + 4 > end:
                 raise TruncatedContainerError("truncated container: huffman tables")
-            pos += 512
+            pos += table_bytes
         # Header CRC is verified before the tables are even deserialized, so
         # a corrupt length byte can never reach the table constructor.
         (header_crc,) = struct.unpack_from("<I", data, pos)
@@ -444,13 +546,13 @@ class ContainerReader:
             raise ContainerError("container corruption: header CRC mismatch")
         pos += 4
         index_table = value_table = None
-        if use_huffman:
+        if has_itab:
             index_table = HuffmanTable.deserialize(
                 bytes(data[table_pos : table_pos + 256])
             )
-            value_table = HuffmanTable.deserialize(
-                bytes(data[table_pos + 256 : table_pos + 512])
-            )
+        if has_vtab:
+            voff = table_pos + (256 if has_itab else 0)
+            value_table = HuffmanTable.deserialize(bytes(data[voff : voff + 256]))
 
         extents: list[BlockExtent] = []
         row_ptrs: list[np.ndarray] = []
@@ -491,8 +593,8 @@ class ContainerReader:
             if nnz_start != running_nnz:
                 raise ContainerError("container corruption: nnz_start does not chain")
             running_nnz += block_nnz
-            iext, pos = self._walk_record(pos)
-            vext, pos = self._walk_record(pos)
+            iext, pos = self._walk_record(pos, self._has_itab)
+            vext, pos = self._walk_record(pos, self._has_vtab)
             if iext.orig_len != 4 * block_nnz or vext.orig_len != 8 * block_nnz:
                 raise ContainerError(
                     "container corruption: record lengths disagree with row_ptr"
@@ -533,20 +635,36 @@ class ContainerReader:
         self.extents: tuple[BlockExtent, ...] = tuple(extents)
         self._row_ptrs = row_ptrs
 
-    def _walk_record(self, pos: int) -> tuple[RecordExtent, int]:
+    def _walk_record(self, pos: int, table_present: bool) -> tuple[RecordExtent, int]:
         """Capture one record's extent; same framing checks (and, when
         eager, the same CRC check) as :func:`_read_record`, payload bytes
-        untouched in lazy mode."""
+        untouched in lazy mode. ``table_present`` is this stream side's
+        table flag — a huffman tag on a table-less side is corruption."""
         data = self._data
+        tag: int | None = None
+        hdr_pos = pos
+        if self.tagged:
+            (tag,) = struct.unpack_from("<B", data, pos)
+            if tag > TAG_MASK:
+                raise ContainerError("container corruption: invalid codec tag")
+            if (tag & STAGE_HUFFMAN) and not table_present:
+                raise ContainerError(
+                    "container corruption: huffman codec tag without tables"
+                )
+            hdr_pos = pos + 1
         orig_len, snappy_len, bit_len, payload_len = struct.unpack_from(
-            "<IIII", data, pos
+            "<IIII", data, hdr_pos
         )
-        (crc,) = struct.unpack_from("<I", data, pos + 16)
-        ext = RecordExtent(pos, orig_len, snappy_len, bit_len, payload_len, crc)
+        (crc,) = struct.unpack_from("<I", data, hdr_pos + 16)
+        if tag is not None and not (tag & STAGE_SNAPPY) and snappy_len != orig_len:
+            raise ContainerError(
+                "container corruption: snappy-less record lengths disagree"
+            )
+        ext = RecordExtent(pos, orig_len, snappy_len, bit_len, payload_len, crc, tag)
         if ext.end > len(data):
             raise TruncatedContainerError("truncated container: record payload")
         if self.verify == "eager":
-            running = zlib.crc32(data[pos : pos + 16])
+            running = zlib.crc32(data[pos : ext.payload_offset - 4])
             if zlib.crc32(data[ext.payload_offset : ext.end], running) != crc:
                 raise ContainerError("container corruption: record CRC mismatch")
         return ext, ext.end
@@ -593,7 +711,7 @@ class ContainerReader:
         """
         ext = self._extent(block_id, stream)
         data = self._view
-        header = bytes(data[ext.offset : ext.offset + 16])
+        header = bytes(data[ext.offset : ext.payload_offset - 4])
         payload = bytes(data[ext.payload_offset : ext.end])
         if len(payload) != ext.payload_len:
             raise TruncatedContainerError("truncated container: record payload")
@@ -607,6 +725,7 @@ class ContainerReader:
             ext.bit_len,
             payload,
             payload_crc=zlib.crc32(payload),
+            tag=ext.tag,
         )
 
     def _maybe_release(self, current_offset: int) -> None:
@@ -639,7 +758,7 @@ class ContainerReader:
         the record, plus whether its CRC matched."""
         ext = self._extent(block_id, stream)
         data = self._view
-        header = bytes(data[ext.offset : ext.offset + 16])
+        header = bytes(data[ext.offset : ext.payload_offset - 4])
         payload = bytes(data[ext.payload_offset : ext.end])
         crc_ok = zlib.crc32(payload, zlib.crc32(header)) == ext.crc
         record = BlockRecord(
@@ -648,6 +767,7 @@ class ContainerReader:
             ext.bit_len,
             payload,
             payload_crc=zlib.crc32(payload),
+            tag=ext.tag,
         )
         return record, crc_ok
 
@@ -876,27 +996,37 @@ def _scrub_record(
     table: "HuffmanTable | None",
     use_huffman: bool,
     apply_delta: bool,
+    tagged: bool = False,
 ) -> tuple[RecordHealth | None, int | None]:
     """Walk one record leniently. Returns (health, next_pos); (None, None)
     when the stream is too mangled to even skip past the record."""
     from repro.codecs.pipeline import decode_record
 
-    if pos + 20 > end:
+    hdr_len = 17 if tagged else 16
+    if pos + hdr_len + 4 > end:
         return None, None
-    header = bytes(data[pos : pos + 16])
-    orig_len, snappy_len, bit_len, payload_len = struct.unpack_from("<IIII", data, pos)
-    (crc,) = struct.unpack_from("<I", data, pos + 16)
-    pos += 20
+    tag: int | None = None
+    if tagged:
+        (tag,) = struct.unpack_from("<B", data, pos)
+        tag &= TAG_MASK  # a flipped tag byte already fails the record CRC
+    header = bytes(data[pos : pos + hdr_len])
+    orig_len, snappy_len, bit_len, payload_len = struct.unpack_from(
+        "<IIII", data, pos + (1 if tagged else 0)
+    )
+    (crc,) = struct.unpack_from("<I", data, pos + hdr_len)
+    pos += hdr_len + 4
     if pos + payload_len > end:
         return None, None
     payload = bytes(data[pos : pos + payload_len])
     pos += payload_len
     crc_ok = zlib.crc32(payload, zlib.crc32(header)) == crc
     record = BlockRecord(
-        orig_len, snappy_len, bit_len, payload, payload_crc=zlib.crc32(payload)
+        orig_len, snappy_len, bit_len, payload,
+        payload_crc=zlib.crc32(payload), tag=tag,
     )
+    needs_table = (tag & STAGE_HUFFMAN) if tag is not None else use_huffman
     decode_ok, error = True, None
-    if use_huffman and table is None:
+    if needs_table and table is None:
         decode_ok, error = False, "no usable huffman table"
     else:
         try:
@@ -930,7 +1060,12 @@ def _scrub_via_reader(reader: ContainerReader) -> ScrubReport:
         ):
             record, crc_ok = reader.record_health(ext.block_id, stream)
             decode_ok, error = True, None
-            if reader.use_huffman and table is None:
+            needs_table = (
+                bool(record.tag & STAGE_HUFFMAN)
+                if record.tag is not None
+                else reader.use_huffman
+            )
+            if needs_table and table is None:
                 decode_ok, error = False, "no usable huffman table"
             else:
                 try:
@@ -999,16 +1134,19 @@ def scrub_container(source: "str | PathLike | io.BufferedIOBase | bytes") -> Scr
     flags, block_bytes, m, n, nblocks, nnz = struct.unpack_from(header_fmt, data, pos)
     pos += header_size
     use_delta = bool(flags & _FLAG_DELTA)
-    use_huffman = bool(flags & _FLAG_HUFFMAN)
+    tagged = bool(flags & _FLAG_TAGGED)
+    has_itab = bool(flags & _FLAG_HUFFMAN)
+    has_vtab = bool(flags & _FLAG_VTABLE) if tagged else has_itab
     table_pos = pos
-    if use_huffman:
-        if pos + 512 + 4 > end:
+    table_bytes = 256 * (int(has_itab) + int(has_vtab))
+    if table_bytes:
+        if pos + table_bytes + 4 > end:
             return ScrubReport(
                 nbytes=nbytes, magic_ok=magic_ok, header_ok=False,
                 trailer_ok=trailer_ok, nblocks=nblocks,
                 fatal="truncated before huffman tables",
             )
-        pos += 512
+        pos += table_bytes
     if pos + 4 > end:
         return ScrubReport(
             nbytes=nbytes, magic_ok=magic_ok, header_ok=False,
@@ -1019,12 +1157,15 @@ def scrub_container(source: "str | PathLike | io.BufferedIOBase | bytes") -> Scr
     header_ok = magic_ok and zlib.crc32(data[:pos]) == header_crc
     pos += 4
     index_table = value_table = None
-    if use_huffman:
+    if has_itab:
         try:
             index_table = HuffmanTable.deserialize(bytes(data[table_pos : table_pos + 256]))
-            value_table = HuffmanTable.deserialize(
-                bytes(data[table_pos + 256 : table_pos + 512])
-            )
+        except CodecError:
+            pass  # reported per record as "no usable huffman table"
+    if has_vtab:
+        voff = table_pos + (256 if has_itab else 0)
+        try:
+            value_table = HuffmanTable.deserialize(bytes(data[voff : voff + 256]))
         except CodecError:
             pass  # reported per record as "no usable huffman table"
 
@@ -1049,7 +1190,7 @@ def scrub_container(source: "str | PathLike | io.BufferedIOBase | bytes") -> Scr
         pos = meta_end + 4
         errors: list[str] = []
         index_health, next_pos = _scrub_record(
-            data, pos, end, "index", index_table, use_huffman, use_delta
+            data, pos, end, "index", index_table, has_itab, use_delta, tagged
         )
         if next_pos is None:
             fatal = f"unwalkable index record at block {k} (offset {pos})"
@@ -1058,7 +1199,7 @@ def scrub_container(source: "str | PathLike | io.BufferedIOBase | bytes") -> Scr
             break
         pos = next_pos
         value_health, next_pos = _scrub_record(
-            data, pos, end, "value", value_table, use_huffman, False
+            data, pos, end, "value", value_table, has_vtab, False, tagged
         )
         if next_pos is None:
             fatal = f"unwalkable value record at block {k} (offset {pos})"

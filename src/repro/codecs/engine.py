@@ -94,9 +94,13 @@ def plan_fingerprint(plan: MatrixCompression) -> str:
     )
     for rec in plan.index_records:
         h.update(b"%d:%d:%d:" % (rec.orig_len, rec.snappy_len, rec.bit_len))
+        if rec.tag is not None:
+            h.update(b"t%d:" % rec.tag)
         h.update(rec.payload)
     for rec in plan.value_records:
         h.update(b"%d:%d:%d:" % (rec.orig_len, rec.snappy_len, rec.bit_len))
+        if rec.tag is not None:
+            h.update(b"t%d:" % rec.tag)
         h.update(rec.payload)
     digest = h.hexdigest()
     _fingerprints[key] = digest

@@ -34,6 +34,15 @@ RECORD_HEADER_BYTES = 12
 #: Serialized Huffman table: one length byte per symbol.
 TABLE_BYTES = 256
 
+#: Per-record codec-tag stage bits (mixed-plan containers). A record tag
+#: is the OR of the stages its payload went through; ``TAG_MASK`` bounds
+#: the valid range. ``tag=None`` means "untagged": the record follows the
+#: plan-level ``use_delta``/``use_huffman`` flags (legacy behaviour).
+STAGE_DELTA = 1
+STAGE_SNAPPY = 2
+STAGE_HUFFMAN = 4
+TAG_MASK = STAGE_DELTA | STAGE_SNAPPY | STAGE_HUFFMAN
+
 
 @dataclass(frozen=True)
 class RecodePipeline:
@@ -85,6 +94,16 @@ class BlockRecord:
     injected fault — is *detected* at decode instead of probabilistically
     surfacing as a malformed stream. ``None`` (e.g. hand-built records)
     skips the check.
+
+    ``tag`` is the per-record codec tag of mixed plans: an OR of
+    ``STAGE_DELTA``/``STAGE_SNAPPY``/``STAGE_HUFFMAN`` naming exactly the
+    stages this record's payload went through. A tagged record is
+    self-describing — :func:`decode_record` follows the tag instead of the
+    plan-level flags. ``None`` (the default) keeps legacy behaviour: the
+    plan flags decide, and serialization is byte-identical to pre-tag
+    containers. When snappy is skipped (``tag & STAGE_SNAPPY == 0``) the
+    stored ``snappy_len`` equals ``orig_len`` — the "intermediate" stream
+    *is* the raw (possibly delta'd) stream.
     """
 
     orig_len: int
@@ -92,6 +111,7 @@ class BlockRecord:
     bit_len: int
     payload: bytes
     payload_crc: int | None = None
+    tag: int | None = None
 
     @property
     def stored_bytes(self) -> int:
@@ -222,12 +242,23 @@ def decode_record(
     active backend (``REPRO_KERNEL_BACKEND`` / ``--kernel-backend``)
     applies here — with byte-identical output either way.
 
+    A record carrying a codec ``tag`` overrides both keyword flags: the
+    tag names exactly the stages to undo (mixed-plan containers), including
+    skipping Snappy entirely for stored-raw payloads. ``tag=None`` keeps
+    the legacy plan-level behaviour bit-for-bit.
+
     Raises:
         CorruptPayloadError: the payload no longer matches its end-to-end
             CRC (the bytes changed after encode).
         CodecError: any other malformed stream (truncation, bad codes, or
             a decoded length that disagrees with ``record.orig_len``).
     """
+    if record.tag is not None:
+        use_huffman = bool(record.tag & STAGE_HUFFMAN)
+        apply_delta = bool(record.tag & STAGE_DELTA)
+        use_snappy = bool(record.tag & STAGE_SNAPPY)
+    else:
+        use_snappy = True
     start = time.perf_counter()
     with obs.trace("codecs.decode_record", bytes_in=len(record.payload)):
         data = record.payload
@@ -240,9 +271,10 @@ def decode_record(
             if table is None:
                 raise CodecError("huffman record without table")
             data = table.decode_bits(data, record.snappy_len)
-        # The record header bounds the output: a corrupt Snappy preamble can
-        # never allocate beyond what the header promised.
-        data = snappy_decompress(data, max_output=record.orig_len)
+        if use_snappy:
+            # The record header bounds the output: a corrupt Snappy preamble
+            # can never allocate beyond what the header promised.
+            data = snappy_decompress(data, max_output=record.orig_len)
         if len(data) != record.orig_len:
             raise CorruptStreamError(
                 f"decompressed {len(data)} bytes, expected {record.orig_len}"
@@ -254,6 +286,10 @@ def decode_record(
     reg.counter("codecs.decode.records").inc()
     reg.counter("codecs.decode.bytes_in").inc(len(record.payload))
     reg.counter("codecs.decode.bytes_out").inc(len(data))
+    if record.tag is not None:
+        reg.counter("codec.mix.decode_records").inc()
+        if not use_snappy:
+            reg.counter("codec.mix.snappy_skipped").inc()
     if use_huffman:
         reg.counter("codecs.huffman.decode_records").inc()
     if apply_delta:

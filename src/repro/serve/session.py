@@ -140,11 +140,28 @@ class MatrixInfo:
     nblocks: int
     shape: tuple[int, int]
     block_bytes: int
+    #: Compressed record bytes that actually stream per decode, summed
+    #: from the resident reader's per-block extents (0 = unknown, fall
+    #: back to the whole-file size).
+    record_bytes: int = 0
+    #: Exact decoded stream bytes (per-record ``orig_len`` sums; 0 =
+    #: unknown, fall back to the flat 12 B/nnz estimate).
+    decoded_record_bytes: int = 0
 
     @property
     def decoded_bytes(self) -> int:
-        """Raw CSR size at the 12 B/nnz baseline."""
+        """Decoded stream size: exact per-record sum when the reader's
+        extents have been consulted, the flat 12 B/nnz baseline otherwise."""
+        if self.decoded_record_bytes:
+            return self.decoded_record_bytes
         return 12 * self.nnz
+
+    @property
+    def compressed_stream_bytes(self) -> int:
+        """Compressed bytes a full decode streams: the per-block record
+        extents when known, else the container file size (which also
+        counts framing/tables and so over-charges small matrices)."""
+        return self.record_bytes or self.container_bytes
 
     @property
     def bytes_per_nnz(self) -> float:
@@ -155,10 +172,13 @@ class MatrixInfo:
 
         Compressed stream in (``dram -> udp``) + decoded stream out
         (``udp -> cpu``) — paid once regardless of ``nrhs`` thanks to
-        fused SpMM — plus the dense input/output vectors per RHS.
+        fused SpMM — plus the dense input/output vectors per RHS. Both
+        stream terms come from the resident reader's per-block compressed
+        extents when available (mixed plans make per-block sizes uneven,
+        so a flat estimate drifts), falling back to the flat model.
         """
         vectors = 8 * (self.shape[0] + self.shape[1]) * max(1, nrhs)
-        return self.container_bytes + self.decoded_bytes + vectors
+        return self.compressed_stream_bytes + self.decoded_bytes + vectors
 
 
 class MatrixLibrary:
@@ -219,6 +239,13 @@ class MatrixLibrary:
             if cached is not None:
                 return cached
         reader = self.reader(name)
+        record_bytes = sum(
+            ext.index.stored_bytes + ext.value.stored_bytes
+            for ext in reader.extents
+        )
+        decoded_record_bytes = sum(
+            ext.index.orig_len + ext.value.orig_len for ext in reader.extents
+        )
         info = MatrixInfo(
             name=name,
             path=reader.path,
@@ -227,6 +254,8 @@ class MatrixLibrary:
             nblocks=reader.nblocks,
             shape=tuple(reader.shape),
             block_bytes=reader.block_bytes,
+            record_bytes=record_bytes,
+            decoded_record_bytes=decoded_record_bytes,
         )
         with self._lock:
             self._infos[name] = info

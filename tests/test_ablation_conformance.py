@@ -26,6 +26,7 @@ from repro.ablation import (
     enumerate_configs,
     expected_metric_markers,
 )
+from repro.codecs.autotune import StageProfile, compress_adaptive
 from repro.codecs.engine import DecodedBlockCache, RecodeEngine
 from repro.codecs.pipeline import compress_matrix
 from repro.collection import generators
@@ -44,19 +45,30 @@ CASES = {
 
 @pytest.fixture(scope="module", params=sorted(CASES))
 def fixture(request):
-    """(name, plan, x, X, reference spmv bytes, reference spmm bytes)."""
+    """(name, plans-by-codec-policy, x, X, reference spmv/spmm bytes).
+
+    The ``block_codec`` axis selects between two *different encodings* of
+    the same matrix; references come from the fixed plan, so the adaptive
+    (mixed-tag) plan is held to bit-identical results against it.
+    """
     name = request.param
     m = CASES[name]()
     # Small blocks force many blocks and split rows — the merge-order
     # edge cases the pipelined accumulator must reproduce bitwise.
-    plan = compress_matrix(m, block_bytes=1024, seed=7)
+    plans = {
+        "fixed-dsh": compress_matrix(m, block_bytes=1024, seed=7),
+        "adaptive": compress_adaptive(
+            m, block_bytes=1024, seed=7, profile=StageProfile.default()
+        )[0],
+    }
+    plan = plans["fixed-dsh"]
     rng = np.random.default_rng(5)
     x = rng.standard_normal(m.ncols)
     X = rng.standard_normal((m.ncols, NRHS))
     y_ref, _ = recoded_spmv(plan, x)
     cols = [recoded_spmv(plan, X[:, j])[0] for j in range(NRHS)]
     Y_ref = np.column_stack(cols)
-    return name, plan, x, X, y_ref.tobytes(), Y_ref.tobytes()
+    return name, plans, x, X, y_ref.tobytes(), Y_ref.tobytes()
 
 
 def _engine(config: AblationConfig) -> RecodeEngine:
@@ -80,7 +92,8 @@ def _run_kwargs(config: AblationConfig, name: str) -> dict:
 
 @pytest.mark.parametrize("config", CONFIGS, ids=[c.run_id for c in CONFIGS])
 def test_spmv_bit_identical_across_grid(config, fixture):
-    name, plan, x, _X, y_ref, _Y_ref = fixture
+    name, plans, x, _X, y_ref, _Y_ref = fixture
+    plan = plans[config.block_codec]
     with kernels.use_backend(config.kernel_backend):
         engine = _engine(config)
         try:
@@ -99,7 +112,8 @@ def test_spmv_bit_identical_across_grid(config, fixture):
 
 @pytest.mark.parametrize("config", CONFIGS, ids=[c.run_id for c in CONFIGS])
 def test_spmm_bit_identical_across_grid(config, fixture):
-    name, plan, _x, X, _y_ref, Y_ref = fixture
+    name, plans, _x, X, _y_ref, Y_ref = fixture
+    plan = plans[config.block_codec]
     with kernels.use_backend(config.kernel_backend):
         engine = _engine(config)
         try:
@@ -124,7 +138,8 @@ def test_spmm_bit_identical_across_grid(config, fixture):
 
 
 def _metric_names(config: AblationConfig, fixture) -> frozenset[str]:
-    name, plan, x, X, _y_ref, _Y_ref = fixture
+    name, plans, x, X, _y_ref, _Y_ref = fixture
+    plan = plans[config.block_codec]
     with obs.scoped_registry() as reg, kernels.use_backend(config.kernel_backend):
         engine = _engine(config)
         try:

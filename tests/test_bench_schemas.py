@@ -34,6 +34,7 @@ ARTIFACTS = {
     "fig16": "BENCH_fig16.json",
     "oocore": "BENCH_oocore.json",
     "serve": "BENCH_serve.json",
+    "adaptive": "BENCH_adaptive.json",
 }
 
 
