@@ -5,7 +5,12 @@ every SpMV streams the matrix through the recoding pipeline.
 This is the paper's opening motivation — "partial differential equation
 solvers ... are often data movement limited". A CG solve performs one SpMV
 per iteration, so the matrix's DRAM footprint is paid hundreds of times;
-compressing it with DSH cuts exactly that traffic.
+compressing it with DSH cuts exactly that traffic — and running the solve
+over a persistent :class:`~repro.core.ExecutionSession` via
+:func:`repro.solvers.cg` cuts it further: the matrix decodes once, then
+every CG iteration multiplies out of the session's decoded-block cache.
+The result is bit-identical to the hand-rolled CG loop it replaced —
+verified below.
 
 Run:  python examples/pde_heat_solver.py
 """
@@ -14,16 +19,18 @@ import numpy as np
 
 from repro.codecs.stats import dsh_plan
 from repro.collection import generators
-from repro.core import HeterogeneousSystem, recoded_spmv
+from repro.core import ExecutionSession, HeterogeneousSystem, recoded_spmv
 from repro.cpu import CPURecoder
 from repro.memsys import DDR4_100GBS
+from repro.solvers import cg
 from repro.sparse import spmv
 from repro.udp.runtime import simulate_plan
 from repro.util import fmt_bytes
 
 
 def cg_solve(apply_a, b, tol=1e-8, max_iter=500):
-    """Textbook conjugate gradients with a matrix-free operator."""
+    """Textbook conjugate gradients with a matrix-free operator — kept as
+    the bit-parity oracle for :func:`repro.solvers.cg`."""
     x = np.zeros_like(b)
     r = b - apply_a(x)
     p = r.copy()
@@ -56,22 +63,28 @@ def main() -> None:
           f"({fmt_bytes(plan.compressed_bytes)} vs "
           f"{fmt_bytes(plan.uncompressed_bytes)} CSR)")
 
-    # CG where A is applied through the recoded pipeline every iteration.
-    traffic = {"compressed": 0, "baseline": 0}
+    # CG over a persistent session: decode once, iterate from cache.
+    with ExecutionSession(plan, matrix_id="poisson") as sess:
+        result = cg(sess, b)
+        x, iters = result.x, result.iterations
+        residual = np.linalg.norm(b - spmv(a, x))
+        print(f"CG converged in {iters} iterations, |r| = {residual:.2e}")
+        baseline = 12 * plan.nnz * (iters + 1)
+        print(f"A-traffic over the whole solve: "
+              f"{fmt_bytes(result.dram_bytes)} compressed+cached vs "
+              f"{fmt_bytes(baseline)} uncompressed-every-iteration "
+              f"({baseline / result.dram_bytes:.0f}x less data moved — "
+              f"the matrix decoded once)")
+        st = sess.stats()
+        print(f"session: {st['warm_calls']}/{st['calls']} warm calls, "
+              f"{st['out_buffer_reuses']} output-buffer reuses")
 
-    def apply_a(v):
-        y, stats = recoded_spmv(plan, v)
-        traffic["compressed"] += stats.dram_bytes
-        traffic["baseline"] += stats.baseline_dram_bytes
-        return y
-
-    x, iters = cg_solve(apply_a, b)
-    residual = np.linalg.norm(b - spmv(a, x))
-    print(f"CG converged in {iters} iterations, |r| = {residual:.2e}")
-    print(f"A-traffic over the whole solve: "
-          f"{fmt_bytes(traffic['compressed'])} compressed vs "
-          f"{fmt_bytes(traffic['baseline'])} uncompressed "
-          f"({traffic['baseline'] / traffic['compressed']:.2f}x less data moved)")
+    # The solver must match the hand-rolled loop it replaced, bit for bit.
+    ref_x, ref_iters = cg_solve(lambda v: recoded_spmv(plan, v)[0], b)
+    assert ref_iters == iters
+    assert x.tobytes() == ref_x.tobytes()
+    print("verified: repro.solvers.cg is bit-identical to the hand-rolled "
+          "CG loop")
 
     # What that means on a real memory system.
     udp = simulate_plan(plan, sample=4)

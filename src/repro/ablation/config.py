@@ -20,6 +20,7 @@ axis                baseline                 ablated
 ``policy``          ``degrade`` substitute   ``strict`` fail-fast
 ``spmm_fusion``     fused multi-RHS SpMM     k independent SpMVs
 ``block_codec``     adaptive per-block tags  fixed DSH pipeline
+``session``         warm session reuse       cold state per call
 ==================  =======================  =====================
 
 Adding a new switchable component = appending one :class:`Axis` here and
@@ -120,6 +121,14 @@ AXES: tuple[Axis, ...] = (
         "fixed-dsh",
         "every block reverts to the fixed delta+snappy+huffman DSH pipeline",
     ),
+    Axis(
+        "session",
+        "execution-session reuse",
+        True,
+        False,
+        "every call rebuilds cold state: cache dropped, no warm fast "
+        "path, no buffer reuse (steady-state iterations pay full decode)",
+    ),
 )
 
 _AXES_BY_NAME: dict[str, Axis] = {axis.name: axis for axis in AXES}
@@ -150,6 +159,7 @@ class AblationConfig:
     policy: str
     spmm_fusion: bool
     block_codec: str
+    session: bool
 
     @property
     def is_baseline(self) -> bool:
@@ -166,6 +176,7 @@ class AblationConfig:
             "policy": self.policy,
             "spmm_fusion": self.spmm_fusion,
             "block_codec": self.block_codec,
+            "session": self.session,
         }
 
     @property
@@ -297,6 +308,10 @@ CONFIG_DEPENDENT_METRIC_PREFIXES: tuple[str, ...] = (
     "codec.mix.",
     "codecs.huffman.",
     "codecs.delta.",
+    # Session warm-path metrics track whether steady-state reuse actually
+    # happened: warm_calls/blocks_reused/out_buffer_reuses only exist
+    # when both the session axis and a cache are on.
+    "session.",
 )
 
 
@@ -319,4 +334,8 @@ def expected_metric_markers(config: AblationConfig) -> dict[str, bool]:
         "spmm.iterations": config.spmm_fusion,
         "codecs.cache.hits": config.cache,
         "codec.mix.decode_records": config.block_codec == "adaptive",
+        # Every run routes through a session; warm calls only happen when
+        # both session reuse and the decoded-block cache are on.
+        "session.calls": True,
+        "session.warm_calls": config.session and config.cache,
     }

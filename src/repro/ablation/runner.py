@@ -3,14 +3,18 @@
 For each enumerated :class:`~repro.ablation.config.AblationConfig` the
 runner executes one workload per suite matrix:
 
-* **cold phase** — best-of-``repeats`` timed SpMV with the decoded-block
-  cache cleared before every attempt (decode-bound: where the worker
-  pool, pipeline overlap, prefetch depth, and kernel backend pay);
-* **warm phase** — best-of-``repeats`` timed SpMV with the cache left
-  warm (steady-state: where the cache pays);
+* **cold phase** — best-of-``repeats`` timed SpMV with the session reset
+  before every attempt (decode-bound: where the worker pool, pipeline
+  overlap, prefetch depth, and kernel backend pay);
+* **warm phase** — best-of-``repeats`` timed SpMV with the session left
+  warm (steady-state: where the cache and session fast path pay);
 * **SpMM burst** — best-of-``repeats`` timed ``k``-RHS multiply, fused
-  through :func:`~repro.core.recoded_spmm` or (``spmm_fusion`` ablated)
-  as ``k`` independent SpMVs.
+  through the session or (``spmm_fusion`` ablated) as ``k`` independent
+  SpMVs.
+
+Every configuration runs over a per-case
+:class:`~repro.core.ExecutionSession`; the ``session`` axis flips its
+``reuse`` switch, so the ablated run rebuilds cold state on every call.
 
 The per-matrix headline metric models one service cycle::
 
@@ -18,9 +22,10 @@ The per-matrix headline metric models one service cycle::
 
 All timings are best-of (min), so the ranking compares each
 configuration's floor, not its scheduler noise — and the whole grid is
-swept ``passes`` times with per-phase mins merged across sweeps, so a
-machine-load trend during one sweep (the baseline always runs first in
-time) cannot tilt the ratios.
+swept ``passes`` times in alternating order (forward, then reversed)
+with per-phase mins merged across sweeps, so a machine-load trend
+during one sweep (the baseline always runs first in time) biases the
+next sweep the opposite way and cancels instead of compounding.
 
 Alongside the timings the runner is the **conformance oracle**: every
 configuration's SpMV and SpMM results are checksummed (raw result-buffer
@@ -50,7 +55,7 @@ from repro.codecs.autotune import StageProfile, compress_adaptive
 from repro.codecs.engine import DecodedBlockCache, RecodeEngine
 from repro.codecs.pipeline import MatrixCompression, compress_matrix
 from repro.collection import generators
-from repro.core import recoded_spmm, recoded_spmv
+from repro.core import ExecutionSession
 from repro.sparse.csr import CSRMatrix
 from repro.util.rng import derive_seed
 
@@ -88,8 +93,8 @@ class RunnerSettings:
     repeats: int = 3
     #: Full-grid sweeps merged by per-phase min. Best-of repeats inside
     #: one config cannot cancel a machine-load *trend* across configs
-    #: (the baseline always runs first in time); a second sweep lets
-    #: every config recover its floor under the other sweep's load, and
+    #: (the baseline always runs first in time); a second sweep runs the
+    #: grid in reverse so the trend biases it the opposite way, and
     #: checksums must agree across sweeps (a free determinism check).
     passes: int = 2
     warm_iters: int = 3
@@ -302,50 +307,58 @@ class AblationRunner:
         result: ConfigResult,
     ) -> None:
         s = self.settings
-        kw = dict(
-            engine=engine,
+        # Every configuration routes through a session; the ``session``
+        # axis flips ``reuse`` so ablated runs rebuild cold state on
+        # every call (cache dropped, no warm fast path, fresh buffers).
+        sess = ExecutionSession(
+            plan,
             matrix_id=name,
-            policy=config.policy,
+            engine=engine,
             mode=config.executor,
             depth=config.depth,
+            policy=config.policy,
+            reuse=config.session,
         )
+        try:
+            def spmv():
+                return sess.spmv(x)
 
-        def spmv():
-            return recoded_spmv(plan, x, **kw)
+            # Warm the pool (fork/exec + worker imports) outside any
+            # timer, then restore cold state for the cold phase.
+            y, stats = spmv()
+            result.degraded_blocks += stats.degraded_blocks
+            result.spmv_checksums[name] = _checksum(y)
 
-        # Warm the pool (fork/exec + worker imports) outside any timer,
-        # then restore a cold cache for the cold phase.
-        y, stats = spmv()
-        result.degraded_blocks += stats.degraded_blocks
-        result.spmv_checksums[name] = _checksum(y)
+            def cold_once():
+                sess.reset()
+                t0 = time.perf_counter()
+                spmv()
+                return time.perf_counter() - t0
 
-        def clear_cache():
-            if engine.cache is not None:
-                engine.cache.clear()
+            cold = min(cold_once() for _ in range(s.repeats))
+            # The last cold attempt left the session warm (when reusing).
+            warm = _best_of(s.repeats, spmv)
 
-        def cold_once():
-            clear_cache()
-            t0 = time.perf_counter()
-            spmv()
-            return time.perf_counter() - t0
-
-        cold = min(cold_once() for _ in range(s.repeats))
-        # The last cold attempt left the cache warm (when present).
-        warm = _best_of(s.repeats, spmv)
-
-        if config.spmm_fusion:
-            Y, mstats = recoded_spmm(plan, X, **kw)
-            result.degraded_blocks += mstats.degraded_blocks
-            spmm = _best_of(s.repeats, lambda: recoded_spmm(plan, X, **kw))
-        else:
-            cols = [recoded_spmv(plan, X[:, j], **kw) for j in range(s.nrhs)]
-            result.degraded_blocks += sum(st.degraded_blocks for _, st in cols)
-            Y = np.column_stack([yj for yj, _ in cols])
-            spmm = _best_of(
-                s.repeats,
-                lambda: [recoded_spmv(plan, X[:, j], **kw) for j in range(s.nrhs)],
-            )
-        result.spmm_checksums[name] = _checksum(Y)
+            if config.spmm_fusion:
+                Y, mstats = sess.spmm(X)
+                result.degraded_blocks += mstats.degraded_blocks
+                result.spmm_checksums[name] = _checksum(Y)
+                spmm = _best_of(s.repeats, lambda: sess.spmm(X))
+            else:
+                # sess.spmv returns the session's reusable buffer, so
+                # copy each column before the next call overwrites it.
+                cols = []
+                for j in range(s.nrhs):
+                    yj, st = sess.spmv(X[:, j])
+                    result.degraded_blocks += st.degraded_blocks
+                    cols.append(yj.copy())
+                result.spmm_checksums[name] = _checksum(np.column_stack(cols))
+                spmm = _best_of(
+                    s.repeats,
+                    lambda: [sess.spmv(X[:, j]) for j in range(s.nrhs)],
+                )
+        finally:
+            sess.close()
         result.timings[name] = PhaseTiming(
             cold_seconds=cold,
             warm_seconds=warm,
@@ -406,8 +419,16 @@ class AblationRunner:
         mismatches: list[str] = []
         merged: list[ConfigResult] = []
         for pass_i in range(max(1, self.settings.passes)):
-            for j, config in enumerate(configs):
-                res = self.run_config(config)
+            # Alternate sweep direction: a monotone machine-load trend
+            # biases a fixed-order sweep one way (the baseline always
+            # runs first); reversing odd sweeps makes the trend push the
+            # two sweeps' ratios in opposite directions, so the
+            # per-phase min-merge cancels it instead of compounding it.
+            order = range(len(configs))
+            if pass_i % 2:
+                order = reversed(order)
+            for j in order:
+                res = self.run_config(configs[j])
                 if pass_i == 0:
                     merged.append(res)
                 else:

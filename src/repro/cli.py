@@ -595,6 +595,102 @@ def cmd_ablate(args) -> int:
     return 0
 
 
+def cmd_solve(args) -> int:
+    import numpy as np
+
+    from repro.core import ExecutionSession
+    from repro.solvers import cg, pagerank, power_iteration
+
+    if args.matrix.endswith(".dsh"):
+        source = args.matrix
+        shape_hint = None
+    else:
+        m = load_matrix(args.matrix)
+        if args.normalize:
+            # Column-stochastic P^T for random-walk iterations.
+            out_degree = np.maximum(m.row_nnz(), 1)
+            rows = np.repeat(np.arange(m.nrows), m.row_nnz())
+            vals = m.val / out_degree[rows]
+            from repro.sparse.coo import COOMatrix
+
+            m = COOMatrix(
+                (m.ncols, m.nrows), m.col_idx.astype(np.int64), rows, vals
+            ).to_csr()
+        source = compress_matrix(m, block_bytes=args.block_bytes)
+        shape_hint = (m.nrows, m.ncols)
+
+    _sigterm_as_interrupt()
+    session = ExecutionSession(
+        source,
+        matrix_id=f"solve-{args.algorithm}",
+        workers=args.workers,
+        executor="thread",
+        mode=args.mode,
+        depth=args.depth,
+        shards=args.shards,
+        policy=args.policy,
+        reuse=not args.no_session,
+    )
+    try:
+        nrows, ncols = session.plan.blocked.shape
+        if shape_hint is None:
+            shape_hint = (nrows, ncols)
+        print(f"operator: {nrows} x {ncols}, nnz={session.plan.nnz}, "
+              f"{session.plan.bytes_per_nnz:.2f} B/nnz "
+              f"({'session reuse' if not args.no_session else 'cold per call'}, "
+              f"mode={'sharded' if args.shards else args.mode})")
+        defaults = {"cg": (1e-8, 500), "pagerank": (1e-10, 200), "power": (1e-10, 200)}
+        tol, max_iter = defaults[args.algorithm]
+        if args.tol is not None:
+            tol = args.tol
+        if args.max_iter is not None:
+            max_iter = args.max_iter
+        if args.algorithm == "cg":
+            rng = np.random.default_rng(args.seed)
+            b = rng.normal(size=ncols)
+            result = cg(session, b, tol=tol, max_iter=max_iter)
+        elif args.algorithm == "pagerank":
+            result = pagerank(
+                session, damping=args.damping, tol=tol, max_iter=max_iter
+            )
+        else:
+            result = power_iteration(session, tol=tol, max_iter=max_iter)
+
+        status = "converged" if result.converged else "NOT converged"
+        print(f"{args.algorithm}: {status} in {result.iterations} iterations, "
+              f"residual {result.residual:.3e}")
+        print(f"traffic: {fmt_bytes(result.dram_bytes)} matrix DRAM + "
+              f"{fmt_bytes(result.vector_bytes)} modeled vector "
+              f"({fmt_bytes(result.total_bytes)} total)")
+        if result.info:
+            for key, value in sorted(result.info.items()):
+                print(f"  {key}: {value:.6g}")
+        st = session.stats()
+        print(f"session: {st['cold_calls']} cold / {st['warm_calls']} warm "
+              f"calls, cache hit rate {st['cache_hit_rate']:.0%}, "
+              f"{st['crc_skips']} record-CRC checks skipped")
+        if args.curve:
+            table = Table(("iteration", "residual", "cum_bytes", "hit_rate"))
+            step = max(1, len(result.history) // args.curve)
+            picked = result.history[::step]
+            if result.history and result.history[-1] is not picked[-1]:
+                picked = (*picked, result.history[-1])
+            for rec in picked:
+                table.add_row(
+                    str(rec.iteration),
+                    f"{rec.residual:.3e}",
+                    fmt_bytes(rec.dram_bytes + rec.vector_bytes),
+                    f"{rec.cache_hit_rate:.0%}",
+                )
+            print(table.render())
+        if args.metrics_out:
+            obs.write_metrics(args.metrics_out)
+            print(f"wrote {args.metrics_out}")
+        return 0 if result.converged else 3
+    finally:
+        session.close()
+
+
 def _add_kernel_backend_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument("--kernel-backend", default=None,
                    choices=["auto", *kernels.KNOWN_BACKENDS],
@@ -707,6 +803,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compress", type=int, default=0, metavar="N",
                    help="also DSH-compress the first N entries")
     p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser(
+        "solve",
+        help="run an iterative solver over a persistent execution session",
+    )
+    p.add_argument("algorithm", choices=["cg", "pagerank", "power"],
+                   help="cg (SPD systems), pagerank (column-stochastic "
+                        "P^T), or power (dominant eigenpair)")
+    p.add_argument("matrix",
+                   help="MatrixMarket path, synth: spec, or .dsh container")
+    p.add_argument("--tol", type=float, default=None,
+                   help="convergence tolerance (default: per-algorithm)")
+    p.add_argument("--max-iter", type=int, default=None, metavar="N",
+                   help="iteration cap (default: per-algorithm)")
+    p.add_argument("--damping", type=float, default=0.85,
+                   help="PageRank damping factor (default %(default)s)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="RNG seed for CG's right-hand side (default %(default)s)")
+    p.add_argument("--normalize", action="store_true",
+                   help="row-normalize + transpose into a column-stochastic "
+                        "P^T first (graph adjacency -> random-walk operator)")
+    p.add_argument("--block-bytes", type=int, default=8192)
+    p.add_argument("--workers", type=int, default=0,
+                   help="session engine pool width (0 = serial)")
+    p.add_argument("--mode", default="serial", choices=["serial", "pipelined"],
+                   help="executor for cold calls (default %(default)s)")
+    p.add_argument("--depth", type=int, default=4, metavar="D",
+                   help="pipelined prefetch depth")
+    p.add_argument("--shards", type=int, default=0, metavar="S",
+                   help="sharded executor over a .dsh container path")
+    p.add_argument("--policy", default="strict", choices=["strict", "degrade"])
+    p.add_argument("--no-session", action="store_true",
+                   help="disable steady-state reuse: every iteration pays "
+                        "cold decode (the ablation baseline)")
+    p.add_argument("--curve", type=int, default=0, metavar="N",
+                   help="print ~N rows of the convergence-vs-traffic curve")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write a metrics JSON snapshot (solver.*, session.*)")
+    _add_kernel_backend_arg(p)
+    p.set_defaults(fn=cmd_solve)
 
     p = sub.add_parser(
         "ablate",

@@ -423,6 +423,8 @@ class ContainerReader:
         self._buf = None
         self._closed = False
         self.pages_touched = 0
+        self._crc_memo: dict[tuple[int, str], int] | None = None
+        self.crc_skips = 0
         if isinstance(source, (str, PathLike)):
             self.path = os.fspath(source)
             self._file = open(self.path, "rb")
@@ -700,6 +702,22 @@ class ContainerReader:
         ext = self._extent(block_id, stream)
         return ext.offset, ext.end - ext.offset
 
+    def enable_crc_memo(self) -> None:
+        """Opt in to verified-once record CRCs.
+
+        After a record's CRC passes once, later materializations of the
+        same ``(block, stream)`` skip both the record-CRC check and the
+        payload-CRC restamp (the memoized payload CRC is reused), so
+        steady-state iteration over an immutable container pays the
+        verification cost exactly once per record. First-touch semantics
+        are unchanged — corruption present before the first access raises
+        identically — and :meth:`record_health` (scrub) always re-checks.
+        Off by default; :class:`~repro.core.session.ExecutionSession`
+        enables it on its long-lived reader.
+        """
+        if self._crc_memo is None:
+            self._crc_memo = {}
+
     def record(self, block_id: int, stream: str) -> BlockRecord:
         """Materialize one record, verifying its CRC at access time.
 
@@ -707,7 +725,8 @@ class ContainerReader:
         corruption: ``TruncatedContainerError("truncated container: record
         payload")`` if the mapping no longer covers the payload, and
         ``ContainerError("container corruption: record CRC mismatch")`` on
-        a CRC failure.
+        a CRC failure. With :meth:`enable_crc_memo`, accesses after the
+        first verified one skip the redundant CRC passes.
         """
         ext = self._extent(block_id, stream)
         data = self._view
@@ -715,8 +734,16 @@ class ContainerReader:
         payload = bytes(data[ext.payload_offset : ext.end])
         if len(payload) != ext.payload_len:
             raise TruncatedContainerError("truncated container: record payload")
-        if zlib.crc32(payload, zlib.crc32(header)) != ext.crc:
-            raise ContainerError("container corruption: record CRC mismatch")
+        memo = self._crc_memo
+        payload_crc = memo.get((block_id, stream)) if memo is not None else None
+        if payload_crc is None:
+            if zlib.crc32(payload, zlib.crc32(header)) != ext.crc:
+                raise ContainerError("container corruption: record CRC mismatch")
+            payload_crc = zlib.crc32(payload)
+            if memo is not None:
+                memo[(block_id, stream)] = payload_crc
+        else:
+            self.crc_skips += 1
         self.pages_touched += _page_span(ext.offset, ext.end)
         self._maybe_release(ext.offset)
         return BlockRecord(
@@ -724,7 +751,7 @@ class ContainerReader:
             ext.snappy_len,
             ext.bit_len,
             payload,
-            payload_crc=zlib.crc32(payload),
+            payload_crc=payload_crc,
             tag=ext.tag,
         )
 

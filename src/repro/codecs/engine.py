@@ -376,12 +376,17 @@ _ENGINE_COUNTERS = (
 
 
 class EngineStats:
-    """Live view over one engine's ``codecs.engine.*`` registry counters.
+    """Cumulative per-engine tallies mirrored into ``codecs.engine.*``.
 
     The former bespoke dataclass fields survive as read-only properties,
     so existing callers (``stats.blocks_decoded``, ``as_dict()``) keep
-    working, while the actual numbers live in the metrics registry (one
-    label set per engine) and show up in every exporter.
+    working. The authoritative numbers are plain in-object totals that
+    only :meth:`reset` can zero — an engine outliving a
+    ``obs.scoped_registry()`` block (the serve and ablation per-request
+    pattern) keeps its lifetime tallies, which is what session-scoped
+    steady-state hit rates are computed from. Each :meth:`add` also
+    increments the counter of whatever registry is active *at add time*,
+    so scoped snapshots see exactly the work done inside their scope.
 
     ``decode_seconds`` covers the map phase plus cache probing only; pool
     spin-up (process fork/exec) is accounted separately in
@@ -393,49 +398,54 @@ class EngineStats:
         reg = registry if registry is not None else obs.registry()
         self.workers = workers
         self.engine_label = engine_label
-        labels = {"engine": engine_label} if engine_label else {}
-        self._counters = {
-            name: reg.counter(f"codecs.engine.{name}", **labels)
-            for name in _ENGINE_COUNTERS
-        }
-        reg.gauge("codecs.engine.workers", **labels).set(workers)
+        self._labels = {"engine": engine_label} if engine_label else {}
+        self._lock = threading.Lock()
+        self._totals = dict.fromkeys(_ENGINE_COUNTERS, 0.0)
+        # Pre-create the counters so every name is present (value 0) in
+        # the construction-time registry even before any work lands —
+        # conformance suites compare metric-name sets across configs.
+        for name in _ENGINE_COUNTERS:
+            reg.counter(f"codecs.engine.{name}", **self._labels)
+        reg.gauge("codecs.engine.workers", **self._labels).set(workers)
 
     def add(self, name: str, amount: float) -> None:
         if not amount:
             return  # skip the lock on no-op adds (all-hit decode passes)
-        self._counters[name].inc(amount)
+        with self._lock:
+            self._totals[name] += amount
+        obs.registry().counter(f"codecs.engine.{name}", **self._labels).inc(amount)
 
     @property
     def blocks_encoded(self) -> int:
-        return int(self._counters["blocks_encoded"].value)
+        return int(self._totals["blocks_encoded"])
 
     @property
     def blocks_decoded(self) -> int:
-        return int(self._counters["blocks_decoded"].value)
+        return int(self._totals["blocks_decoded"])
 
     @property
     def cache_hits(self) -> int:
-        return int(self._counters["cache_hits"].value)
+        return int(self._totals["cache_hits"])
 
     @property
     def cache_misses(self) -> int:
-        return int(self._counters["cache_misses"].value)
+        return int(self._totals["cache_misses"])
 
     @property
     def bytes_decoded(self) -> int:
-        return int(self._counters["bytes_decoded"].value)
+        return int(self._totals["bytes_decoded"])
 
     @property
     def encode_seconds(self) -> float:
-        return self._counters["encode_seconds"].value
+        return self._totals["encode_seconds"]
 
     @property
     def decode_seconds(self) -> float:
-        return self._counters["decode_seconds"].value
+        return self._totals["decode_seconds"]
 
     @property
     def pool_startup_seconds(self) -> float:
-        return self._counters["pool_startup_seconds"].value
+        return self._totals["pool_startup_seconds"]
 
     @property
     def decode_mb_per_s(self) -> float:
@@ -447,8 +457,11 @@ class EngineStats:
         return self.bytes_decoded / self.decode_seconds / 1e6
 
     def reset(self) -> None:
-        for counter in self._counters.values():
-            counter.reset()
+        with self._lock:
+            self._totals = dict.fromkeys(_ENGINE_COUNTERS, 0.0)
+        reg = obs.registry()
+        for name in _ENGINE_COUNTERS:
+            reg.counter(f"codecs.engine.{name}", **self._labels).reset()
 
     def as_dict(self) -> dict[str, float]:
         return {

@@ -27,6 +27,7 @@ from repro.core.hetero import HeterogeneousSystem, ScenarioResult, SpMVCompariso
 from repro.core.pipeline_timing import PipelineTiming, simulate_recoded_spmv_timing
 from repro.core.power import PowerScenario, iso_performance_power
 from repro.core.roofline import max_uncompressed_gflops, spmv_gflops, spmv_time_seconds
+from repro.core.session import ExecutionSession
 from repro.core.spmv_pipeline import PipelineStats, recoded_spmm, recoded_spmv
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "max_uncompressed_gflops",
     "spmv_gflops",
     "spmv_time_seconds",
+    "ExecutionSession",
     "PipelineStats",
     "recoded_spmv",
     "recoded_spmm",

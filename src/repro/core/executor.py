@@ -245,6 +245,23 @@ class MmapBlockSource:
         return self._reader.pages_touched
 
 
+def _claim_out(shape: tuple, out: "np.ndarray | None") -> np.ndarray:
+    """Resolve an executor's accumulator: a fresh zeroed array, or a
+    caller-supplied (session-reused) buffer zero-filled in place — the
+    accumulation sequence, and therefore the result bits, are identical
+    either way."""
+    if out is None:
+        return np.zeros(shape, dtype=VALUE_DTYPE)
+    if out.shape != shape or out.dtype != VALUE_DTYPE:
+        raise ValueError(
+            f"out must be float64 with shape {shape}, got {out.dtype} {out.shape}"
+        )
+    if not out.flags.writeable:
+        raise ValueError("out must be writeable")
+    out[:] = 0.0
+    return out
+
+
 def run_pipelined(
     plan: MatrixCompression,
     x: np.ndarray,
@@ -259,6 +276,7 @@ def run_pipelined(
     counters: RunCounters,
     source: "PlanBlockSource | MmapBlockSource | None" = None,
     cancel: "Callable[[], bool] | None" = None,
+    out: "np.ndarray | None" = None,
 ) -> tuple[np.ndarray, float]:
     """Execute one pipelined recoded SpMV (1-D ``x``) or SpMM (2-D ``x``).
 
@@ -267,7 +285,8 @@ def run_pipelined(
     :class:`MmapBlockSource` when ``plan`` is a streaming container view.
     ``cancel`` is polled once per consumed block; when it returns True the
     handle is closed (in-flight pool chunks finish and are dropped) and
-    :class:`RunCancelled` is raised.
+    :class:`RunCancelled` is raised. ``out`` is an optional preallocated
+    accumulator (see :func:`_claim_out`).
 
     Returns ``(result, dma_seconds)``; degraded-block accounting lands on
     ``counters``. Raises the same :class:`BlockDecodeError` the serial
@@ -280,7 +299,7 @@ def run_pipelined(
     nblocks = plan.nblocks
     nrows = blocked.shape[0]
     shape = (nrows,) if x.ndim == 1 else (nrows, x.shape[1])
-    out = np.zeros(shape, dtype=VALUE_DTYPE)
+    out = _claim_out(shape, out)
     acc = BlockAccumulator(blocked.blocks, out)
 
     # Stage 1 — stream every block's compressed records out of DRAM, in
@@ -542,6 +561,7 @@ def run_sharded(
     policy: str,
     counters: RunCounters,
     bounds: Sequence[range] | None = None,
+    out: "np.ndarray | None" = None,
 ) -> tuple[np.ndarray, float, dict]:
     """Scatter-gather recoded SpMV/SpMM over contiguous block shards.
 
@@ -574,7 +594,7 @@ def run_sharded(
     shell_blocks = reader.shell_blocks()
     nrows = reader.shape[0]
     shape = (nrows,) if x.ndim == 1 else (nrows, x.shape[1])
-    out = np.zeros(shape, dtype=VALUE_DTYPE)
+    out = _claim_out(shape, out)
     acc = BlockAccumulator(shell_blocks, out)
     fault_plan = faults.active()
     backend = kernels.backend()

@@ -183,9 +183,15 @@ def _execute(
     reader: ContainerReader | None = None,
     shards: int = 0,
     cancel=None,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, PipelineStats]:
     """Shared executor body for recoded SpMV (``prefix="spmv"``, 1-D ``x``)
-    and fused SpMM (``prefix="spmm"``, 2-D ``x``)."""
+    and fused SpMM (``prefix="spmm"``, 2-D ``x``).
+
+    ``out`` is an optional preallocated accumulator (zero-filled by the
+    executor) that sessions reuse across iterations; results are
+    bit-identical with or without it.
+    """
     _validate(policy, mode, depth, engine, use_udp_simulator)
     _validate_shards(shards, reader, mode, engine, use_udp_simulator)
     if cancel is not None and shards:
@@ -220,6 +226,7 @@ def _execute(
                 log=log,
                 policy=policy,
                 counters=counters,
+                out=out,
             )
     elif mode == "pipelined":
         with obs.trace(
@@ -238,6 +245,7 @@ def _execute(
                 counters=counters,
                 source=source,
                 cancel=cancel,
+                out=out,
             )
     else:
         toolchain = DecoderToolchain(plan) if use_udp_simulator else None
@@ -312,7 +320,7 @@ def _execute(
             return block
 
         with obs.trace(f"{prefix}.recoded", nblocks=plan.nblocks, matrix=matrix_id):
-            y = kernel(plan.blocked, x, recode=recode)
+            y = kernel(plan.blocked, x, recode=recode, out=out)
 
     if reader is not None and oocore_info is None:
         oocore_info = {
@@ -371,6 +379,7 @@ def recoded_spmv(
     depth: int = DEFAULT_DEPTH,
     shards: int = 0,
     cancel=None,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, PipelineStats]:
     """Execute ``y = A @ x`` over the compressed plan.
 
@@ -417,6 +426,10 @@ def recoded_spmv(
             callers — the serve layer — use this to stop a request past
             its deadline from borrowing further decode/DMA capacity).
             Incompatible with ``shards`` (workers cannot poll it).
+        out: optional preallocated ``(nrows,)`` float64 accumulator,
+            zero-filled and returned as ``y`` — lets iterative callers
+            (:class:`~repro.core.session.ExecutionSession`) reuse one
+            buffer across calls with bit-identical results.
 
     Returns:
         ``(y, stats)``.
@@ -439,6 +452,7 @@ def recoded_spmv(
             reader=reader,
             shards=shards,
             cancel=cancel,
+            out=out,
         )
     finally:
         if owned:
@@ -456,6 +470,7 @@ def recoded_spmm(
     depth: int = DEFAULT_DEPTH,
     shards: int = 0,
     cancel=None,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, PipelineStats]:
     """Execute fused ``Y = A @ X`` for ``k`` right-hand sides.
 
@@ -497,6 +512,7 @@ def recoded_spmm(
             reader=reader,
             shards=shards,
             cancel=cancel,
+            out=out,
         )
     finally:
         if owned:

@@ -1,0 +1,24 @@
+"""Iterative solvers running over persistent execution sessions.
+
+``repro.solvers`` is the steady-state workload layer the ROADMAP names:
+conjugate gradient, PageRank, and power iteration driven entirely by
+session SpMV — decode once, iterate out of the decoded-block cache, and
+measure convergence against bytes moved, not just seconds. See
+:mod:`repro.solvers.iterative` and ``docs/SOLVERS.md``.
+"""
+
+from repro.solvers.iterative import (
+    IterationRecord,
+    SolverResult,
+    cg,
+    pagerank,
+    power_iteration,
+)
+
+__all__ = [
+    "IterationRecord",
+    "SolverResult",
+    "cg",
+    "pagerank",
+    "power_iteration",
+]

@@ -43,12 +43,28 @@ def spmm_blocked(
     blocked: BlockedCSR,
     x: np.ndarray,
     recode: Callable[[CSRBlock], CSRBlock] | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Tiled SpMM with the same ``recode`` hook as
-    :func:`repro.sparse.spmv.spmv_blocked`."""
+    :func:`repro.sparse.spmv.spmv_blocked`.
+
+    ``out`` is an optional preallocated ``(nrows, k)`` float64 accumulator
+    (zero-filled here), letting iterative callers reuse one buffer across
+    calls; the result is bit-identical either way.
+    """
     x = _check_x(blocked.shape, x)
     k = x.shape[1]
-    out = np.zeros((blocked.shape[0], k), dtype=VALUE_DTYPE)
+    if out is None:
+        out = np.zeros((blocked.shape[0], k), dtype=VALUE_DTYPE)
+    else:
+        if out.shape != (blocked.shape[0], k) or out.dtype != VALUE_DTYPE:
+            raise ValueError(
+                f"out must be float64 with shape ({blocked.shape[0]}, {k}), "
+                f"got {out.dtype} {out.shape}"
+            )
+        if not out.flags.writeable:
+            raise ValueError("out must be writeable")
+        out[:] = 0.0
     for block in blocked.blocks:
         if recode is not None:
             block = recode(block)

@@ -691,6 +691,95 @@ BENCH_ADAPTIVE_SCHEMA: dict = _with_common(
     }
 )
 
+#: ``BENCH_solvers.json`` — written by ``benchmarks/bench_solvers.py``.
+#: Iteration counts, byte totals, residuals, and parity hashes are
+#: deterministic at a fixed seed; per-call SpMV timings and the
+#: warm-over-cold ratios are wall-clock and carry timing-key suffixes.
+BENCH_SOLVERS_SCHEMA: dict = _with_common(
+    {
+        "required": ["matrices", "cg", "pagerank", "parity", "gates"],
+        "properties": {
+            "context": {
+                "required": ["block_bytes", "warm_repeats"],
+                "properties": {
+                    "block_bytes": {"type": "integer", "minimum": 12},
+                    "warm_repeats": {"type": "integer", "minimum": 1},
+                },
+            },
+            "matrices": {
+                "type": "array",
+                "min_items": 1,
+                "items": {
+                    "type": "object",
+                    "required": [
+                        "name", "nblocks", "nnz", "cold_seconds",
+                        "warm_seconds", "warm_over_cold_ratio",
+                    ],
+                    "properties": {
+                        "name": {"type": "string"},
+                        "nblocks": {"type": "integer", "minimum": 1},
+                        "nnz": {"type": "integer", "minimum": 1},
+                        "cold_seconds": {"type": "number", "minimum": 0},
+                        "warm_seconds": {"type": "number", "minimum": 0},
+                        "warm_over_cold_ratio": {"type": "number", "minimum": 0},
+                    },
+                },
+            },
+            "warm_over_cold_geomean_ratio": {"type": "number", "minimum": 0},
+            "cg": {
+                "type": "object",
+                "required": [
+                    "iterations", "converged", "residual", "dram_bytes",
+                    "decode_once_bytes", "vector_bytes",
+                    "traffic_budget_bytes", "sha256",
+                ],
+                "properties": {
+                    "iterations": {"type": "integer", "minimum": 1},
+                    "converged": {"type": "boolean"},
+                    "residual": {"type": "number", "minimum": 0},
+                    "dram_bytes": {"type": "integer", "minimum": 1},
+                    "decode_once_bytes": {"type": "integer", "minimum": 1},
+                    "vector_bytes": {"type": "integer", "minimum": 1},
+                    "traffic_budget_bytes": {"type": "integer", "minimum": 1},
+                    "sha256": {"type": "string"},
+                },
+            },
+            "pagerank": {
+                "type": "object",
+                "required": ["iterations", "converged", "residual", "sha256"],
+                "properties": {
+                    "iterations": {"type": "integer", "minimum": 1},
+                    "converged": {"type": "boolean"},
+                    "residual": {"type": "number", "minimum": 0},
+                    "sha256": {"type": "string"},
+                },
+            },
+            "parity": {
+                "type": "object",
+                "required": ["configs_checked", "bit_identical", "mismatches"],
+                "properties": {
+                    "configs_checked": {"type": "integer", "minimum": 2},
+                    "bit_identical": {"type": "boolean"},
+                    "mismatches": {"type": "array", "items": {"type": "string"}},
+                },
+            },
+            "gates": {
+                "type": "object",
+                "required": [
+                    "warm_over_cold_max", "traffic_within_budget",
+                    "bit_identical", "passed",
+                ],
+                "properties": {
+                    "warm_over_cold_max": {"type": "number", "minimum": 0},
+                    "traffic_within_budget": {"type": "boolean"},
+                    "bit_identical": {"type": "boolean"},
+                    "passed": {"type": "boolean"},
+                },
+            },
+        },
+    }
+)
+
 #: All BENCH artifact schemas by ``exp_id``.
 BENCH_SCHEMAS: dict[str, dict] = {
     "headline": BENCH_HEADLINE_SCHEMA,
@@ -701,4 +790,5 @@ BENCH_SCHEMAS: dict[str, dict] = {
     "oocore": BENCH_OOCORE_SCHEMA,
     "serve": BENCH_SERVE_SCHEMA,
     "adaptive": BENCH_ADAPTIVE_SCHEMA,
+    "solvers": BENCH_SOLVERS_SCHEMA,
 }

@@ -30,7 +30,7 @@ from repro.codecs.autotune import StageProfile, compress_adaptive
 from repro.codecs.engine import DecodedBlockCache, RecodeEngine
 from repro.codecs.pipeline import compress_matrix
 from repro.collection import generators
-from repro.core import recoded_spmm, recoded_spmv
+from repro.core import ExecutionSession, recoded_spmm, recoded_spmv
 
 CONFIGS = enumerate_configs()
 NRHS = 3
@@ -138,20 +138,33 @@ def test_spmm_bit_identical_across_grid(config, fixture):
 
 
 def _metric_names(config: AblationConfig, fixture) -> frozenset[str]:
+    """Emit one workload under ``config`` routed the way the ablation
+    runner routes it: through an :class:`ExecutionSession` whose ``reuse``
+    flag is the ``session`` axis. The second SpMV exercises the warm fast
+    path exactly when session reuse and the cache are both on."""
     name, plans, x, X, _y_ref, _Y_ref = fixture
     plan = plans[config.block_codec]
     with obs.scoped_registry() as reg, kernels.use_backend(config.kernel_backend):
         engine = _engine(config)
+        sess = ExecutionSession(
+            plan,
+            matrix_id=name,
+            engine=engine,
+            mode=config.executor,
+            depth=config.depth,
+            policy=config.policy,
+            reuse=config.session,
+        )
         try:
-            recoded_spmv(plan, x, engine=engine, **_run_kwargs(config, name))
+            sess.spmv(x)
+            sess.spmv(x)
             if config.spmm_fusion:
-                recoded_spmm(plan, X, engine=engine, **_run_kwargs(config, name))
+                sess.spmm(X)
             else:
                 for j in range(NRHS):
-                    recoded_spmv(
-                        plan, X[:, j], engine=engine, **_run_kwargs(config, name)
-                    )
+                    sess.spmv(X[:, j])
         finally:
+            sess.close()
             engine.close()
         return frozenset(rec["name"] for rec in reg.snapshot().values())
 

@@ -35,6 +35,7 @@ ARTIFACTS = {
     "oocore": "BENCH_oocore.json",
     "serve": "BENCH_serve.json",
     "adaptive": "BENCH_adaptive.json",
+    "solvers": "BENCH_solvers.json",
 }
 
 
